@@ -1,0 +1,51 @@
+// Ablation (paper §7: "For other slower NVMs, the benefits of Kamino-Tx
+// would only be larger since the copying would take longer"): sweep the
+// emulated per-line flush latency from DRAM-like (0 ns) to PCM-like
+// (1000 ns) and watch the Kamino-Tx / undo-logging throughput gap widen on
+// a write-heavy mix — undo-logging flushes the copied snapshots in the
+// critical path, Kamino-Tx only its cache-line intent records.
+
+#include "bench/bench_util.h"
+
+namespace kamino::bench {
+namespace {
+
+void BM_NvmLatency(::benchmark::State& state, txn::EngineType engine,
+                   uint32_t flush_latency_ns) {
+  const uint64_t nkeys = DefaultKeys() / 2;
+  const uint64_t ops = DefaultOps() / 2;
+  auto bundle = KvBundle::Make(engine, nkeys, kValueSize, 0.2, flush_latency_ns);
+  bundle->Load(nkeys);
+  for (auto _ : state) {
+    const YcsbResult res =
+        RunYcsbOnBundle(bundle.get(), workload::YcsbWorkload::kA, /*threads=*/1, ops, nkeys);
+    SetYcsbCounters(state, res);
+  }
+}
+
+void RegisterAll() {
+  for (uint32_t latency : {0u, 200u, 500u, 1000u}) {
+    for (txn::EngineType engine :
+         {txn::EngineType::kKaminoSimple, txn::EngineType::kUndoLog}) {
+      std::string name = std::string("NvmLatency/flush_ns:") + std::to_string(latency) +
+                         "/" + EngineLabel(engine);
+      ::benchmark::RegisterBenchmark(name.c_str(),
+                                     [engine, latency](::benchmark::State& s) {
+                                       BM_NvmLatency(s, engine, latency);
+                                     })
+          ->Unit(::benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kamino::bench
+
+int main(int argc, char** argv) {
+  kamino::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 1 — motivation: "Avg. throughput for running YCSB workloads (A-F)
+// and TPCC benchmark suite against MySQL", no-logging vs undo-logging,
+// 4 client threads. The paper reports logging overheads of 50-250% on the
+// write-heavy mixes and near zero on the read-heavy ones.
+//
+// Substitution: MySQL/InnoDB is represented by this library's KV store (and
+// TPC-C-lite) with the NoLoggingEngine vs the NVML-faithful UndoLogEngine —
+// the same atomicity-tax comparison on our stack.
+
+#include "bench/bench_util.h"
+#include "src/workload/tpcc_lite.h"
+
+namespace kamino::bench {
+namespace {
+
+constexpr int kThreads = 4;  // Figure 1's client configuration.
+
+void BM_YcsbFig1(::benchmark::State& state, txn::EngineType engine,
+                 workload::YcsbWorkload workload) {
+  const uint64_t nkeys = DefaultKeys();
+  const uint64_t ops = DefaultOps();
+  auto bundle = KvBundle::Make(engine, nkeys);
+  bundle->Load(nkeys);
+  for (auto _ : state) {
+    const YcsbResult res =
+        RunYcsbOnBundle(bundle.get(), workload, kThreads, ops / kThreads, nkeys);
+    SetYcsbCounters(state, res);
+  }
+}
+
+void BM_TpccFig1(::benchmark::State& state, txn::EngineType engine) {
+  auto bundle = KvBundle::Make(engine, 1);
+  workload::TpccLite::Options topts;
+  topts.items = 1000;
+  topts.customers = 300;
+  auto tpcc = std::move(workload::TpccLite::Create(bundle->mgr.get(), topts).value());
+  if (!tpcc->Load().ok()) {
+    state.SkipWithError("tpcc load failed");
+    return;
+  }
+  const uint64_t txns_per_thread = EnvOr("KAMINO_BENCH_TPCC_TXNS", 2'000);
+  for (auto _ : state) {
+    const uint64_t start = stats::NowNanos();
+    std::vector<std::thread> workers;
+    std::atomic<uint64_t> failed{0};
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        Xoshiro256 rng(17 + static_cast<uint64_t>(t));
+        for (uint64_t i = 0; i < txns_per_thread; ++i) {
+          if (!tpcc->RunOne(rng).ok()) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+    const double secs = static_cast<double>(stats::NowNanos() - start) / 1e9;
+    state.counters["Ktxn_per_sec"] =
+        static_cast<double>(txns_per_thread) * kThreads / secs / 1000.0;
+    state.counters["errors"] = static_cast<double>(failed.load());
+  }
+}
+
+void RegisterAll() {
+  for (txn::EngineType engine : {txn::EngineType::kNoLogging, txn::EngineType::kUndoLog}) {
+    for (workload::YcsbWorkload w :
+         {workload::YcsbWorkload::kA, workload::YcsbWorkload::kB, workload::YcsbWorkload::kC,
+          workload::YcsbWorkload::kD, workload::YcsbWorkload::kF}) {
+      std::string name = std::string("Fig01/") + workload::YcsbWorkloadName(w) + "/" +
+                         EngineLabel(engine);
+      ::benchmark::RegisterBenchmark(name.c_str(),
+                                     [engine, w](::benchmark::State& s) {
+                                       BM_YcsbFig1(s, engine, w);
+                                     })
+          ->Unit(::benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+    std::string name = std::string("Fig01/TPC-C/") + EngineLabel(engine);
+    ::benchmark::RegisterBenchmark(
+        name.c_str(), [engine](::benchmark::State& s) { BM_TpccFig1(s, engine); })
+        ->Unit(::benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace kamino::bench
+
+int main(int argc, char** argv) {
+  kamino::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 12 — "YCSB throughput with Kamino-Tx-Simple and undo-logging
+// (Intel's NVML) as the number of threads vary from two to eight."
+// Workloads A, B, C, D, F; the paper reports up to 9.5x for write-heavy
+// mixes and parity on the read-only C.
+
+#include "bench/bench_util.h"
+
+namespace kamino::bench {
+namespace {
+
+void BM_Fig12(::benchmark::State& state, txn::EngineType engine,
+              workload::YcsbWorkload workload, int threads) {
+  const uint64_t nkeys = DefaultKeys();
+  const uint64_t ops = DefaultOps();
+  auto bundle = KvBundle::Make(engine, nkeys);
+  bundle->Load(nkeys);
+  for (auto _ : state) {
+    const YcsbResult res = RunYcsbOnBundle(bundle.get(), workload, threads,
+                                   ops / static_cast<uint64_t>(threads), nkeys);
+    SetYcsbCounters(state, res);
+  }
+}
+
+void RegisterAll() {
+  for (workload::YcsbWorkload w :
+       {workload::YcsbWorkload::kA, workload::YcsbWorkload::kB, workload::YcsbWorkload::kC,
+        workload::YcsbWorkload::kD, workload::YcsbWorkload::kF}) {
+    for (int threads : {2, 4, 8}) {
+      for (txn::EngineType engine :
+           {txn::EngineType::kKaminoSimple, txn::EngineType::kUndoLog}) {
+        std::string name = std::string("Fig12/") + workload::YcsbWorkloadName(w) + "/" +
+                           EngineLabel(engine) + "/threads:" + std::to_string(threads);
+        ::benchmark::RegisterBenchmark(name.c_str(),
+                                       [engine, w, threads](::benchmark::State& s) {
+                                         BM_Fig12(s, engine, w, threads);
+                                       })
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kamino::bench
+
+int main(int argc, char** argv) {
+  kamino::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 13 — "YCSB latency with Kamino-Tx-Simple and undo-logging (Intel's
+// NVML)": average operation latency for YCSB A-F plus TPC-C, single client.
+// The paper reports Kamino-Tx up to 2.33x faster on write-intensive mixes
+// and parity on the read-only C.
+
+#include "bench/bench_util.h"
+#include "src/workload/tpcc_lite.h"
+
+namespace kamino::bench {
+namespace {
+
+void BM_Fig13Ycsb(::benchmark::State& state, txn::EngineType engine,
+                  workload::YcsbWorkload workload) {
+  const uint64_t nkeys = DefaultKeys();
+  const uint64_t ops = DefaultOps();
+  auto bundle = KvBundle::Make(engine, nkeys);
+  bundle->Load(nkeys);
+  for (auto _ : state) {
+    const YcsbResult res = RunYcsbOnBundle(bundle.get(), workload, /*threads=*/1, ops, nkeys);
+    SetYcsbCounters(state, res);
+  }
+}
+
+void BM_Fig13Tpcc(::benchmark::State& state, txn::EngineType engine) {
+  auto bundle = KvBundle::Make(engine, 1);
+  workload::TpccLite::Options topts;
+  topts.items = 1000;
+  topts.customers = 300;
+  auto tpcc = std::move(workload::TpccLite::Create(bundle->mgr.get(), topts).value());
+  if (!tpcc->Load().ok()) {
+    state.SkipWithError("tpcc load failed");
+    return;
+  }
+  const uint64_t txns = EnvOr("KAMINO_BENCH_TPCC_TXNS", 2'000);
+  for (auto _ : state) {
+    stats::LatencyHistogram hist;
+    Xoshiro256 rng(23);
+    for (uint64_t i = 0; i < txns; ++i) {
+      stats::ScopedLatency timer(&hist);
+      (void)tpcc->RunOne(rng);
+    }
+    state.counters["mean_us"] = hist.MeanNs() / 1000.0;
+    state.counters["p99_us"] = static_cast<double>(hist.PercentileNs(99)) / 1000.0;
+  }
+}
+
+void RegisterAll() {
+  for (workload::YcsbWorkload w :
+       {workload::YcsbWorkload::kA, workload::YcsbWorkload::kB, workload::YcsbWorkload::kC,
+        workload::YcsbWorkload::kD, workload::YcsbWorkload::kF}) {
+    for (txn::EngineType engine :
+         {txn::EngineType::kKaminoSimple, txn::EngineType::kUndoLog}) {
+      std::string name = std::string("Fig13/") + workload::YcsbWorkloadName(w) + "/" +
+                         EngineLabel(engine);
+      ::benchmark::RegisterBenchmark(name.c_str(),
+                                     [engine, w](::benchmark::State& s) {
+                                       BM_Fig13Ycsb(s, engine, w);
+                                     })
+          ->Unit(::benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  for (txn::EngineType engine :
+       {txn::EngineType::kKaminoSimple, txn::EngineType::kUndoLog}) {
+    std::string name = std::string("Fig13/TPC-C/") + EngineLabel(engine);
+    ::benchmark::RegisterBenchmark(
+        name.c_str(), [engine](::benchmark::State& s) { BM_Fig13Tpcc(s, engine); })
+        ->Unit(::benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace kamino::bench
+
+int main(int argc, char** argv) {
+  kamino::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 14 — "YCSB latency with full and partial backups": Kamino-Tx-Dynamic
+// with α ∈ {10%..90%} vs Kamino-Tx-Simple (Full-Copy) on YCSB A, B, D, F.
+// The paper shows Dynamic within a small factor of Full-Copy, converging as
+// α grows (skewed access patterns keep the hot set resident).
+
+#include "bench/bench_util.h"
+
+namespace kamino::bench {
+namespace {
+
+void BM_Fig14(::benchmark::State& state, double alpha, workload::YcsbWorkload workload) {
+  const uint64_t nkeys = DefaultKeys();
+  const uint64_t ops = DefaultOps();
+  const txn::EngineType engine =
+      alpha >= 1.0 ? txn::EngineType::kKaminoSimple : txn::EngineType::kKaminoDynamic;
+  auto bundle = KvBundle::Make(engine, nkeys, kValueSize, alpha);
+  bundle->Load(nkeys);
+  for (auto _ : state) {
+    const YcsbResult res = RunYcsbOnBundle(bundle.get(), workload, /*threads=*/1, ops, nkeys);
+    SetYcsbCounters(state, res);
+  }
+}
+
+void RegisterAll() {
+  for (workload::YcsbWorkload w :
+       {workload::YcsbWorkload::kA, workload::YcsbWorkload::kB, workload::YcsbWorkload::kD,
+        workload::YcsbWorkload::kF}) {
+    for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+      std::string label =
+          alpha >= 1.0 ? "FullCopy" : ("Dynamic-" + std::to_string(static_cast<int>(alpha * 100)));
+      std::string name =
+          std::string("Fig14/") + workload::YcsbWorkloadName(w) + "/" + label;
+      ::benchmark::RegisterBenchmark(name.c_str(),
+                                     [alpha, w](::benchmark::State& s) {
+                                       BM_Fig14(s, alpha, w);
+                                     })
+          ->Unit(::benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kamino::bench
+
+int main(int argc, char** argv) {
+  kamino::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

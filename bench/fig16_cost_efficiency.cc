@@ -1,0 +1,93 @@
+// Figure 16 — "Normalized performance per dollar for different backup
+// configurations and undo-logging": undo-logging, Dynamic-10..90 and
+// Full-Copy, for a write-heavy workload (YCSB A) and a read-only one
+// (YCSB C). Throughput is measured on this stack; dollars come from the
+// stats::CostModel (the paper used the AWS TCO calculator — see DESIGN.md's
+// substitution table). All values are normalized to undo-logging's
+// write-heavy ops/sec/$ = 1, like the figure's y-axis.
+
+#include "bench/bench_util.h"
+#include "src/stats/cost_model.h"
+
+namespace kamino::bench {
+namespace {
+
+struct Config {
+  const char* label;
+  txn::EngineType engine;
+  double alpha;  // Backup fraction for the cost model.
+};
+
+const Config kConfigs[] = {
+    {"UndoLogging", txn::EngineType::kUndoLog, 0.0},
+    {"Dynamic-10", txn::EngineType::kKaminoDynamic, 0.1},
+    {"Dynamic-30", txn::EngineType::kKaminoDynamic, 0.3},
+    {"Dynamic-50", txn::EngineType::kKaminoDynamic, 0.5},
+    {"Dynamic-70", txn::EngineType::kKaminoDynamic, 0.7},
+    {"Dynamic-90", txn::EngineType::kKaminoDynamic, 0.9},
+    {"FullCopy", txn::EngineType::kKaminoSimple, 1.0},
+};
+
+double MeasureOpsPerSec(const Config& cfg, workload::YcsbWorkload workload) {
+  const uint64_t nkeys = DefaultKeys();
+  const uint64_t ops = DefaultOps();
+  auto bundle = KvBundle::Make(cfg.engine, nkeys, kValueSize, cfg.alpha);
+  bundle->Load(nkeys);
+  constexpr int kThreads = 4;
+  return RunYcsb(bundle->store.get(), workload, kThreads, ops / kThreads, nkeys).ops_per_sec;
+}
+
+void BM_Fig16(::benchmark::State& state, const Config& cfg, workload::YcsbWorkload workload,
+              bool write_heavy) {
+  // NVM bytes: 1x data for the heap plus alpha x data for the backup; the
+  // data size is the paper's per-node working set, scaled.
+  const double data_gb = 100.0;  // Modelled deployment size (paper-scale).
+  const auto nvm_bytes =
+      static_cast<uint64_t>((1.0 + cfg.alpha) * data_gb * static_cast<double>(1ull << 30));
+  static double undo_baseline_a = 0;  // Normalization anchor.
+
+  for (auto _ : state) {
+    const double ops = MeasureOpsPerSec(cfg, workload);
+    stats::CostModel model;
+    const double per_dollar = model.OpsPerSecPerDollar(ops, 1, nvm_bytes);
+    if (write_heavy && cfg.engine == txn::EngineType::kUndoLog) {
+      undo_baseline_a = per_dollar;
+    }
+    state.counters["ops_per_sec"] = ops;
+    state.counters["dollars"] = model.Dollars(1, nvm_bytes);
+    state.counters["ops_per_sec_per_dollar"] = per_dollar;
+    if (undo_baseline_a > 0) {
+      state.counters["norm_vs_undo_write_heavy"] = per_dollar / undo_baseline_a;
+    }
+  }
+}
+
+void RegisterAll() {
+  // Registration order matters: undo-logging/write-heavy runs first and
+  // anchors the normalization, matching the figure.
+  for (bool write_heavy : {true, false}) {
+    const workload::YcsbWorkload w =
+        write_heavy ? workload::YcsbWorkload::kA : workload::YcsbWorkload::kC;
+    for (const Config& cfg : kConfigs) {
+      std::string name = std::string("Fig16/") +
+                         (write_heavy ? "WriteHeavy" : "ReadOnly") + "/" + cfg.label;
+      ::benchmark::RegisterBenchmark(name.c_str(),
+                                     [&cfg, w, write_heavy](::benchmark::State& s) {
+                                       BM_Fig16(s, cfg, w, write_heavy);
+                                     })
+          ->Unit(::benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kamino::bench
+
+int main(int argc, char** argv) {
+  kamino::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

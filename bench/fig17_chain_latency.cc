@@ -1,0 +1,130 @@
+// Figure 17 — "YCSB latency for Kamino-Tx-Chain and traditional chain
+// replication each tolerating two failures": average operation latency over
+// the replicated store. The paper reports up to 2.2x lower latency for
+// Kamino-Tx-Chain on write-intensive mixes (no data copies in the critical
+// path at any replica).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/chain/chain.h"
+
+namespace kamino::bench {
+namespace {
+
+struct ChainYcsbResult {
+  double mean_us = 0;
+  double p99_us = 0;
+  double ops_per_sec = 0;
+  uint64_t errors = 0;
+};
+
+ChainYcsbResult RunChainYcsb(chain::Chain* ch, workload::YcsbWorkload w, int threads,
+                             uint64_t ops_per_thread, uint64_t nkeys) {
+  std::atomic<uint64_t> key_count{nkeys};
+  stats::LatencyHistogram hist;
+  std::atomic<uint64_t> errors{0};
+  const uint64_t start = stats::NowNanos();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      workload::YcsbGenerator gen(w, nkeys, &key_count, 31 + static_cast<uint64_t>(t));
+      std::string value = workload::YcsbValue(static_cast<uint64_t>(t), kValueSize);
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        const auto req = gen.Next();
+        const uint64_t op_start = stats::NowNanos();
+        Status st;
+        switch (req.op) {
+          case workload::YcsbOp::kRead: {
+            Result<std::string> r = ch->Read(req.key);
+            st = r.status();
+            break;
+          }
+          case workload::YcsbOp::kUpdate:
+          case workload::YcsbOp::kInsert:
+            st = ch->Upsert(req.key, value);
+            break;
+          case workload::YcsbOp::kReadModifyWrite: {
+            Result<std::string> r = ch->Read(req.key);
+            if (r.ok()) {
+              std::string v = std::move(*r);
+              if (!v.empty()) {
+                ++v[0];
+              }
+              st = ch->Upsert(req.key, std::move(v));
+            } else {
+              st = r.status();
+            }
+            break;
+          }
+        }
+        hist.Record(stats::NowNanos() - op_start);
+        if (!st.ok() && st.code() != StatusCode::kNotFound) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& wk : workers) {
+    wk.join();
+  }
+  ChainYcsbResult res;
+  const double secs = static_cast<double>(stats::NowNanos() - start) / 1e9;
+  res.mean_us = hist.MeanNs() / 1000.0;
+  res.p99_us = static_cast<double>(hist.PercentileNs(99)) / 1000.0;
+  res.ops_per_sec = static_cast<double>(ops_per_thread) * threads / secs;
+  res.errors = errors.load();
+  return res;
+}
+
+void BM_Fig17(::benchmark::State& state, bool kamino, workload::YcsbWorkload w) {
+  const uint64_t nkeys = EnvOr("KAMINO_BENCH_CHAIN_KEYS", 2'000);
+  const uint64_t ops = EnvOr("KAMINO_BENCH_CHAIN_OPS", 3'000);
+  chain::ChainOptions copts;
+  copts.kamino = kamino;
+  copts.f = 2;  // The figure's configuration: tolerate two failures.
+  copts.pool_size = 96ull << 20;
+  copts.one_way_latency_us = 10;
+  copts.flush_latency_ns = DefaultFlushNs();
+  auto ch = std::move(chain::Chain::Create(copts).value());
+  for (uint64_t k = 0; k < nkeys; ++k) {
+    if (!ch->Upsert(k, workload::YcsbValue(k, kValueSize)).ok()) {
+      state.SkipWithError("chain load failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    const ChainYcsbResult res = RunChainYcsb(ch.get(), w, /*threads=*/1, ops, nkeys);
+    state.counters["mean_us"] = res.mean_us;
+    state.counters["p99_us"] = res.p99_us;
+    state.counters["errors"] = static_cast<double>(res.errors);
+  }
+}
+
+void RegisterAll() {
+  for (workload::YcsbWorkload w :
+       {workload::YcsbWorkload::kA, workload::YcsbWorkload::kB, workload::YcsbWorkload::kD,
+        workload::YcsbWorkload::kF}) {
+    for (bool kamino : {true, false}) {
+      std::string name = std::string("Fig17/") + workload::YcsbWorkloadName(w) + "/" +
+                         (kamino ? "KaminoTxChain" : "ChainReplication");
+      ::benchmark::RegisterBenchmark(name.c_str(),
+                                     [kamino, w](::benchmark::State& s) {
+                                       BM_Fig17(s, kamino, w);
+                                     })
+          ->Unit(::benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kamino::bench
+
+int main(int argc, char** argv) {
+  kamino::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// §7.1 "Worst-case performance" — "the worst-case scenario for Kamino-Tx is
+// continuously executing a transaction that updates the same object":
+// 1-8 threads, each transactionally updating its own object (64 B - 4 KiB)
+// back to back, so every transaction is dependent on the previous one's
+// backup sync. The paper finds Kamino-Tx still ahead for objects < 1 KB
+// (no log allocation) and parity at larger sizes (memcpy-bound).
+
+#include "bench/bench_util.h"
+
+namespace kamino::bench {
+namespace {
+
+void BM_WorstCase(::benchmark::State& state, txn::EngineType engine, int threads,
+                  uint64_t object_size) {
+  const uint64_t updates =
+      EnvOr("KAMINO_BENCH_WORSTCASE_UPDATES", 10'000) / static_cast<uint64_t>(threads);
+
+  heap::HeapOptions hopts;
+  hopts.pool_size = 128ull << 20;
+  hopts.flush_latency_ns = DefaultFlushNs();
+  auto heap = std::move(heap::Heap::Create(hopts).value());
+  txn::TxManagerOptions mopts;
+  mopts.engine = engine;
+  mopts.backup_flush_latency_ns = DefaultFlushNs();
+  auto mgr = std::move(txn::TxManager::Create(heap.get(), mopts).value());
+
+  // Each thread owns one object.
+  std::vector<uint64_t> objects(static_cast<size_t>(threads));
+  for (auto& off : objects) {
+    Status st = mgr->Run([&](txn::Tx& tx) -> Status {
+      Result<uint64_t> o = tx.Alloc(object_size);
+      if (!o.ok()) {
+        return o.status();
+      }
+      off = *o;
+      return Status::Ok();
+    });
+    if (!st.ok()) {
+      state.SkipWithError("alloc failed");
+      return;
+    }
+  }
+  mgr->WaitIdle();
+
+  for (auto _ : state) {
+    stats::LatencyHistogram hist;
+    const uint64_t start = stats::NowNanos();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const uint64_t off = objects[static_cast<size_t>(t)];
+        for (uint64_t i = 0; i < updates; ++i) {
+          const uint64_t op_start = stats::NowNanos();
+          (void)mgr->Run([&](txn::Tx& tx) -> Status {
+            Result<void*> p = tx.OpenWrite(off, object_size);
+            if (!p.ok()) {
+              return p.status();
+            }
+            std::memset(*p, static_cast<int>(i & 0xFF), object_size);
+            return Status::Ok();
+          });
+          hist.Record(stats::NowNanos() - op_start);
+        }
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+    const double secs = static_cast<double>(stats::NowNanos() - start) / 1e9;
+    state.counters["Kops_per_sec"] =
+        static_cast<double>(updates) * threads / secs / 1000.0;
+    state.counters["mean_us"] = hist.MeanNs() / 1000.0;
+    state.counters["p99_us"] = static_cast<double>(hist.PercentileNs(99)) / 1000.0;
+  }
+}
+
+void RegisterAll() {
+  for (uint64_t size : {64ull, 256ull, 1024ull, 4096ull}) {
+    for (int threads : {1, 4, 8}) {
+      for (txn::EngineType engine :
+           {txn::EngineType::kKaminoSimple, txn::EngineType::kUndoLog}) {
+        std::string name = "WorstCase/obj:" + std::to_string(size) + "B/" +
+                           EngineLabel(engine) + "/threads:" + std::to_string(threads);
+        ::benchmark::RegisterBenchmark(name.c_str(),
+                                       [engine, threads, size](::benchmark::State& s) {
+                                         BM_WorstCase(s, engine, threads, size);
+                                       })
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kamino::bench
+
+int main(int argc, char** argv) {
+  kamino::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// The paper's evaluation in miniature: the persistent-B+Tree KV store run
+// under YCSB-A (write-heavy) and YCSB-C (read-only) across all atomicity
+// engines, printing throughput, latency and — hardware-independently — how
+// many NVM cache lines each engine writes back on the critical path per
+// operation.
+//
+// Build & run:  ./build/examples/kv_store_ycsb
+
+#include <cstdio>
+
+#include "src/kv/kv_store.h"
+#include "src/stats/histogram.h"
+#include "src/workload/ycsb.h"
+
+using namespace kamino;
+
+namespace {
+
+constexpr uint64_t kKeys = 5'000;
+constexpr uint64_t kOps = 8'000;
+constexpr size_t kValueSize = 1024;  // The paper's record size.
+
+void RunOne(txn::EngineType engine, workload::YcsbWorkload w) {
+  heap::HeapOptions hopts;
+  hopts.pool_size = 128ull << 20;
+  hopts.flush_latency_ns = 150;  // NVDIMM-class write-back cost.
+  auto heap = heap::Heap::Create(hopts).value();
+  txn::TxManagerOptions mopts;
+  mopts.engine = engine;
+  auto mgr = txn::TxManager::Create(heap.get(), mopts).value();
+  auto store = kv::KvStore::Create(mgr.get()).value();
+
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    (void)store->Upsert(k, workload::YcsbValue(k, kValueSize));
+  }
+  mgr->WaitIdle();
+  heap->pool()->ResetStats();
+
+  std::atomic<uint64_t> count{kKeys};
+  workload::YcsbGenerator gen(w, kKeys, &count, 7);
+  stats::LatencyHistogram hist;
+  const std::string value = workload::YcsbValue(1, kValueSize);
+  const uint64_t start = stats::NowNanos();
+  for (uint64_t i = 0; i < kOps; ++i) {
+    const auto req = gen.Next();
+    stats::ScopedLatency timer(&hist);
+    switch (req.op) {
+      case workload::YcsbOp::kRead:
+        (void)store->Read(req.key);
+        break;
+      case workload::YcsbOp::kUpdate:
+        (void)store->Update(req.key, value);
+        break;
+      case workload::YcsbOp::kInsert:
+        (void)store->Upsert(req.key, value);
+        break;
+      case workload::YcsbOp::kReadModifyWrite:
+        (void)store->ReadModifyWrite(req.key, [](std::string& v) { ++v[0]; });
+        break;
+    }
+  }
+  const double secs = static_cast<double>(stats::NowNanos() - start) / 1e9;
+  mgr->WaitIdle();
+  const nvm::PoolStats ps = heap->pool()->stats();
+  std::printf("  %-16s %8.0f ops/s   mean %6.2f us   p99 %6.2f us   "
+              "critical-path lines/op %5.1f\n",
+              txn::EngineTypeName(engine), static_cast<double>(kOps) / secs,
+              hist.MeanNs() / 1000.0, static_cast<double>(hist.PercentileNs(99)) / 1000.0,
+              static_cast<double>(ps.lines_flushed) / static_cast<double>(kOps));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("KV store, %llu x %zuB records, %llu ops per run\n\n",
+              static_cast<unsigned long long>(kKeys), kValueSize,
+              static_cast<unsigned long long>(kOps));
+  for (workload::YcsbWorkload w : {workload::YcsbWorkload::kA, workload::YcsbWorkload::kC}) {
+    std::printf("%s:\n", workload::YcsbWorkloadName(w));
+    RunOne(txn::EngineType::kKaminoSimple, w);
+    RunOne(txn::EngineType::kKaminoDynamic, w);
+    RunOne(txn::EngineType::kUndoLog, w);
+    RunOne(txn::EngineType::kCow, w);
+    RunOne(txn::EngineType::kNoLogging, w);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,750 @@
+#include "src/alloc/allocator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/cacheline.h"
+#include "src/common/checksum.h"
+
+namespace kamino::alloc {
+
+namespace {
+// Number of 64-bit bitmap words needed for `slots` slots.
+uint64_t BitmapWords(uint64_t slots) { return (slots + 63) / 64; }
+}  // namespace
+
+Allocator::Allocator(nvm::Pool* pool, uint64_t region_offset)
+    : pool_(pool), region_offset_(region_offset) {}
+
+int Allocator::SizeClassFor(uint64_t size) {
+  if (size > kMaxClassSize) {
+    return -1;
+  }
+  uint64_t need = std::max<uint64_t>(size, kMinClassSize);
+  int cls = 0;
+  uint64_t cap = kMinClassSize;
+  while (cap < need) {
+    cap <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+Result<std::unique_ptr<Allocator>> Allocator::Create(nvm::Pool* pool, uint64_t region_offset,
+                                                     uint64_t region_size) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("null pool");
+  }
+  if (region_offset + region_size > pool->size()) {
+    return Status::InvalidArgument("allocator region exceeds pool");
+  }
+  auto a = std::unique_ptr<Allocator>(new Allocator(pool, region_offset));
+  Status st = a->Format(region_size);
+  if (!st.ok()) {
+    return st;
+  }
+  return a;
+}
+
+Result<std::unique_ptr<Allocator>> Allocator::Open(nvm::Pool* pool, uint64_t region_offset) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("null pool");
+  }
+  auto a = std::unique_ptr<Allocator>(new Allocator(pool, region_offset));
+  Status st = a->Attach();
+  if (!st.ok()) {
+    return st;
+  }
+  return a;
+}
+
+Status Allocator::Format(uint64_t region_size) {
+  region_size_ = region_size;
+  first_chunk_offset_ = AlignUp(region_offset_ + sizeof(Superblock), 4096);
+  const uint64_t region_end = region_offset_ + region_size_;
+  if (first_chunk_offset_ + kChunkSize > region_end) {
+    return Status::InvalidArgument("allocator region too small for one chunk");
+  }
+  num_chunks_ = (region_end - first_chunk_offset_) / kChunkSize;
+
+  // Chunk headers first: a header must never read as a valid slab/span before
+  // the superblock says the region is formatted.
+  for (uint64_t i = 0; i < num_chunks_; ++i) {
+    ChunkHeader* h = HeaderOf(i);
+    h->state = static_cast<uint64_t>(ChunkState::kFree);
+    h->size_class = 0;
+    h->span_chunks = 0;
+    h->span_bytes = 0;
+    pool_->Flush(h, sizeof(uint64_t) * 4);
+  }
+  pool_->Drain();
+
+  auto* sb = static_cast<Superblock*>(pool_->At(region_offset_));
+  sb->magic = kMagic;
+  sb->version = 1;
+  sb->region_size = region_size_;
+  sb->num_chunks = num_chunks_;
+  sb->first_chunk_offset = first_chunk_offset_;
+  sb->checksum = Crc64(sb, offsetof(Superblock, checksum));
+  pool_->Persist(sb, sizeof(Superblock));
+
+  chunk_info_.assign(num_chunks_, ChunkInfo{});
+  free_chunks_.reserve(num_chunks_);
+  for (uint64_t i = 0; i < num_chunks_; ++i) {
+    free_chunks_.push_back(i);
+  }
+  return Status::Ok();
+}
+
+Status Allocator::Attach() {
+  const auto* sb = static_cast<const Superblock*>(pool_->At(region_offset_));
+  if (sb->magic != kMagic) {
+    return Status::Corruption("allocator superblock magic mismatch");
+  }
+  if (sb->checksum != Crc64(sb, offsetof(Superblock, checksum))) {
+    return Status::Corruption("allocator superblock checksum mismatch");
+  }
+  region_size_ = sb->region_size;
+  num_chunks_ = sb->num_chunks;
+  first_chunk_offset_ = sb->first_chunk_offset;
+
+  chunk_info_.assign(num_chunks_, ChunkInfo{});
+  free_chunks_.clear();
+
+  uint64_t reserved = 0;
+  uint64_t allocated = 0;
+  uint64_t i = 0;
+  while (i < num_chunks_) {
+    ChunkHeader* h = HeaderOf(i);
+    switch (static_cast<ChunkState>(h->state)) {
+      case ChunkState::kFree:
+        free_chunks_.push_back(i);
+        ++i;
+        break;
+      case ChunkState::kSlab: {
+        const int cls = static_cast<int>(h->size_class);
+        if (cls < 0 || cls >= kNumSizeClasses) {
+          return Status::Corruption("slab chunk with bad size class");
+        }
+        const uint64_t slots = SlotsPerChunk(cls);
+        uint64_t used = 0;
+        for (uint64_t w = 0; w < BitmapWords(slots); ++w) {
+          used += static_cast<uint64_t>(__builtin_popcountll(h->bitmap[w]));
+        }
+        chunk_info_[i].used = used;
+        chunk_info_[i].reserved.assign(BitmapWords(slots), 0);
+        if (used < slots) {
+          partial_chunks_[cls].push_back(i);
+        }
+        reserved += kChunkSize;
+        allocated += used * ClassSize(cls);
+        ++i;
+        break;
+      }
+      case ChunkState::kSpanStart: {
+        const uint64_t n = h->span_chunks;
+        if (n == 0 || i + n > num_chunks_) {
+          return Status::Corruption("span exceeds region");
+        }
+        reserved += n * kChunkSize;
+        allocated += h->span_bytes;
+        i += n;
+        break;
+      }
+      case ChunkState::kSpanCont:
+        // Orphaned continuation: the crash hit between persisting the
+        // continuation headers and the span-start header. The allocation
+        // never completed, so reclaim the chunk.
+        h->state = static_cast<uint64_t>(ChunkState::kFree);
+        pool_->Persist(&h->state, sizeof(h->state));
+        free_chunks_.push_back(i);
+        ++i;
+        break;
+      default:
+        return Status::Corruption("unknown chunk state");
+    }
+  }
+  std::sort(free_chunks_.begin(), free_chunks_.end());
+  bytes_reserved_.store(reserved, std::memory_order_relaxed);
+  bytes_allocated_.store(allocated, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Allocator::ChunkHeader* Allocator::HeaderOf(uint64_t chunk_index) {
+  return static_cast<ChunkHeader*>(pool_->At(ChunkOffset(chunk_index)));
+}
+const Allocator::ChunkHeader* Allocator::HeaderOf(uint64_t chunk_index) const {
+  return static_cast<const ChunkHeader*>(pool_->At(ChunkOffset(chunk_index)));
+}
+
+Result<uint64_t> Allocator::ClaimSlabChunkLocked(int size_class) {
+  if (free_chunks_.empty()) {
+    return Status::OutOfMemory("no free chunks");
+  }
+  const uint64_t idx = free_chunks_.back();
+  free_chunks_.pop_back();
+
+  ChunkHeader* h = HeaderOf(idx);
+  const uint64_t slots = SlotsPerChunk(size_class);
+  const uint64_t words = BitmapWords(slots);
+  std::memset(h->bitmap, 0, words * sizeof(uint64_t));
+  pool_->Flush(h->bitmap, words * sizeof(uint64_t));
+  h->size_class = static_cast<uint64_t>(size_class);
+  pool_->Flush(&h->size_class, sizeof(h->size_class));
+  pool_->Drain();
+  // State flips to kSlab only after class + bitmap are durable, so a crash
+  // can never expose a slab with a stale bitmap.
+  h->state = static_cast<uint64_t>(ChunkState::kSlab);
+  pool_->Persist(&h->state, sizeof(h->state));
+
+  chunk_info_[idx].used = 0;
+  chunk_info_[idx].reserved.assign(words, 0);
+  bytes_reserved_.fetch_add(kChunkSize, std::memory_order_relaxed);
+  return idx;
+}
+
+Result<Reservation> Allocator::PrepareFromClass(int size_class, uint64_t size) {
+  std::lock_guard<std::mutex> guard(class_mu_[size_class]);
+  auto& partials = partial_chunks_[size_class];
+
+  if (partials.empty()) {
+    std::lock_guard<std::mutex> cguard(chunks_mu_);
+    Result<uint64_t> claimed = ClaimSlabChunkLocked(size_class);
+    if (!claimed.ok()) {
+      return claimed.status();
+    }
+    partials.push_back(*claimed);
+  }
+
+  const uint64_t idx = partials.back();
+  ChunkHeader* h = HeaderOf(idx);
+  ChunkInfo& info = chunk_info_[idx];
+  const uint64_t slots = SlotsPerChunk(size_class);
+  const uint64_t words = BitmapWords(slots);
+  if (info.reserved.size() != words) {
+    info.reserved.assign(words, 0);
+  }
+
+  for (uint64_t w = 0; w < words; ++w) {
+    const uint64_t occupied = h->bitmap[w] | info.reserved[w];
+    if (occupied == ~0ull) {
+      continue;
+    }
+    const int bit = __builtin_ctzll(~occupied);
+    const uint64_t slot = w * 64 + static_cast<uint64_t>(bit);
+    if (slot >= slots) {
+      break;  // Trailing bits past the last slot.
+    }
+    info.reserved[w] |= (1ull << bit);  // Volatile only — nothing persisted.
+    if (++info.used == slots) {
+      partials.pop_back();
+    }
+    bytes_allocated_.fetch_add(ClassSize(size_class), std::memory_order_relaxed);
+    Reservation r;
+    r.offset = ChunkDataOffset(idx) + slot * ClassSize(size_class);
+    r.size = size;
+    r.size_class = size_class;
+    r.chunk_index = idx;
+    r.slot = slot;
+    return r;
+  }
+  return Status::Internal("partial-chunk index out of sync with bitmap");
+}
+
+Result<Reservation> Allocator::PrepareSpanLocked(uint64_t span_chunks, uint64_t size) {
+  // free_chunks_ is kept sorted; find a run of `span_chunks` consecutive
+  // indexes.
+  uint64_t run_start = 0;
+  uint64_t run_len = 0;
+  size_t run_begin_pos = 0;
+  for (size_t pos = 0; pos < free_chunks_.size(); ++pos) {
+    if (run_len == 0 || free_chunks_[pos] != run_start + run_len) {
+      run_start = free_chunks_[pos];
+      run_len = 1;
+      run_begin_pos = pos;
+    } else {
+      ++run_len;
+    }
+    if (run_len == span_chunks) {
+      // Volatile reservation: just take the chunks off the free list.
+      free_chunks_.erase(free_chunks_.begin() + static_cast<ptrdiff_t>(run_begin_pos),
+                         free_chunks_.begin() + static_cast<ptrdiff_t>(run_begin_pos) +
+                             static_cast<ptrdiff_t>(span_chunks));
+      bytes_reserved_.fetch_add(span_chunks * kChunkSize, std::memory_order_relaxed);
+      bytes_allocated_.fetch_add(size, std::memory_order_relaxed);
+      Reservation r;
+      r.offset = ChunkDataOffset(run_start);
+      r.size = size;
+      r.size_class = -1;
+      r.chunk_index = run_start;
+      r.span_chunks = span_chunks;
+      return r;
+    }
+  }
+  return Status::OutOfMemory("no contiguous chunk run for span");
+}
+
+Result<Reservation> Allocator::PrepareAlloc(uint64_t size) {
+  alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) {
+    size = 1;
+  }
+  const int cls = SizeClassFor(size);
+  if (cls >= 0) {
+    return PrepareFromClass(cls, size);
+  }
+  const uint64_t span_chunks = (kChunkHeaderSize + size + kChunkSize - 1) / kChunkSize;
+  std::lock_guard<std::mutex> guard(chunks_mu_);
+  return PrepareSpanLocked(span_chunks, size);
+}
+
+void Allocator::CommitAlloc(const Reservation& resv) {
+  if (resv.size_class >= 0) {
+    std::lock_guard<std::mutex> guard(class_mu_[resv.size_class]);
+    ChunkHeader* h = HeaderOf(resv.chunk_index);
+    ChunkInfo& info = chunk_info_[resv.chunk_index];
+    const uint64_t mask = 1ull << (resv.slot % 64);
+    h->bitmap[resv.slot / 64] |= mask;
+    pool_->Persist(&h->bitmap[resv.slot / 64], sizeof(uint64_t));
+    info.reserved[resv.slot / 64] &= ~mask;
+    return;
+  }
+  // Span: persist continuation headers first, the span-start header last. An
+  // orphaned continuation is reclaimed at Attach(); an orphaned start would
+  // leak the whole span.
+  std::lock_guard<std::mutex> guard(chunks_mu_);
+  for (uint64_t j = 1; j < resv.span_chunks; ++j) {
+    ChunkHeader* h = HeaderOf(resv.chunk_index + j);
+    h->state = static_cast<uint64_t>(ChunkState::kSpanCont);
+    pool_->Flush(&h->state, sizeof(h->state));
+  }
+  pool_->Drain();
+  ChunkHeader* start = HeaderOf(resv.chunk_index);
+  start->span_chunks = resv.span_chunks;
+  start->span_bytes = resv.size;
+  pool_->Flush(&start->span_chunks, sizeof(uint64_t) * 2);
+  pool_->Drain();
+  start->state = static_cast<uint64_t>(ChunkState::kSpanStart);
+  pool_->Persist(&start->state, sizeof(start->state));
+}
+
+void Allocator::CancelAlloc(const Reservation& resv) {
+  if (resv.size_class >= 0) {
+    std::lock_guard<std::mutex> guard(class_mu_[resv.size_class]);
+    ChunkInfo& info = chunk_info_[resv.chunk_index];
+    const uint64_t mask = 1ull << (resv.slot % 64);
+    info.reserved[resv.slot / 64] &= ~mask;
+    const uint64_t slots = SlotsPerChunk(resv.size_class);
+    if (info.used == slots) {
+      partial_chunks_[resv.size_class].push_back(resv.chunk_index);
+    }
+    --info.used;
+    bytes_allocated_.fetch_sub(ClassSize(resv.size_class), std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> guard(chunks_mu_);
+  for (uint64_t j = 0; j < resv.span_chunks; ++j) {
+    free_chunks_.push_back(resv.chunk_index + j);
+  }
+  std::sort(free_chunks_.begin(), free_chunks_.end());
+  bytes_reserved_.fetch_sub(resv.span_chunks * kChunkSize, std::memory_order_relaxed);
+  bytes_allocated_.fetch_sub(resv.size, std::memory_order_relaxed);
+}
+
+Result<uint64_t> Allocator::AllocRaw(uint64_t size) {
+  Result<Reservation> resv = PrepareAlloc(size);
+  if (!resv.ok()) {
+    return resv.status();
+  }
+  CommitAlloc(*resv);
+  return resv->offset;
+}
+
+void Allocator::ReclaimChunkIfEmptyLocked(int cls, uint64_t chunk_index) {
+  ChunkInfo& info = chunk_info_[chunk_index];
+  if (info.used != 0) {
+    return;
+  }
+  auto& partials = partial_chunks_[cls];
+  // Hysteresis: keep one (empty) chunk cached per class. Alloc/free cycles at
+  // a class boundary would otherwise reformat a chunk's bitmap on every
+  // allocation (a 2 KiB flush), which is exactly the kind of critical-path
+  // persistence churn this library exists to avoid.
+  if (partials.size() <= 1) {
+    return;
+  }
+  partials.erase(std::remove(partials.begin(), partials.end(), chunk_index), partials.end());
+  ChunkHeader* h = HeaderOf(chunk_index);
+  h->state = static_cast<uint64_t>(ChunkState::kFree);
+  pool_->Persist(&h->state, sizeof(h->state));
+  std::lock_guard<std::mutex> cguard(chunks_mu_);
+  free_chunks_.push_back(chunk_index);
+  std::sort(free_chunks_.begin(), free_chunks_.end());
+  bytes_reserved_.fetch_sub(kChunkSize, std::memory_order_relaxed);
+}
+
+Status Allocator::FreeSlabSlotLocked(int cls, uint64_t chunk_index, uint64_t slot,
+                                     bool keep_reserved) {
+  ChunkHeader* h = HeaderOf(chunk_index);
+  ChunkInfo& info = chunk_info_[chunk_index];
+  const uint64_t slots = SlotsPerChunk(cls);
+  const uint64_t words = BitmapWords(slots);
+  if (info.reserved.size() != words) {
+    info.reserved.assign(words, 0);
+  }
+  const uint64_t mask = 1ull << (slot % 64);
+  uint64_t& word = h->bitmap[slot / 64];
+  if ((word & mask) == 0) {
+    return Status::Ok();  // Idempotent re-free (recovery path).
+  }
+  const bool was_full = (info.used == slots);
+  word &= ~mask;
+  pool_->Persist(&word, sizeof(word));
+  bytes_allocated_.fetch_sub(ClassSize(cls), std::memory_order_relaxed);
+
+  if (keep_reserved) {
+    info.reserved[slot / 64] |= mask;  // Slot unavailable until released.
+    return Status::Ok();
+  }
+  --info.used;
+  if (was_full) {
+    partial_chunks_[cls].push_back(chunk_index);
+  }
+  ReclaimChunkIfEmptyLocked(cls, chunk_index);
+  return Status::Ok();
+}
+
+Status Allocator::FreeRaw(uint64_t offset) {
+  free_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (offset < first_chunk_offset_ ||
+      offset >= first_chunk_offset_ + num_chunks_ * kChunkSize) {
+    return Status::InvalidArgument("offset outside allocator region");
+  }
+  const uint64_t idx = (offset - first_chunk_offset_) / kChunkSize;
+  ChunkHeader* h = HeaderOf(idx);
+
+  switch (static_cast<ChunkState>(h->state)) {
+    case ChunkState::kSlab: {
+      const int cls = static_cast<int>(h->size_class);
+      const uint64_t data_off = ChunkDataOffset(idx);
+      if (offset < data_off || (offset - data_off) % ClassSize(cls) != 0) {
+        return Status::InvalidArgument("offset not an allocation start");
+      }
+      const uint64_t slot = (offset - data_off) / ClassSize(cls);
+      if (slot >= SlotsPerChunk(cls)) {
+        return Status::InvalidArgument("slot out of range");
+      }
+      std::lock_guard<std::mutex> guard(class_mu_[cls]);
+      return FreeSlabSlotLocked(cls, idx, slot, /*keep_reserved=*/false);
+    }
+    case ChunkState::kSpanStart: {
+      if (offset != ChunkDataOffset(idx)) {
+        return Status::InvalidArgument("offset not a span payload start");
+      }
+      std::lock_guard<std::mutex> guard(chunks_mu_);
+      const uint64_t n = h->span_chunks;
+      bytes_allocated_.fetch_sub(h->span_bytes, std::memory_order_relaxed);
+      // Invalidate the start header first so a crash mid-free cannot leave a
+      // span whose continuations are already free.
+      h->state = static_cast<uint64_t>(ChunkState::kFree);
+      pool_->Persist(&h->state, sizeof(h->state));
+      free_chunks_.push_back(idx);
+      for (uint64_t j = 1; j < n; ++j) {
+        ChunkHeader* c = HeaderOf(idx + j);
+        c->state = static_cast<uint64_t>(ChunkState::kFree);
+        pool_->Flush(&c->state, sizeof(c->state));
+        free_chunks_.push_back(idx + j);
+      }
+      pool_->Drain();
+      std::sort(free_chunks_.begin(), free_chunks_.end());
+      bytes_reserved_.fetch_sub(n * kChunkSize, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    case ChunkState::kFree:
+    case ChunkState::kSpanCont:
+      return Status::Ok();  // Idempotent.
+  }
+  return Status::Corruption("unknown chunk state in FreeRaw");
+}
+
+Status Allocator::ForceAllocAt(uint64_t offset, uint64_t size) {
+  if (size == 0) {
+    size = 1;
+  }
+  if (offset < first_chunk_offset_ ||
+      offset >= first_chunk_offset_ + num_chunks_ * kChunkSize) {
+    return Status::InvalidArgument("offset outside allocator region");
+  }
+  const uint64_t idx = (offset - first_chunk_offset_) / kChunkSize;
+  const int cls = SizeClassFor(size);
+
+  if (cls < 0) {
+    // Span. Either the identical span already exists, or the chunks are free
+    // and we claim them.
+    const uint64_t span_chunks = (kChunkHeaderSize + size + kChunkSize - 1) / kChunkSize;
+    if (offset != ChunkDataOffset(idx)) {
+      return Status::InvalidArgument("span offset not at a chunk payload start");
+    }
+    std::lock_guard<std::mutex> guard(chunks_mu_);
+    ChunkHeader* start = HeaderOf(idx);
+    if (static_cast<ChunkState>(start->state) == ChunkState::kSpanStart &&
+        start->span_chunks == span_chunks) {
+      return Status::Ok();  // Already allocated.
+    }
+    for (uint64_t j = 0; j < span_chunks; ++j) {
+      if (static_cast<ChunkState>(HeaderOf(idx + j)->state) != ChunkState::kFree) {
+        return Status::Internal("span chunks not reclaimable for ForceAllocAt");
+      }
+    }
+    for (uint64_t j = 1; j < span_chunks; ++j) {
+      ChunkHeader* h = HeaderOf(idx + j);
+      h->state = static_cast<uint64_t>(ChunkState::kSpanCont);
+      pool_->Flush(&h->state, sizeof(h->state));
+    }
+    pool_->Drain();
+    start->span_chunks = span_chunks;
+    start->span_bytes = size;
+    pool_->Flush(&start->span_chunks, sizeof(uint64_t) * 2);
+    pool_->Drain();
+    start->state = static_cast<uint64_t>(ChunkState::kSpanStart);
+    pool_->Persist(&start->state, sizeof(start->state));
+    for (uint64_t j = 0; j < span_chunks; ++j) {
+      free_chunks_.erase(std::remove(free_chunks_.begin(), free_chunks_.end(), idx + j),
+                         free_chunks_.end());
+    }
+    bytes_reserved_.fetch_add(span_chunks * kChunkSize, std::memory_order_relaxed);
+    bytes_allocated_.fetch_add(size, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  std::lock_guard<std::mutex> guard(class_mu_[cls]);
+  ChunkHeader* h = HeaderOf(idx);
+  bool fresh_chunk = false;
+  if (static_cast<ChunkState>(h->state) == ChunkState::kFree) {
+    std::lock_guard<std::mutex> cguard(chunks_mu_);
+    auto it = std::find(free_chunks_.begin(), free_chunks_.end(), idx);
+    if (it == free_chunks_.end()) {
+      return Status::Internal("free chunk missing from free list");
+    }
+    free_chunks_.erase(it);
+    const uint64_t slots = SlotsPerChunk(cls);
+    const uint64_t words = (slots + 63) / 64;
+    std::memset(h->bitmap, 0, words * sizeof(uint64_t));
+    pool_->Flush(h->bitmap, words * sizeof(uint64_t));
+    h->size_class = static_cast<uint64_t>(cls);
+    pool_->Flush(&h->size_class, sizeof(h->size_class));
+    pool_->Drain();
+    h->state = static_cast<uint64_t>(ChunkState::kSlab);
+    pool_->Persist(&h->state, sizeof(h->state));
+    chunk_info_[idx].used = 0;
+    chunk_info_[idx].reserved.assign(words, 0);
+    bytes_reserved_.fetch_add(kChunkSize, std::memory_order_relaxed);
+    fresh_chunk = true;
+  }
+  if (static_cast<ChunkState>(h->state) != ChunkState::kSlab ||
+      static_cast<int>(h->size_class) != cls) {
+    return Status::Internal("chunk incompatible with forced allocation");
+  }
+  const uint64_t data_off = ChunkDataOffset(idx);
+  if (offset < data_off || (offset - data_off) % ClassSize(cls) != 0) {
+    return Status::InvalidArgument("offset not a slot start for its class");
+  }
+  const uint64_t slot = (offset - data_off) / ClassSize(cls);
+  const uint64_t slots = SlotsPerChunk(cls);
+  if (slot >= slots) {
+    return Status::InvalidArgument("slot out of range");
+  }
+  const uint64_t mask = 1ull << (slot % 64);
+  ChunkInfo& info = chunk_info_[idx];
+  if ((h->bitmap[slot / 64] & mask) == 0) {
+    const bool was_full = (info.used == slots);
+    h->bitmap[slot / 64] |= mask;
+    pool_->Persist(&h->bitmap[slot / 64], sizeof(uint64_t));
+    ++info.used;
+    bytes_allocated_.fetch_add(ClassSize(cls), std::memory_order_relaxed);
+    auto& partials = partial_chunks_[cls];
+    if (info.used == slots && !was_full) {
+      partials.erase(std::remove(partials.begin(), partials.end(), idx), partials.end());
+    }
+  }
+  if (fresh_chunk && info.used < slots) {
+    partial_chunks_[cls].push_back(idx);
+  }
+  return Status::Ok();
+}
+
+Status Allocator::FreeRawKeepReserved(uint64_t offset) {
+  free_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (offset < first_chunk_offset_ ||
+      offset >= first_chunk_offset_ + num_chunks_ * kChunkSize) {
+    return Status::InvalidArgument("offset outside allocator region");
+  }
+  const uint64_t idx = (offset - first_chunk_offset_) / kChunkSize;
+  ChunkHeader* h = HeaderOf(idx);
+
+  switch (static_cast<ChunkState>(h->state)) {
+    case ChunkState::kSlab: {
+      const int cls = static_cast<int>(h->size_class);
+      const uint64_t data_off = ChunkDataOffset(idx);
+      if (offset < data_off || (offset - data_off) % ClassSize(cls) != 0) {
+        return Status::InvalidArgument("offset not an allocation start");
+      }
+      const uint64_t slot = (offset - data_off) / ClassSize(cls);
+      if (slot >= SlotsPerChunk(cls)) {
+        return Status::InvalidArgument("slot out of range");
+      }
+      std::lock_guard<std::mutex> guard(class_mu_[cls]);
+      return FreeSlabSlotLocked(cls, idx, slot, /*keep_reserved=*/true);
+    }
+    case ChunkState::kSpanStart: {
+      if (offset != ChunkDataOffset(idx)) {
+        return Status::InvalidArgument("offset not a span payload start");
+      }
+      std::lock_guard<std::mutex> guard(chunks_mu_);
+      const uint64_t n = h->span_chunks;
+      bytes_allocated_.fetch_sub(h->span_bytes, std::memory_order_relaxed);
+      chunk_info_[idx].reserved_span_chunks = n;  // For ReleaseReservation.
+      h->state = static_cast<uint64_t>(ChunkState::kFree);
+      pool_->Persist(&h->state, sizeof(h->state));
+      for (uint64_t j = 1; j < n; ++j) {
+        ChunkHeader* c = HeaderOf(idx + j);
+        c->state = static_cast<uint64_t>(ChunkState::kFree);
+        pool_->Flush(&c->state, sizeof(c->state));
+      }
+      pool_->Drain();
+      // Chunks intentionally NOT returned to free_chunks_ yet.
+      return Status::Ok();
+    }
+    case ChunkState::kFree:
+    case ChunkState::kSpanCont:
+      return Status::Ok();
+  }
+  return Status::Corruption("unknown chunk state in FreeRawKeepReserved");
+}
+
+void Allocator::ReleaseReservation(uint64_t offset) {
+  if (offset < first_chunk_offset_ ||
+      offset >= first_chunk_offset_ + num_chunks_ * kChunkSize) {
+    return;
+  }
+  const uint64_t idx = (offset - first_chunk_offset_) / kChunkSize;
+  ChunkHeader* h = HeaderOf(idx);
+
+  // Two-phase span free left the start chunk marked kFree with a volatile
+  // note of the span length.
+  {
+    std::lock_guard<std::mutex> guard(chunks_mu_);
+    ChunkInfo& info = chunk_info_[idx];
+    if (info.reserved_span_chunks != 0 && offset == ChunkDataOffset(idx)) {
+      const uint64_t n = info.reserved_span_chunks;
+      info.reserved_span_chunks = 0;
+      for (uint64_t j = 0; j < n; ++j) {
+        free_chunks_.push_back(idx + j);
+      }
+      std::sort(free_chunks_.begin(), free_chunks_.end());
+      bytes_reserved_.fetch_sub(n * kChunkSize, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  if (static_cast<ChunkState>(h->state) != ChunkState::kSlab) {
+    return;
+  }
+  const int cls = static_cast<int>(h->size_class);
+  const uint64_t data_off = ChunkDataOffset(idx);
+  if (offset < data_off || (offset - data_off) % ClassSize(cls) != 0) {
+    return;
+  }
+  const uint64_t slot = (offset - data_off) / ClassSize(cls);
+  const uint64_t slots = SlotsPerChunk(cls);
+  if (slot >= slots) {
+    return;
+  }
+  std::lock_guard<std::mutex> guard(class_mu_[cls]);
+  ChunkInfo& info = chunk_info_[idx];
+  const uint64_t mask = 1ull << (slot % 64);
+  if (info.reserved.size() <= slot / 64 || (info.reserved[slot / 64] & mask) == 0) {
+    return;  // Not a held reservation.
+  }
+  info.reserved[slot / 64] &= ~mask;
+  const bool was_full = (info.used == slots);
+  --info.used;
+  if (was_full) {
+    partial_chunks_[cls].push_back(idx);
+  }
+  ReclaimChunkIfEmptyLocked(cls, idx);
+}
+
+uint64_t Allocator::UsableSize(uint64_t offset) const {
+  if (offset < first_chunk_offset_ ||
+      offset >= first_chunk_offset_ + num_chunks_ * kChunkSize) {
+    return 0;
+  }
+  const uint64_t idx = (offset - first_chunk_offset_) / kChunkSize;
+  const ChunkHeader* h = HeaderOf(idx);
+  switch (static_cast<ChunkState>(h->state)) {
+    case ChunkState::kSlab: {
+      const int cls = static_cast<int>(h->size_class);
+      const uint64_t data_off = ChunkDataOffset(idx);
+      if (offset < data_off || (offset - data_off) % ClassSize(cls) != 0) {
+        return 0;
+      }
+      const uint64_t slot = (offset - data_off) / ClassSize(cls);
+      if (slot >= SlotsPerChunk(cls)) {
+        return 0;
+      }
+      if ((h->bitmap[slot / 64] & (1ull << (slot % 64))) == 0) {
+        return 0;
+      }
+      return ClassSize(cls);
+    }
+    case ChunkState::kSpanStart:
+      if (offset == ChunkDataOffset(idx)) {
+        return h->span_bytes;
+      }
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+bool Allocator::IsAllocated(uint64_t offset) const { return UsableSize(offset) != 0; }
+
+void Allocator::ForEachAllocation(const std::function<void(uint64_t, uint64_t)>& fn) const {
+  uint64_t i = 0;
+  while (i < num_chunks_) {
+    const ChunkHeader* h = HeaderOf(i);
+    switch (static_cast<ChunkState>(h->state)) {
+      case ChunkState::kSlab: {
+        const int cls = static_cast<int>(h->size_class);
+        const uint64_t slots = SlotsPerChunk(cls);
+        for (uint64_t slot = 0; slot < slots; ++slot) {
+          if ((h->bitmap[slot / 64] >> (slot % 64)) & 1) {
+            fn(ChunkDataOffset(i) + slot * ClassSize(cls), ClassSize(cls));
+          }
+        }
+        ++i;
+        break;
+      }
+      case ChunkState::kSpanStart:
+        fn(ChunkDataOffset(i), h->span_bytes);
+        i += h->span_chunks;
+        break;
+      default:
+        ++i;
+        break;
+    }
+  }
+}
+
+AllocatorStats Allocator::stats() const {
+  AllocatorStats s;
+  s.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
+  s.bytes_reserved = bytes_reserved_.load(std::memory_order_relaxed);
+  s.capacity = num_chunks_ * (kChunkSize - kChunkHeaderSize);
+  s.alloc_calls = alloc_calls_.load(std::memory_order_relaxed);
+  s.free_calls = free_calls_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace kamino::alloc

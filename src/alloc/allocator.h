@@ -1,0 +1,217 @@
+// Crash-consistent persistent-memory allocator.
+//
+// Kamino-Tx (paper §6.1) treats allocation and deallocation as operations the
+// Log Manager is told about: engines record an allocation intent *before* any
+// persistent allocator metadata changes, and recovery rolls incomplete
+// transactions' allocations back. To make that ordering possible without a
+// leak window, allocation is two-phase:
+//
+//   PrepareAlloc(size)  -> picks a slot and reserves it *volatilely* (no
+//                          persistent store at all);
+//   <engine persists the allocation intent record>
+//   CommitAlloc(resv)   -> sets + persists the bitmap bit (or span headers).
+//
+// A crash before CommitAlloc leaves no persistent trace (nothing to leak); a
+// crash after leaves a durable intent record, and recovery calls the
+// idempotent FreeRaw. Deallocation inside a transaction is symmetric and
+// two-phase in the other direction: FreeRawKeepReserved clears the persistent
+// bit but keeps the slot volatilely reserved so no concurrent transaction can
+// reuse it until the freeing transaction is fully resolved
+// (ReleaseReservation).
+//
+// Layout: the region is divided into 1 MiB chunks. A chunk is free, a slab
+// dedicated to one size class (with a persistent allocation bitmap in its
+// header), or part of a multi-chunk span for large allocations. Bitmap
+// updates are single aligned 8-byte stores + persist — failure-atomic. All
+// free lists are volatile and rebuilt by scanning chunk headers at Open().
+
+#ifndef SRC_ALLOC_ALLOCATOR_H_
+#define SRC_ALLOC_ALLOCATOR_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/nvm/pool.h"
+
+namespace kamino::alloc {
+
+// Size classes: powers of two from 64 B to 64 KiB. Requests above the largest
+// class are served from multi-chunk spans.
+inline constexpr uint64_t kMinClassSize = 64;
+inline constexpr uint64_t kMaxClassSize = 64 * 1024;
+inline constexpr int kNumSizeClasses = 11;  // 64,128,...,65536.
+
+inline constexpr uint64_t kChunkSize = 1ull << 20;  // 1 MiB.
+inline constexpr uint64_t kChunkHeaderSize = 4096;  // Header + bitmap.
+
+struct AllocatorStats {
+  uint64_t bytes_allocated = 0;  // Live payload bytes (rounded to class size).
+  uint64_t bytes_reserved = 0;   // Chunk bytes claimed from the region.
+  uint64_t capacity = 0;         // Total data bytes the region can serve.
+  uint64_t alloc_calls = 0;
+  uint64_t free_calls = 0;
+};
+
+// Returned by PrepareAlloc; opaque to callers apart from `offset`/`size`.
+struct Reservation {
+  uint64_t offset = 0;      // Payload pool offset.
+  uint64_t size = 0;        // Requested size.
+  int size_class = -1;      // -1 => span allocation.
+  uint64_t chunk_index = 0;
+  uint64_t slot = 0;        // Slab slot index.
+  uint64_t span_chunks = 0; // Span length in chunks.
+};
+
+class Allocator {
+ public:
+  // Formats [region_offset, region_offset + region_size) of `pool` as a fresh
+  // allocator region.
+  static Result<std::unique_ptr<Allocator>> Create(nvm::Pool* pool, uint64_t region_offset,
+                                                   uint64_t region_size);
+
+  // Reattaches to an existing region, rebuilding volatile free lists from the
+  // persistent chunk headers (recovery path).
+  static Result<std::unique_ptr<Allocator>> Open(nvm::Pool* pool, uint64_t region_offset);
+
+  // --- Two-phase allocation (transactional path) ---
+  Result<Reservation> PrepareAlloc(uint64_t size);
+  void CommitAlloc(const Reservation& resv);
+  void CancelAlloc(const Reservation& resv);
+
+  // --- One-shot allocation (Prepare + Commit), for non-transactional use ---
+  Result<uint64_t> AllocRaw(uint64_t size);
+
+  // Immediately frees an allocation. Idempotent: freeing an offset whose bit
+  // is already clear is a no-op (recovery may re-free).
+  Status FreeRaw(uint64_t offset);
+
+  // Recovery-only: forces the allocation at `offset` (of `size` bytes) to
+  // exist, claiming the containing chunk(s) if necessary. Idempotent. Used
+  // by chain-replica roll-forward, where a peer's committed allocation must
+  // be reproduced locally (replica heaps are deterministic, so the offset is
+  // valid here too). Fails if the offset's chunk is already dedicated to an
+  // incompatible size class.
+  Status ForceAllocAt(uint64_t offset, uint64_t size);
+
+  // --- Two-phase free (transactional path) ---
+  // Clears the persistent allocation but keeps the slot volatilely reserved.
+  Status FreeRawKeepReserved(uint64_t offset);
+  // Makes a kept-reserved slot allocatable again.
+  void ReleaseReservation(uint64_t offset);
+
+  // Returns the usable size of the allocation at `offset` (its class size, or
+  // span payload size), or 0 if the offset is not a live allocation start.
+  uint64_t UsableSize(uint64_t offset) const;
+
+  // True iff `offset` is the start of a live (persistent) allocation.
+  bool IsAllocated(uint64_t offset) const;
+
+  // Invokes `fn(offset, size)` for every live allocation. Not synchronized
+  // against concurrent mutation — recovery/diagnostic use only.
+  void ForEachAllocation(const std::function<void(uint64_t, uint64_t)>& fn) const;
+
+  AllocatorStats stats() const;
+
+  uint64_t region_offset() const { return region_offset_; }
+  uint64_t region_size() const { return region_size_; }
+
+  // Size class lookup helpers (exposed for tests).
+  static int SizeClassFor(uint64_t size);
+  static uint64_t ClassSize(int size_class) { return kMinClassSize << size_class; }
+
+ private:
+  enum class ChunkState : uint64_t {
+    kFree = 0,
+    kSlab = 1,
+    kSpanStart = 2,
+    kSpanCont = 3,
+  };
+
+  // Persistent, at the start of every chunk. The bitmap lives directly after
+  // the fixed fields.
+  struct ChunkHeader {
+    uint64_t state;        // ChunkState.
+    uint64_t size_class;   // Valid for kSlab.
+    uint64_t span_chunks;  // Valid for kSpanStart.
+    uint64_t span_bytes;   // Payload bytes, valid for kSpanStart.
+    uint64_t bitmap[1];    // Allocation bitmap (kSlab only); flexible-array idiom.
+  };
+
+  struct Superblock {
+    uint64_t magic;
+    uint64_t version;
+    uint64_t region_size;
+    uint64_t num_chunks;
+    uint64_t first_chunk_offset;
+    uint64_t checksum;
+  };
+
+  static constexpr uint64_t kMagic = 0x4B414D414C4C4F43ull;  // "KAMALLOC"
+
+  Allocator(nvm::Pool* pool, uint64_t region_offset);
+
+  Status Format(uint64_t region_size);
+  Status Attach();
+
+  ChunkHeader* HeaderOf(uint64_t chunk_index);
+  const ChunkHeader* HeaderOf(uint64_t chunk_index) const;
+  uint64_t ChunkOffset(uint64_t chunk_index) const {
+    return first_chunk_offset_ + chunk_index * kChunkSize;
+  }
+  uint64_t ChunkDataOffset(uint64_t chunk_index) const {
+    return ChunkOffset(chunk_index) + kChunkHeaderSize;
+  }
+  static uint64_t SlotsPerChunk(int size_class) {
+    return (kChunkSize - kChunkHeaderSize) / ClassSize(size_class);
+  }
+
+  // Caller must hold chunks_mu_.
+  Result<uint64_t> ClaimSlabChunkLocked(int size_class);
+  Result<Reservation> PrepareSpanLocked(uint64_t span_chunks, uint64_t size);
+
+  Result<Reservation> PrepareFromClass(int size_class, uint64_t size);
+  // Common slab-free core. Caller must hold class_mu_[cls]. If
+  // `keep_reserved`, the slot stays volatilely reserved.
+  Status FreeSlabSlotLocked(int cls, uint64_t chunk_index, uint64_t slot, bool keep_reserved);
+  void ReclaimChunkIfEmptyLocked(int cls, uint64_t chunk_index);
+
+  nvm::Pool* pool_;
+  uint64_t region_offset_ = 0;
+  uint64_t region_size_ = 0;
+  uint64_t num_chunks_ = 0;
+  uint64_t first_chunk_offset_ = 0;
+
+  // Volatile caches, rebuilt on Open(). `used` counts committed + reserved
+  // slots; `reserved` shadows the persistent bitmap for in-flight
+  // reservations. Guarded by the owning size class's lock for slabs, by
+  // chunks_mu_ for span fields.
+  struct ChunkInfo {
+    uint64_t used = 0;
+    std::vector<uint64_t> reserved;       // Lazily sized bitmap.
+    uint64_t reserved_span_chunks = 0;    // Two-phase span free bookkeeping.
+  };
+  std::vector<ChunkInfo> chunk_info_;
+
+  // Per-class lists of chunk indexes with at least one free slot.
+  std::array<std::vector<uint64_t>, kNumSizeClasses> partial_chunks_;
+  std::array<std::mutex, kNumSizeClasses> class_mu_;
+
+  // Free-chunk bookkeeping (indexes of kFree chunks), kept sorted.
+  std::vector<uint64_t> free_chunks_;
+  std::mutex chunks_mu_;
+
+  std::atomic<uint64_t> bytes_allocated_{0};
+  std::atomic<uint64_t> bytes_reserved_{0};
+  std::atomic<uint64_t> alloc_calls_{0};
+  std::atomic<uint64_t> free_calls_{0};
+};
+
+}  // namespace kamino::alloc
+
+#endif  // SRC_ALLOC_ALLOCATOR_H_

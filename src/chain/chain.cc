@@ -1,0 +1,232 @@
+#include "src/chain/chain.h"
+
+#include <chrono>
+#include <thread>
+
+namespace kamino::chain {
+
+Chain::Chain(const ChainOptions& options) : options_(options) {}
+
+Chain::~Chain() {
+  for (auto& r : replicas_) {
+    r->Stop();
+  }
+}
+
+Result<std::unique_ptr<Chain>> Chain::Create(const ChainOptions& options) {
+  auto chain = std::unique_ptr<Chain>(new Chain(options));
+  Status st = chain->Init();
+  if (!st.ok()) {
+    return st;
+  }
+  return chain;
+}
+
+Status Chain::Init() {
+  net::NetworkOptions nopts;
+  nopts.one_way_latency_us = options_.one_way_latency_us;
+  network_ = std::make_unique<net::Network>(nopts);
+
+  const int count = options_.kamino ? options_.f + 2 : options_.f + 1;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < count; ++i) {
+    ids.push_back(next_node_id_++);
+  }
+  membership_ = std::make_unique<MembershipManager>(ids);
+
+  for (uint64_t id : ids) {
+    ReplicaOptions ropts;
+    ropts.node_id = id;
+    ropts.kamino = options_.kamino;
+    ropts.head_alpha = options_.head_alpha;
+    ropts.pool_size = options_.pool_size;
+    ropts.log_region_size = options_.log_region_size;
+    ropts.flush_latency_ns = options_.flush_latency_ns;
+    ropts.client_timeout_ms = options_.client_timeout_ms;
+    ropts.network = network_.get();
+    ropts.membership = membership_.get();
+    auto replica = std::make_unique<Replica>(ropts);
+    KAMINO_RETURN_IF_ERROR(replica->Init());
+    replicas_.push_back(std::move(replica));
+  }
+  for (auto& r : replicas_) {
+    r->Start();
+  }
+  return Status::Ok();
+}
+
+Replica* Chain::head() {
+  const View v = membership_->current();
+  return replica_by_id(v.head());
+}
+
+Replica* Chain::replica_by_id(uint64_t node_id) {
+  for (auto& r : replicas_) {
+    if (r->node_id() == node_id) {
+      return r.get();
+    }
+  }
+  return nullptr;
+}
+
+uint64_t Chain::total_nvm_bytes() const {
+  const View v = membership_->current();
+  uint64_t total = 0;
+  for (const auto& r : replicas_) {
+    if (v.Contains(r->node_id())) {
+      total += r->nvm_bytes();
+    }
+  }
+  return total;
+}
+
+void Chain::BroadcastView() {
+  const View v = membership_->current();
+  for (auto& r : replicas_) {
+    if (v.Contains(r->node_id())) {
+      r->UpdateView(v);
+    }
+  }
+}
+
+// --- Client API -----------------------------------------------------------------
+
+namespace {
+// Admission happens under the (shared) recovery gate; the wait for the tail
+// acknowledgment happens outside it so recovery can proceed while clients
+// are parked.
+Status WriteThroughGate(std::shared_mutex& gate, Replica* h, Op op) {
+  if (h == nullptr) {
+    return Status::Unavailable("no head");
+  }
+  Replica::WriteTicket ticket;
+  {
+    std::shared_lock<std::shared_mutex> g(gate);
+    ticket = h->AdmitWrite(op);
+  }
+  return h->WaitWrite(ticket);
+}
+}  // namespace
+
+Status Chain::Upsert(uint64_t key, std::string value) {
+  Op op;
+  op.kind = OpKind::kUpsert;
+  op.pairs.push_back({key, std::move(value)});
+  return WriteThroughGate(gate_, head(), std::move(op));
+}
+
+Status Chain::Delete(uint64_t key) {
+  Op op;
+  op.kind = OpKind::kDelete;
+  op.pairs.push_back({key, ""});
+  return WriteThroughGate(gate_, head(), std::move(op));
+}
+
+Status Chain::MultiUpsert(std::vector<KvPair> pairs) {
+  Op op;
+  op.kind = OpKind::kMultiUpsert;
+  op.pairs = std::move(pairs);
+  return WriteThroughGate(gate_, head(), std::move(op));
+}
+
+Result<std::string> Chain::Read(uint64_t key) {
+  std::shared_lock<std::shared_mutex> gate(gate_);
+  Replica* h = head();
+  if (h == nullptr) {
+    return Status::Unavailable("no head");
+  }
+  return h->ClientRead(key);
+}
+
+// --- Failure handling --------------------------------------------------------------
+
+Status Chain::KillReplica(uint64_t node_id) {
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  Replica* victim = replica_by_id(node_id);
+  if (victim == nullptr) {
+    return Status::NotFound("no such replica");
+  }
+  const View before = membership_->current();
+  const bool was_head = before.head() == node_id;
+  const uint64_t pred = before.PredecessorOf(node_id);
+  const uint64_t succ = before.SuccessorOf(node_id);
+
+  victim->CrashStop();
+  membership_->ReportFailure(node_id);
+  BroadcastView();
+
+  if (was_head) {
+    const View now = membership_->current();
+    Replica* new_head = replica_by_id(now.head());
+    if (new_head == nullptr) {
+      return Status::Unavailable("chain empty");
+    }
+    KAMINO_RETURN_IF_ERROR(new_head->PromoteToHead());
+  } else if (pred != 0 && succ != 0) {
+    // Middle failure: the successor pulls anything the dead node swallowed
+    // out of the predecessor's in-flight queue.
+    Replica* s = replica_by_id(succ);
+    if (s != nullptr) {
+      KAMINO_RETURN_IF_ERROR(s->RequestReplay(pred));
+    }
+  }
+  // Tail failure: UpdateView already made the new tail re-acknowledge its
+  // progress to the head.
+  return Status::Ok();
+}
+
+Status Chain::RebootReplica(uint64_t node_id) {
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  Replica* victim = replica_by_id(node_id);
+  if (victim == nullptr) {
+    return Status::NotFound("no such replica");
+  }
+  return victim->QuickReboot();
+}
+
+Status Chain::AddReplica() {
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  ReplicaOptions ropts;
+  ropts.node_id = next_node_id_++;
+  ropts.kamino = options_.kamino;
+  ropts.head_alpha = options_.head_alpha;
+  ropts.pool_size = options_.pool_size;
+  ropts.log_region_size = options_.log_region_size;
+  ropts.flush_latency_ns = options_.flush_latency_ns;
+  ropts.client_timeout_ms = options_.client_timeout_ms;
+  ropts.network = network_.get();
+  ropts.membership = membership_.get();
+  auto replica = std::make_unique<Replica>(ropts);
+  membership_->AddTail(ropts.node_id);
+  BroadcastView();
+  Replica* raw = replica.get();
+  replicas_.push_back(std::move(replica));
+  return raw->JoinAsTail();
+}
+
+Status Chain::Quiesce(uint64_t timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const View v = membership_->current();
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool drained = true;
+    for (uint64_t id : v.nodes) {
+      Replica* r = replica_by_id(id);
+      if (r != nullptr && r->alive() && r->in_flight_size() != 0) {
+        drained = false;
+        break;
+      }
+    }
+    if (drained) {
+      Replica* h = replica_by_id(v.head());
+      if (h != nullptr && h->manager() != nullptr) {
+        h->manager()->WaitIdle();
+      }
+      return Status::Ok();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return Status::Unavailable("quiesce timeout");
+}
+
+}  // namespace kamino::chain

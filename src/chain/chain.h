@@ -1,0 +1,86 @@
+// Chain orchestrator: builds a replicated KV chain (traditional chain
+// replication, or Kamino-Tx-Chain per paper §5), exposes the client API, and
+// drives failure injection + repair for tests.
+//
+// Geometry (Table 1): a traditional chain tolerating f failures has f+1
+// replicas, each paying a data copy (undo log) in the critical path;
+// Kamino-Tx-Chain has f+2 replicas performing in-place updates, with a
+// backup only at the head.
+
+#ifndef SRC_CHAIN_CHAIN_H_
+#define SRC_CHAIN_CHAIN_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/chain/membership.h"
+#include "src/chain/replica.h"
+#include "src/net/network.h"
+
+namespace kamino::chain {
+
+struct ChainOptions {
+  bool kamino = true;       // Kamino-Tx-Chain vs traditional chain.
+  int f = 2;                // Failures to tolerate.
+  double head_alpha = 1.0;  // Head backup budget (Kamino only).
+  uint64_t pool_size = 64ull << 20;
+  uint64_t log_region_size = 8ull << 20;
+  uint32_t one_way_latency_us = 10;  // The paper's l_n.
+  uint32_t flush_latency_ns = 0;     // Emulated NVM write-back cost per line.
+  uint64_t client_timeout_ms = 10'000;
+};
+
+class Chain {
+ public:
+  static Result<std::unique_ptr<Chain>> Create(const ChainOptions& options);
+  ~Chain();
+
+  // --- Client API (linearizable; writes commit at the tail) ----------------
+  Status Upsert(uint64_t key, std::string value);
+  Status Delete(uint64_t key);
+  // One atomic multi-object transaction across the chain.
+  Status MultiUpsert(std::vector<KvPair> pairs);
+  Result<std::string> Read(uint64_t key);
+
+  // --- Failure injection / repair ------------------------------------------
+  // Fail-stop `node_id`: removes it from the view; promotes a new head if
+  // needed; re-wires replay around the gap.
+  Status KillReplica(uint64_t node_id);
+  // Quick reboot (paper §5.3). Pass `crash_mid_apply` to make the victim die
+  // in the middle of applying its next operation first.
+  Status RebootReplica(uint64_t node_id);
+  // Repairs the chain back to full strength with a fresh tail.
+  Status AddReplica();
+
+  // Blocks until every admitted operation is committed and cleaned up.
+  Status Quiesce(uint64_t timeout_ms = 10'000);
+
+  // --- Introspection ---------------------------------------------------------
+  size_t num_replicas() const { return replicas_.size(); }
+  Replica* head();
+  Replica* replica_by_id(uint64_t node_id);
+  const View current_view() const { return membership_->current(); }
+  uint64_t total_nvm_bytes() const;
+  net::Network* network() { return network_.get(); }
+
+ private:
+  explicit Chain(const ChainOptions& options);
+
+  Status Init();
+  void BroadcastView();
+
+  ChainOptions options_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<MembershipManager> membership_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  uint64_t next_node_id_ = 1;
+
+  // Writes take this shared; recovery windows take it exclusive so the
+  // neighbour-fetch protocol sees a stable object space (see replica.h).
+  std::shared_mutex gate_;
+};
+
+}  // namespace kamino::chain
+
+#endif  // SRC_CHAIN_CHAIN_H_

@@ -1,0 +1,45 @@
+#include "src/chain/membership.h"
+
+#include <algorithm>
+
+namespace kamino::chain {
+
+MembershipManager::MembershipManager(std::vector<uint64_t> initial_chain) {
+  view_.view_id = 1;
+  view_.nodes = std::move(initial_chain);
+}
+
+View MembershipManager::current() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return view_;
+}
+
+View MembershipManager::ReportFailure(uint64_t node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = std::find(view_.nodes.begin(), view_.nodes.end(), node);
+  if (it != view_.nodes.end()) {
+    view_.nodes.erase(it);
+    ++view_.view_id;
+  }
+  return view_;
+}
+
+View MembershipManager::AddTail(uint64_t node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!view_.Contains(node)) {
+    view_.nodes.push_back(node);
+    ++view_.view_id;
+  }
+  return view_;
+}
+
+Result<View> MembershipManager::RequestRejoin(uint64_t node, uint64_t believed_view_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!view_.Contains(node)) {
+    return Status::NotFound("node no longer a chain member");
+  }
+  (void)believed_view_id;  // Stale views are fine: we return the current one.
+  return view_;
+}
+
+}  // namespace kamino::chain

@@ -1,0 +1,77 @@
+// Membership / view management (the paper's ZooKeeper stand-in, §5.3).
+//
+// Maintains the chain's ordered replica list under a monotonically
+// increasing viewID. Replicas reject messages from older views; a rebooted
+// replica must rejoin through here and learn its (possibly new) predecessor
+// and successor.
+
+#ifndef SRC_CHAIN_MEMBERSHIP_H_
+#define SRC_CHAIN_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace kamino::chain {
+
+struct View {
+  uint64_t view_id = 0;
+  std::vector<uint64_t> nodes;  // Head first, tail last.
+
+  bool Contains(uint64_t node) const {
+    for (uint64_t n : nodes) {
+      if (n == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+  // 0 = none (node is head / tail respectively).
+  uint64_t PredecessorOf(uint64_t node) const {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == node) {
+        return i == 0 ? 0 : nodes[i - 1];
+      }
+    }
+    return 0;
+  }
+  uint64_t SuccessorOf(uint64_t node) const {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == node) {
+        return i + 1 == nodes.size() ? 0 : nodes[i + 1];
+      }
+    }
+    return 0;
+  }
+  uint64_t head() const { return nodes.empty() ? 0 : nodes.front(); }
+  uint64_t tail() const { return nodes.empty() ? 0 : nodes.back(); }
+};
+
+class MembershipManager {
+ public:
+  explicit MembershipManager(std::vector<uint64_t> initial_chain);
+
+  View current() const;
+
+  // Fail-stop: removes `node`, producing a new view. Removing the head
+  // promotes the second replica.
+  View ReportFailure(uint64_t node);
+
+  // A repaired/new replica joins at the tail.
+  View AddTail(uint64_t node);
+
+  // Quick-reboot rejoin (paper §5.3): accepted only if the node is still a
+  // member; returns the current view either way so the caller can follow the
+  // fail-stop path when its slot is gone.
+  Result<View> RequestRejoin(uint64_t node, uint64_t believed_view_id);
+
+ private:
+  mutable std::mutex mu_;
+  View view_;
+};
+
+}  // namespace kamino::chain
+
+#endif  // SRC_CHAIN_MEMBERSHIP_H_

@@ -1,0 +1,1088 @@
+#include "src/chain/replica.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace kamino::chain {
+
+namespace {
+constexpr uint64_t kReceivePollMs = 50;
+constexpr uint64_t kRecoveryTimeoutMs = 5'000;
+}  // namespace
+
+Replica::Replica(const ReplicaOptions& options) : options_(options) {
+  endpoint_ = options_.network->CreateEndpoint(options_.node_id);
+  view_ = options_.membership->current();
+}
+
+Replica::~Replica() { Stop(); }
+
+bool Replica::is_head() const {
+  std::lock_guard<std::mutex> lk(view_mu_);
+  return view_.head() == options_.node_id;
+}
+
+uint64_t Replica::last_applied() const {
+  return applied_watermark_.load(std::memory_order_relaxed);
+}
+
+uint64_t Replica::nvm_bytes() const {
+  uint64_t bytes = pool_ != nullptr ? pool_->size() : 0;
+  if (backup_pool_ != nullptr) {
+    bytes += backup_pool_->size();
+  }
+  return bytes;
+}
+
+size_t Replica::in_flight_size() const {
+  std::lock_guard<std::mutex> lk(inflight_mu_);
+  return in_flight_.size();
+}
+
+txn::TxManagerOptions Replica::MgrOptions(bool head_role) const {
+  txn::TxManagerOptions opts;
+  // Fit the intent log into the configured region (64 slots plus slack).
+  opts.log.num_slots = 64;
+  opts.log.slot_size = (options_.log_region_size / (opts.log.num_slots + 8)) & ~uint64_t{4095};
+  opts.log.max_records = 128;
+  if (!options_.kamino) {
+    opts.engine = txn::EngineType::kUndoLog;
+  } else if (!head_role) {
+    opts.engine = txn::EngineType::kChainReplica;
+  } else if (options_.head_alpha >= 1.0) {
+    opts.engine = txn::EngineType::kKaminoSimple;
+  } else {
+    opts.engine = txn::EngineType::kKaminoDynamic;
+    opts.alpha = options_.head_alpha;
+  }
+  opts.external_backup_pool = backup_pool_.get();
+  return opts;
+}
+
+Status Replica::BuildStore(bool attach, bool run_recovery) {
+  const bool head_role = is_head();
+
+  if (pool_ == nullptr) {
+    nvm::PoolOptions popts;
+    popts.size = options_.pool_size;
+    popts.crash_sim = true;
+    popts.flush_latency_ns = options_.flush_latency_ns;
+    Result<std::unique_ptr<nvm::Pool>> p = nvm::Pool::Create(popts);
+    if (!p.ok()) {
+      return p.status();
+    }
+    pool_ = std::move(*p);
+  }
+  if (head_role && options_.kamino && backup_pool_ == nullptr) {
+    nvm::PoolOptions bopts;
+    bopts.crash_sim = true;
+    bopts.flush_latency_ns = options_.flush_latency_ns;
+    if (options_.head_alpha >= 1.0) {
+      bopts.size = options_.pool_size;
+    } else {
+      const uint64_t budget =
+          static_cast<uint64_t>(options_.head_alpha * static_cast<double>(options_.pool_size));
+      bopts.size = txn::DynamicBackupStore::RequiredPoolSize(budget, 1 << 14);
+    }
+    Result<std::unique_ptr<nvm::Pool>> p = nvm::Pool::Create(bopts);
+    if (!p.ok()) {
+      return p.status();
+    }
+    backup_pool_ = std::move(*p);
+  }
+
+  if (!attach) {
+    Result<std::unique_ptr<heap::Heap>> h =
+        heap::Heap::CreateOn(pool_.get(), options_.log_region_size);
+    if (!h.ok()) {
+      return h.status();
+    }
+    heap_ = std::move(*h);
+    txn::TxManagerOptions mopts = MgrOptions(head_role);
+    if (mopts.engine == txn::EngineType::kKaminoDynamic) {
+      mopts.dynamic_lookup_buckets = 1 << 14;
+    }
+    Result<std::unique_ptr<txn::TxManager>> m = txn::TxManager::Create(heap_.get(), mopts);
+    if (!m.ok()) {
+      return m.status();
+    }
+    mgr_ = std::move(*m);
+
+    Result<std::unique_ptr<pds::BPlusTree>> t = pds::BPlusTree::Create(mgr_.get());
+    if (!t.ok()) {
+      return t.status();
+    }
+    tree_ = std::move(*t);
+
+    uint64_t anchor = 0;
+    Status st = mgr_->Run([&](txn::Tx& tx) -> Status {
+      Result<uint64_t> off = tx.Alloc(sizeof(ChainAnchor));  // Zeroed ring.
+      if (!off.ok()) {
+        return off.status();
+      }
+      Result<void*> w = tx.OpenWrite(*off, sizeof(uint64_t));
+      if (!w.ok()) {
+        return w.status();
+      }
+      *static_cast<uint64_t*>(*w) = tree_->anchor();
+      anchor = *off;
+      return Status::Ok();
+    });
+    if (!st.ok()) {
+      return st;
+    }
+    mgr_->WaitIdle();
+    heap_->set_root(anchor);
+    applied_watermark_.store(0, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  // Attach path (reboot / promotion).
+  Result<std::unique_ptr<heap::Heap>> h = heap::Heap::Attach(pool_.get());
+  if (!h.ok()) {
+    return h.status();
+  }
+  heap_ = std::move(*h);
+  txn::TxManagerOptions mopts = MgrOptions(head_role);
+  mopts.skip_recovery = !run_recovery;
+  if (mopts.engine == txn::EngineType::kKaminoDynamic) {
+    mopts.dynamic_lookup_buckets = 1 << 14;
+  }
+  Result<std::unique_ptr<txn::TxManager>> m = txn::TxManager::Open(heap_.get(), mopts);
+  if (!m.ok()) {
+    return m.status();
+  }
+  mgr_ = std::move(*m);
+
+  const auto* anchor = static_cast<const ChainAnchor*>(pool_->At(heap_->root()));
+  Result<std::unique_ptr<pds::BPlusTree>> t =
+      pds::BPlusTree::Attach(mgr_.get(), anchor->tree_anchor);
+  if (!t.ok()) {
+    return t.status();
+  }
+  tree_ = std::move(*t);
+  applied_watermark_.store(RingMax(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+uint64_t Replica::RingMax() const {
+  const auto* anchor = static_cast<const ChainAnchor*>(pool_->At(heap_->root()));
+  uint64_t max_id = 0;
+  for (uint64_t slot : anchor->ring) {
+    max_id = std::max(max_id, slot);
+  }
+  return max_id;
+}
+
+Status Replica::Init() {
+  KAMINO_RETURN_IF_ERROR(BuildStore(/*attach=*/false, /*run_recovery=*/false));
+  next_op_id_ = 1;
+  return Status::Ok();
+}
+
+void Replica::Start() {
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  loop_thread_ = std::thread([this] { Loop(); });
+}
+
+void Replica::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void Replica::CrashStop() {
+  options_.network->SetNodeDown(options_.node_id, true);
+  Stop();
+}
+
+void Replica::ArmCrashDuringNextApply() {
+  crash_next_apply_.store(true, std::memory_order_relaxed);
+}
+
+void Replica::UpdateView(const View& view) {
+  bool reack = false;
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    const uint64_t old_head = view_.head();
+    const uint64_t old_tail = view_.tail();
+    view_ = view;
+    // The tail re-acknowledges its progress whenever the head must relearn
+    // it: a new head was promoted, or this node just became the tail (the
+    // old tail's acknowledgments may have been lost with it) — paper §5.2.
+    reack = view.tail() == options_.node_id && view.head() != 0 &&
+            view.head() != options_.node_id &&
+            (view.head() != old_head || old_tail != options_.node_id);
+  }
+  if (reack && running_.load(std::memory_order_relaxed)) {
+    // Re-acknowledge progress to the new head so it can release inherited
+    // locks (paper §5.2: the new head queries / learns the tail's progress).
+    Writer w;
+    w.U64(applied_watermark_.load(std::memory_order_relaxed));
+    net::Message msg;
+    msg.type = kOpAck;
+    msg.view_id = view.view_id;
+    msg.payload = w.Take();
+    (void)endpoint_->Send(view.head(), std::move(msg));
+  }
+}
+
+// --- Operation execution -------------------------------------------------------
+
+Status Replica::RunOpTransaction(uint64_t op_id, const Op& op) {
+  auto guard = tree_->LockExclusive();
+  return mgr_->RunWithRetries([&](txn::Tx& tx) -> Status {
+    switch (op.kind) {
+      case OpKind::kUpsert:
+      case OpKind::kMultiUpsert:
+        for (const KvPair& p : op.pairs) {
+          KAMINO_RETURN_IF_ERROR(tree_->UpsertInTx(tx, p.key, p.value));
+        }
+        break;
+      case OpKind::kDelete:
+        KAMINO_RETURN_IF_ERROR(tree_->DeleteInTx(tx, op.pairs.at(0).key));
+        break;
+    }
+    // Applied-op marker, inside the same transaction (atomic with the op).
+    Result<void*> w = tx.OpenWrite(MarkerOffset(op_id), sizeof(uint64_t));
+    if (!w.ok()) {
+      return w.status();
+    }
+    *static_cast<uint64_t*>(*w) = op_id;
+
+    if (crash_next_apply_.exchange(false, std::memory_order_relaxed)) {
+      // Fault injection: the replica loses power mid-transaction — in-place
+      // edits may have reached NVM but the commit record never does.
+      pool_->Flush(pool_->At(MarkerOffset(op_id)), sizeof(uint64_t));
+      pool_->Drain();
+      tx.LeakForCrashTest();
+      crashed_mid_apply_.store(true, std::memory_order_relaxed);
+      return Status::Unavailable("simulated power failure mid-apply");
+    }
+    return Status::Ok();
+  });
+}
+
+Status Replica::ApplyOp(uint64_t op_id, const Op& op) {
+  if (op_id <= applied_watermark_.load(std::memory_order_relaxed)) {
+    return Status::Ok();  // Replay duplicate.
+  }
+  Status st = RunOpTransaction(op_id, op);
+  if (!st.ok()) {
+    return st;
+  }
+  applied_watermark_.store(op_id, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void Replica::ForwardDownstream(uint64_t op_id, const Op& op) {
+  View v;
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    v = view_;
+  }
+  const uint64_t succ = v.SuccessorOf(options_.node_id);
+  if (succ == 0) {
+    // Single-node chain: this replica is also the tail.
+    OnTailCommit(op_id);
+    return;
+  }
+  Writer w;
+  w.U64(op_id);
+  EncodeOp(op, &w);
+  net::Message msg;
+  msg.type = kOpForward;
+  msg.view_id = v.view_id;
+  msg.payload = w.Take();
+  (void)endpoint_->Send(succ, std::move(msg));
+}
+
+void Replica::OnTailCommit(uint64_t op_id) {
+  View v;
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    v = view_;
+  }
+  if (v.head() == options_.node_id) {
+    // Local completion (single-node chain).
+    {
+      std::lock_guard<std::mutex> lk(comp_mu_);
+      last_acked_ = std::max(last_acked_, op_id);
+    }
+    comp_cv_.notify_all();
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    in_flight_.erase(in_flight_.begin(), in_flight_.upper_bound(op_id));
+    return;
+  }
+  // Final acknowledgment goes to the head (paper §5.1: "the tail sends the
+  // final acknowledgment to the head instead of the client").
+  {
+    Writer w;
+    w.U64(op_id);
+    net::Message msg;
+    msg.type = kOpAck;
+    msg.view_id = v.view_id;
+    msg.payload = w.Take();
+    (void)endpoint_->Send(v.head(), std::move(msg));
+  }
+  // The tail has no downstream to replay to: its buffered copy can go now,
+  // and clean-up acknowledgments travel upstream.
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    in_flight_.erase(in_flight_.begin(), in_flight_.upper_bound(op_id));
+  }
+  const uint64_t pred = v.PredecessorOf(options_.node_id);
+  if (pred != 0) {
+    Writer w;
+    w.U64(op_id);
+    net::Message msg;
+    msg.type = kCleanupAck;
+    msg.view_id = v.view_id;
+    msg.payload = w.Take();
+    (void)endpoint_->Send(pred, std::move(msg));
+  }
+}
+
+// --- Client API (head) ----------------------------------------------------------
+
+void Replica::LockKeys(const std::vector<uint64_t>& keys) {
+  std::unique_lock<std::mutex> lk(keylock_mu_);
+  for (uint64_t key : keys) {
+    keylock_cv_.wait(lk, [&] { return !locked_keys_.count(key); });
+    locked_keys_[key] = true;
+  }
+}
+
+void Replica::UnlockKeys(const std::vector<uint64_t>& keys) {
+  {
+    std::lock_guard<std::mutex> lk(keylock_mu_);
+    for (uint64_t key : keys) {
+      locked_keys_.erase(key);
+    }
+  }
+  keylock_cv_.notify_all();
+}
+
+Replica::WriteTicket Replica::AdmitWrite(const Op& op) {
+  WriteTicket ticket;
+  if (!running_.load(std::memory_order_relaxed)) {
+    ticket.status = Status::Unavailable("replica down");
+    return ticket;
+  }
+  // Admission control for dependent transactions: per-key chain locks held
+  // from admission until the tail acknowledges (paper §5: "the head node
+  // holds appropriate locks until the tail commits").
+  ticket.keys.reserve(op.pairs.size());
+  for (const KvPair& p : op.pairs) {
+    ticket.keys.push_back(p.key);
+  }
+  std::sort(ticket.keys.begin(), ticket.keys.end());
+  ticket.keys.erase(std::unique(ticket.keys.begin(), ticket.keys.end()), ticket.keys.end());
+  LockKeys(ticket.keys);
+
+  {
+    // Serialized execution keeps persistent offsets deterministic across the
+    // chain (see the class comment).
+    std::lock_guard<std::mutex> lk(exec_mu_);
+    ticket.op_id = next_op_id_;
+    ticket.status = ApplyOp(ticket.op_id, op);
+    if (ticket.status.ok()) {
+      ++next_op_id_;
+      {
+        std::lock_guard<std::mutex> il(inflight_mu_);
+        in_flight_.emplace(ticket.op_id, op);
+      }
+      ForwardDownstream(ticket.op_id, op);
+      ticket.admitted = true;
+    }
+  }
+  if (!ticket.admitted) {
+    // Aborted locally: never admitted to the chain (paper Figure 8, abort).
+    UnlockKeys(ticket.keys);
+    return ticket;
+  }
+  if (!options_.kamino) {
+    // Traditional chain replication serializes via the head's ordering
+    // alone; it does not hold locks until the tail commits (Table 1 charges
+    // dependent and independent transactions the same latency). Only
+    // Kamino-Tx-Chain keeps the keys locked until the tail's ack.
+    UnlockKeys(ticket.keys);
+    ticket.keys.clear();
+  }
+  return ticket;
+}
+
+Status Replica::WaitWrite(WriteTicket& ticket) {
+  if (!ticket.admitted) {
+    return ticket.status;
+  }
+  Status out = Status::Ok();
+  {
+    std::unique_lock<std::mutex> lk(comp_mu_);
+    const bool done =
+        comp_cv_.wait_for(lk, std::chrono::milliseconds(options_.client_timeout_ms),
+                          [&] { return last_acked_ >= ticket.op_id; });
+    if (!done) {
+      out = Status::Unavailable("chain commit timeout");
+    }
+  }
+  UnlockKeys(ticket.keys);
+  ticket.admitted = false;
+  return out;
+}
+
+Status Replica::ClientWrite(const Op& op) {
+  WriteTicket ticket = AdmitWrite(op);
+  return WaitWrite(ticket);
+}
+
+Result<std::string> Replica::ClientRead(uint64_t key) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica down");
+  }
+  View v;
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    v = view_;
+  }
+  if (v.tail() == options_.node_id) {
+    return tree_->Get(key);  // Single-node chain: serve locally.
+  }
+  uint64_t req_id;
+  {
+    std::lock_guard<std::mutex> lk(read_mu_);
+    req_id = next_read_id_++;
+    reads_[req_id];
+  }
+  Writer w;
+  w.U64(req_id);
+  w.U64(key);
+  net::Message msg;
+  msg.type = kReadReq;
+  msg.view_id = v.view_id;
+  msg.payload = w.Take();
+  Status send = endpoint_->Send(v.tail(), std::move(msg));
+  if (!send.ok()) {
+    std::lock_guard<std::mutex> lk(read_mu_);
+    reads_.erase(req_id);
+    return send;
+  }
+  std::unique_lock<std::mutex> lk(read_mu_);
+  const bool done =
+      read_cv_.wait_for(lk, std::chrono::milliseconds(options_.client_timeout_ms),
+                        [&] { return reads_[req_id].done; });
+  PendingRead pr = std::move(reads_[req_id]);
+  reads_.erase(req_id);
+  if (!done) {
+    return Status::Unavailable("read timeout");
+  }
+  if (!pr.found) {
+    return Status::NotFound("key absent");
+  }
+  return pr.value;
+}
+
+// --- Message loop ----------------------------------------------------------------
+
+void Replica::Loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::optional<net::Message> msg = endpoint_->Receive(kReceivePollMs);
+    if (!msg.has_value()) {
+      continue;
+    }
+    HandleMessage(std::move(*msg));
+    if (crashed_mid_apply_.load(std::memory_order_relaxed)) {
+      // The simulated power failure takes the node off the network too.
+      options_.network->SetNodeDown(options_.node_id, true);
+      running_.store(false, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void Replica::HandleMessage(net::Message&& msg) {
+  switch (msg.type) {
+    case kOpForward:
+      HandleOpForward(msg);
+      break;
+    case kOpAck: {
+      Reader r(msg.payload);
+      uint64_t op_id = 0;
+      if (!r.U64(&op_id)) {
+        return;
+      }
+      std::vector<std::vector<uint64_t>> to_unlock;
+      {
+        std::lock_guard<std::mutex> lk(comp_mu_);
+        last_acked_ = std::max(last_acked_, op_id);
+      }
+      {
+        std::lock_guard<std::mutex> lk(view_mu_);
+        // Inherited in-flight ops (head promotion) unlock on their acks.
+        for (auto it = orphan_ops_.begin(); it != orphan_ops_.end() && it->first <= op_id;) {
+          to_unlock.push_back(std::move(it->second));
+          it = orphan_ops_.erase(it);
+        }
+      }
+      for (const auto& keys : to_unlock) {
+        UnlockKeys(keys);
+      }
+      comp_cv_.notify_all();
+      break;
+    }
+    case kCleanupAck:
+      HandleCleanupAck(msg);
+      break;
+    case kReadReq:
+      HandleReadReq(msg);
+      break;
+    case kReadReply: {
+      Reader r(msg.payload);
+      uint64_t req_id = 0, found = 0;
+      std::string value;
+      if (!r.U64(&req_id) || !r.U64(&found) || !r.Str(&value)) {
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lk(read_mu_);
+        auto it = reads_.find(req_id);
+        if (it != reads_.end()) {
+          it->second.done = true;
+          it->second.found = (found != 0);
+          it->second.value = std::move(value);
+        }
+      }
+      read_cv_.notify_all();
+      break;
+    }
+    case kFetchObjects:
+      HandleFetchObjects(msg);
+      break;
+    case kReplayReq:
+      HandleReplayReq(msg);
+      break;
+    case kQueryTail: {
+      Writer w;
+      w.U64(applied_watermark_.load(std::memory_order_relaxed));
+      net::Message reply;
+      reply.type = kTailInfo;
+      reply.view_id = msg.view_id;
+      reply.payload = w.Take();
+      (void)endpoint_->Send(msg.src, std::move(reply));
+      break;
+    }
+    case kStateReq: {
+      // Bulk state transfer for a joining tail. The chain is quiesced by the
+      // orchestrator during joins, so a raw snapshot is consistent.
+      net::Message reply;
+      reply.type = kStateChunk;
+      reply.view_id = msg.view_id;
+      reply.payload.assign(pool_->base(), pool_->base() + pool_->size());
+      (void)endpoint_->Send(msg.src, std::move(reply));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Replica::HandleOpForward(const net::Message& msg) {
+  Reader r(msg.payload);
+  uint64_t op_id = 0;
+  Op op;
+  if (!r.U64(&op_id) || !DecodeOp(&r, &op)) {
+    return;
+  }
+  Status st = ApplyOp(op_id, op);
+  if (!st.ok()) {
+    return;  // Mid-apply crash fault, or a hard error; do not forward.
+  }
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    in_flight_.emplace(op_id, op);
+  }
+  View v;
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    v = view_;
+  }
+  const uint64_t succ = v.SuccessorOf(options_.node_id);
+  if (succ != 0) {
+    Writer w;
+    w.U64(op_id);
+    EncodeOp(op, &w);
+    net::Message fwd;
+    fwd.type = kOpForward;
+    fwd.view_id = v.view_id;
+    fwd.payload = w.Take();
+    (void)endpoint_->Send(succ, std::move(fwd));
+  } else {
+    OnTailCommit(op_id);
+  }
+}
+
+void Replica::HandleCleanupAck(const net::Message& msg) {
+  Reader r(msg.payload);
+  uint64_t op_id = 0;
+  if (!r.U64(&op_id)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    in_flight_.erase(in_flight_.begin(), in_flight_.upper_bound(op_id));
+  }
+  View v;
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    v = view_;
+  }
+  const uint64_t pred = v.PredecessorOf(options_.node_id);
+  if (pred != 0) {
+    Writer w;
+    w.U64(op_id);
+    net::Message fwd;
+    fwd.type = kCleanupAck;
+    fwd.view_id = v.view_id;
+    fwd.payload = w.Take();
+    (void)endpoint_->Send(pred, std::move(fwd));
+  }
+}
+
+void Replica::HandleReadReq(const net::Message& msg) {
+  Reader r(msg.payload);
+  uint64_t req_id = 0, key = 0;
+  if (!r.U64(&req_id) || !r.U64(&key)) {
+    return;
+  }
+  Result<std::string> v = tree_->Get(key);
+  Writer w;
+  w.U64(req_id);
+  w.U64(v.ok() ? 1 : 0);
+  w.Str(v.ok() ? *v : std::string());
+  net::Message reply;
+  reply.type = kReadReply;
+  reply.view_id = msg.view_id;
+  reply.payload = w.Take();
+  (void)endpoint_->Send(msg.src, std::move(reply));
+}
+
+void Replica::HandleFetchObjects(const net::Message& msg) {
+  Reader r(msg.payload);
+  uint64_t req_id = 0;
+  uint32_t n = 0;
+  if (!r.U64(&req_id) || !r.U32(&n)) {
+    return;
+  }
+  Writer w;
+  w.U64(req_id);
+  w.U32(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t off = 0, size = 0;
+    if (!r.U64(&off) || !r.U64(&size)) {
+      return;
+    }
+    w.U64(off);
+    w.U64(size);
+    w.Bytes(pool_->At(off), size);
+  }
+  net::Message reply;
+  reply.type = kFetchReply;
+  reply.view_id = msg.view_id;
+  reply.payload = w.Take();
+  (void)endpoint_->Send(msg.src, std::move(reply));
+}
+
+void Replica::HandleReplayReq(const net::Message& msg) {
+  Reader r(msg.payload);
+  uint64_t from = 0;
+  if (!r.U64(&from)) {
+    return;
+  }
+  std::map<uint64_t, Op> snapshot;
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    snapshot = in_flight_;
+  }
+  View v;
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    v = view_;
+  }
+  for (const auto& [op_id, op] : snapshot) {
+    if (op_id <= from) {
+      continue;
+    }
+    Writer w;
+    w.U64(op_id);
+    EncodeOp(op, &w);
+    net::Message fwd;
+    fwd.type = kOpForward;
+    fwd.view_id = v.view_id;
+    fwd.payload = w.Take();
+    (void)endpoint_->Send(msg.src, std::move(fwd));
+  }
+}
+
+// --- Reboot / promotion recovery -------------------------------------------------
+
+Result<std::vector<std::pair<uint64_t, std::string>>> Replica::FetchRanges(
+    uint64_t neighbour, const std::vector<txn::Intent>& intents) {
+  Writer w;
+  const uint64_t req_id = 0xFEED;
+  w.U64(req_id);
+  uint32_t n = 0;
+  for (const txn::Intent& in : intents) {
+    if (in.kind == txn::IntentKind::kWrite || in.kind == txn::IntentKind::kAlloc) {
+      ++n;
+    }
+  }
+  w.U32(n);
+  for (const txn::Intent& in : intents) {
+    if (in.kind == txn::IntentKind::kWrite || in.kind == txn::IntentKind::kAlloc) {
+      w.U64(in.offset);
+      w.U64(in.size);
+    }
+  }
+  net::Message req;
+  req.type = kFetchObjects;
+  req.payload = w.Take();
+  KAMINO_RETURN_IF_ERROR(endpoint_->Send(neighbour, std::move(req)));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(kRecoveryTimeoutMs);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::optional<net::Message> reply = endpoint_->Receive(kReceivePollMs);
+    if (!reply.has_value()) {
+      continue;
+    }
+    if (reply->type != kFetchReply) {
+      continue;  // Stale traffic during recovery; safe to drop.
+    }
+    Reader r(reply->payload);
+    uint64_t got_req = 0;
+    uint32_t got_n = 0;
+    if (!r.U64(&got_req) || got_req != req_id || !r.U32(&got_n)) {
+      continue;
+    }
+    std::vector<std::pair<uint64_t, std::string>> out;
+    out.reserve(got_n);
+    for (uint32_t i = 0; i < got_n; ++i) {
+      uint64_t off = 0, size = 0;
+      std::string bytes;
+      if (!r.U64(&off) || !r.U64(&size) || !r.Str(&bytes)) {
+        return Status::Corruption("malformed fetch reply");
+      }
+      out.emplace_back(off, std::move(bytes));
+    }
+    return out;
+  }
+  return Status::Unavailable("fetch-objects timeout");
+}
+
+Status Replica::ResolveIncompleteFromNeighbour(uint64_t neighbour, bool roll_forward) {
+  std::vector<txn::RecoveredTx> txs = mgr_->log()->ScanForRecovery();
+  for (const txn::RecoveredTx& tx : txs) {
+    txn::SlotHandle handle = mgr_->log()->HandleForRecovered(tx);
+    if (tx.state == txn::TxState::kCommitted) {
+      // Committed transactions resolve locally even without a backup: the
+      // in-place data is final; only deferred frees need re-execution.
+      for (const txn::Intent& in : tx.intents) {
+        if (in.kind == txn::IntentKind::kFree) {
+          KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
+        }
+      }
+      mgr_->log()->ReleaseSlot(handle);
+      continue;
+    }
+    if (roll_forward) {
+      // Paper Figure 9, non-head reboot: complete the transaction using the
+      // predecessor's (newer) object state.
+      Result<std::vector<std::pair<uint64_t, std::string>>> ranges =
+          FetchRanges(neighbour, tx.intents);
+      if (!ranges.ok()) {
+        return ranges.status();
+      }
+      size_t idx = 0;
+      for (const txn::Intent& in : tx.intents) {
+        if (in.kind == txn::IntentKind::kAlloc) {
+          KAMINO_RETURN_IF_ERROR(heap_->allocator()->ForceAllocAt(in.offset, in.size));
+        }
+        if (in.kind == txn::IntentKind::kWrite || in.kind == txn::IntentKind::kAlloc) {
+          const auto& [off, bytes] = (*ranges)[idx++];
+          std::memcpy(pool_->At(off), bytes.data(), bytes.size());
+          pool_->Persist(pool_->At(off), bytes.size());
+        } else if (in.kind == txn::IntentKind::kFree) {
+          KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
+        }
+      }
+    } else {
+      // New head: roll back using the successor's (older) object state.
+      std::vector<txn::Intent> writes;
+      for (const txn::Intent& in : tx.intents) {
+        if (in.kind == txn::IntentKind::kWrite) {
+          writes.push_back(in);
+        }
+      }
+      Result<std::vector<std::pair<uint64_t, std::string>>> ranges =
+          FetchRanges(neighbour, writes);
+      if (!ranges.ok()) {
+        return ranges.status();
+      }
+      size_t idx = 0;
+      for (const txn::Intent& in : tx.intents) {
+        if (in.kind == txn::IntentKind::kWrite) {
+          const auto& [off, bytes] = (*ranges)[idx++];
+          std::memcpy(pool_->At(off), bytes.data(), bytes.size());
+          pool_->Persist(pool_->At(off), bytes.size());
+        } else if (in.kind == txn::IntentKind::kAlloc) {
+          KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
+        }
+        // kFree intents were deferred; rollback needs no action.
+      }
+    }
+    mgr_->log()->ReleaseSlot(handle);
+  }
+  return Status::Ok();
+}
+
+Status Replica::RequestReplay(uint64_t from_node) {
+  Writer w;
+  w.U64(0);  // Replay everything still in the predecessor's in-flight queue.
+  net::Message msg;
+  msg.type = kReplayReq;
+  msg.payload = w.Take();
+  return endpoint_->Send(from_node, std::move(msg));
+}
+
+Status Replica::QuickReboot() {
+  // 1. The machine is gone: thread dead, volatile state dropped, unflushed
+  //    NVM lines lost.
+  options_.network->SetNodeDown(options_.node_id, true);
+  Stop();
+  crashed_mid_apply_.store(false, std::memory_order_relaxed);
+  tree_.reset();
+  mgr_.reset();
+  heap_.reset();
+  KAMINO_RETURN_IF_ERROR(pool_->Crash());
+  if (backup_pool_ != nullptr) {
+    KAMINO_RETURN_IF_ERROR(backup_pool_->Crash());
+  }
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    in_flight_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(comp_mu_);
+    last_acked_ = 0;
+  }
+
+  // 2. Rejoin: learn the current view and our neighbours (paper §5.3).
+  Result<View> view = options_.membership->RequestRejoin(
+      options_.node_id, view_.view_id);
+  if (!view.ok()) {
+    return view.status();
+  }
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    view_ = *view;
+  }
+  const bool head_role = view->head() == options_.node_id;
+
+  // 3. Reattach. The head recovers from its local backup (engine recovery);
+  //    everyone else defers incomplete transactions to the neighbour fetch.
+  KAMINO_RETURN_IF_ERROR(BuildStore(/*attach=*/true, /*run_recovery=*/head_role));
+
+  options_.network->SetNodeDown(options_.node_id, false);
+
+  if (!head_role) {
+    const uint64_t pred = view->PredecessorOf(options_.node_id);
+    if (pred != 0) {
+      KAMINO_RETURN_IF_ERROR(ResolveIncompleteFromNeighbour(pred, /*roll_forward=*/true));
+      applied_watermark_.store(RingMax(), std::memory_order_relaxed);
+    }
+  }
+
+  // 4. Resume and ask the predecessor to replay anything we missed.
+  next_op_id_ = applied_watermark_.load(std::memory_order_relaxed) + 1;
+  Start();
+  const uint64_t pred = view->PredecessorOf(options_.node_id);
+  if (pred != 0) {
+    KAMINO_RETURN_IF_ERROR(RequestReplay(pred));
+  }
+  return Status::Ok();
+}
+
+Status Replica::PromoteToHead() {
+  // Called after the membership change already made this node the head.
+  Stop();
+  View v;
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    v = options_.membership->current();
+    view_ = v;
+  }
+  if (v.head() != options_.node_id) {
+    return Status::InvalidArgument("not the head in the current view");
+  }
+
+  // Resolve any incomplete transaction against the successor (roll back —
+  // paper Figure 9's "new head" case). In the common promotion path there is
+  // none; it exists only if this node also just rebooted.
+  const uint64_t succ = v.SuccessorOf(options_.node_id);
+  {
+    std::vector<txn::RecoveredTx> txs = mgr_->log()->ScanForRecovery();
+    bool has_incomplete = false;
+    for (const txn::RecoveredTx& tx : txs) {
+      if (tx.state != txn::TxState::kCommitted) {
+        has_incomplete = true;
+      }
+    }
+    if (has_incomplete && succ == 0) {
+      return Status::Unavailable("cannot roll back: no successor remains");
+    }
+    if (!txs.empty()) {
+      KAMINO_RETURN_IF_ERROR(
+          ResolveIncompleteFromNeighbour(succ, /*roll_forward=*/false));
+    }
+  }
+
+  // Rebuild the manager in the head role (Kamino: backup store appears).
+  mgr_->WaitIdle();
+  const uint64_t tree_anchor = tree_->anchor();
+  tree_.reset();
+  mgr_.reset();
+  txn::TxManagerOptions mopts;
+  if (!options_.kamino) {
+    mopts.engine = txn::EngineType::kUndoLog;
+  } else {
+    if (backup_pool_ == nullptr) {
+      nvm::PoolOptions bopts;
+      bopts.crash_sim = true;
+      bopts.size = options_.pool_size;
+      Result<std::unique_ptr<nvm::Pool>> p = nvm::Pool::Create(bopts);
+      if (!p.ok()) {
+        return p.status();
+      }
+      backup_pool_ = std::move(*p);
+    }
+    mopts.engine = txn::EngineType::kKaminoSimple;
+    mopts.external_backup_pool = backup_pool_.get();
+  }
+  mopts.skip_recovery = true;  // Log already resolved above.
+  Result<std::unique_ptr<txn::TxManager>> m = txn::TxManager::Open(heap_.get(), mopts);
+  if (!m.ok()) {
+    return m.status();
+  }
+  mgr_ = std::move(*m);
+  if (options_.kamino) {
+    // The new head must have a consistent copy of everything before it can
+    // admit in-place transactions (paper §5.2: "creates a local backup").
+    static_cast<txn::FullBackupStore*>(mgr_->backup_store())->SyncAll();
+  }
+  Result<std::unique_ptr<pds::BPlusTree>> t = pds::BPlusTree::Attach(mgr_.get(), tree_anchor);
+  if (!t.ok()) {
+    return t.status();
+  }
+  tree_ = std::move(*t);
+
+  applied_watermark_.store(RingMax(), std::memory_order_relaxed);
+  next_op_id_ = applied_watermark_.load(std::memory_order_relaxed) + 1;
+
+  // Inherit locks for in-flight transactions; the tail's progress report
+  // (kQueryTail / re-acks on view change) releases them (paper §5.2).
+  {
+    std::lock_guard<std::mutex> il(inflight_mu_);
+    std::lock_guard<std::mutex> vl(view_mu_);
+    for (const auto& [op_id, op] : in_flight_) {
+      std::vector<uint64_t> keys;
+      for (const KvPair& p : op.pairs) {
+        keys.push_back(p.key);
+      }
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      {
+        std::lock_guard<std::mutex> kl(keylock_mu_);
+        for (uint64_t key : keys) {
+          locked_keys_[key] = true;
+        }
+      }
+      orphan_ops_.emplace(op_id, std::move(keys));
+    }
+  }
+
+  Start();
+  if (succ != 0) {
+    // Learn the tail's progress to release inherited locks for ops it has
+    // already committed.
+    net::Message q;
+    q.type = kQueryTail;
+    Writer w;
+    w.U64(0);
+    q.payload = w.Take();
+    KAMINO_RETURN_IF_ERROR(endpoint_->Send(v.tail(), std::move(q)));
+  }
+  return Status::Ok();
+}
+
+Status Replica::JoinAsTail() {
+  View v;
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    v = options_.membership->current();
+    view_ = v;
+  }
+  const uint64_t pred = v.PredecessorOf(options_.node_id);
+  if (pred == 0) {
+    return Status::InvalidArgument("joining tail needs a predecessor");
+  }
+  if (pool_ == nullptr) {
+    nvm::PoolOptions popts;
+    popts.size = options_.pool_size;
+    popts.crash_sim = true;
+    popts.flush_latency_ns = options_.flush_latency_ns;
+    Result<std::unique_ptr<nvm::Pool>> p = nvm::Pool::Create(popts);
+    if (!p.ok()) {
+      return p.status();
+    }
+    pool_ = std::move(*p);
+  }
+
+  // State transfer: snapshot the predecessor's pool (chain quiesced by the
+  // orchestrator during joins).
+  options_.network->SetNodeDown(options_.node_id, false);
+  net::Message req;
+  req.type = kStateReq;
+  KAMINO_RETURN_IF_ERROR(endpoint_->Send(pred, std::move(req)));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(kRecoveryTimeoutMs);
+  bool got = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::optional<net::Message> reply = endpoint_->Receive(kReceivePollMs);
+    if (!reply.has_value()) {
+      continue;
+    }
+    if (reply->type != kStateChunk) {
+      continue;
+    }
+    if (reply->payload.size() != pool_->size()) {
+      return Status::Corruption("state transfer size mismatch");
+    }
+    std::memcpy(pool_->base(), reply->payload.data(), reply->payload.size());
+    pool_->Persist(pool_->base(), pool_->size());
+    got = true;
+    break;
+  }
+  if (!got) {
+    return Status::Unavailable("state transfer timeout");
+  }
+
+  KAMINO_RETURN_IF_ERROR(BuildStore(/*attach=*/true, /*run_recovery=*/false));
+  next_op_id_ = applied_watermark_.load(std::memory_order_relaxed) + 1;
+  Start();
+  return RequestReplay(pred);
+}
+
+}  // namespace kamino::chain

@@ -1,0 +1,223 @@
+// A chain replica: local persistent KV store + chain protocol state machine
+// (paper §5).
+//
+// Roles:
+//   - Head: runs a full Kamino-Tx engine (full or dynamic backup) for
+//     Kamino-Tx-Chain, or undo-logging for the traditional chain. Executes
+//     client writes locally, admits only committed transactions downstream,
+//     and holds chain-level key locks until the tail acknowledges.
+//   - Middle/tail (Kamino chain): the kChainReplica engine — in-place
+//     updates, intent log, NO local backup; the neighbours are the copies.
+//   - Middle/tail (traditional): undo-logging, i.e. a data copy in the
+//     critical path at every replica — the overhead Table 1 charges as l_c.
+//
+// Determinism: replicas execute operations strictly in op_id order on
+// identical initial heaps, so persistent object offsets are identical across
+// the chain. That is what lets a rebooted replica repair the write set of an
+// incomplete transaction by fetching those byte ranges from a neighbour
+// (roll forward from the predecessor; roll back from the successor when
+// promoted to head) — paper §5.3 and Figure 9.
+
+#ifndef SRC_CHAIN_REPLICA_H_
+#define SRC_CHAIN_REPLICA_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/chain/membership.h"
+#include "src/chain/wire.h"
+#include "src/net/network.h"
+#include "src/pds/bplus_tree.h"
+#include "src/txn/kamino_engine.h"
+#include "src/txn/tx_manager.h"
+
+namespace kamino::chain {
+
+struct ReplicaOptions {
+  uint64_t node_id = 0;
+  bool kamino = true;        // Kamino-Tx-Chain vs traditional chain.
+  double head_alpha = 1.0;   // Head backup budget (1.0 = full backup).
+  uint64_t pool_size = 64ull << 20;
+  uint64_t log_region_size = 8ull << 20;
+  uint32_t flush_latency_ns = 0;  // Emulated NVM write-back cost per line.
+  uint64_t client_timeout_ms = 10'000;
+  net::Network* network = nullptr;
+  MembershipManager* membership = nullptr;
+};
+
+class Replica {
+ public:
+  explicit Replica(const ReplicaOptions& options);
+  ~Replica();
+
+  // Builds pools, heap, engine (per current role) and an empty store.
+  Status Init();
+  void Start();
+  void Stop();
+
+  // --- Head-side client API (Chain calls these on the head replica) --------
+
+  // Two-phase write so the orchestrator's admission gate can be released
+  // before the (long) wait for the tail's acknowledgment.
+  struct WriteTicket {
+    bool admitted = false;
+    uint64_t op_id = 0;
+    std::vector<uint64_t> keys;
+    Status status;  // Admission outcome.
+  };
+  // Takes the chain key locks, executes locally, forwards downstream.
+  WriteTicket AdmitWrite(const Op& op);
+  // Waits for the tail ack and releases the key locks.
+  Status WaitWrite(WriteTicket& ticket);
+  // Convenience: AdmitWrite + WaitWrite.
+  Status ClientWrite(const Op& op);
+
+  Result<std::string> ClientRead(uint64_t key);
+
+  // --- Failure injection / recovery (driven by Chain) ----------------------
+
+  // Fail-stop: thread killed, endpoint down, volatile state lost.
+  void CrashStop();
+  // Arms a fault: the next applied operation executes its writes, persists
+  // them partially, and then the replica "loses power" mid-transaction.
+  void ArmCrashDuringNextApply();
+  // Quick reboot (paper §5.3): crash-sim the pools, reattach, resolve
+  // incomplete transactions via the appropriate neighbour, replay, resume.
+  Status QuickReboot();
+  // Head-failure promotion (paper §5.2): roll back any incomplete
+  // transaction from the successor, build a local backup, take over.
+  Status PromoteToHead();
+  // Fresh node joining as tail: full state transfer from the predecessor.
+  Status JoinAsTail();
+
+  void UpdateView(const View& view);
+
+  // Asks `from_node` to resend everything in its in-flight queue (chain
+  // repair after a middle-replica failure, and reboot catch-up).
+  Status RequestReplay(uint64_t from_node);
+
+  // --- Introspection --------------------------------------------------------
+
+  uint64_t node_id() const { return options_.node_id; }
+  uint64_t last_applied() const;
+  bool is_head() const;
+  bool alive() const { return running_.load(std::memory_order_relaxed); }
+  uint64_t nvm_bytes() const;
+  txn::TxManager* manager() { return mgr_.get(); }
+  pds::BPlusTree* tree() { return tree_.get(); }
+  // Ops forwarded but not yet cleaned up.
+  size_t in_flight_size() const;
+
+ private:
+  // Persistent anchor at the heap root: the tree anchor plus a ring of
+  // applied-op markers. Each operation's transaction writes its op id into
+  // ring[op_id % kMarkerRing]; recovery takes the ring maximum as the last
+  // applied id. A ring (rather than one counter) keeps successive operations
+  // from becoming dependent transactions on the marker object — slot reuse
+  // is kMarkerRing operations apart.
+  static constexpr uint64_t kMarkerRing = 1024;
+  struct ChainAnchor {
+    uint64_t tree_anchor;
+    uint64_t ring[kMarkerRing];
+  };
+
+  Status BuildStore(bool attach, bool run_recovery);
+  txn::TxManagerOptions MgrOptions(bool head_role) const;
+
+  uint64_t anchor_off() const { return heap_->root(); }
+  uint64_t MarkerOffset(uint64_t op_id) const {
+    return anchor_off() + offsetof(ChainAnchor, ring) + (op_id % kMarkerRing) * sizeof(uint64_t);
+  }
+  uint64_t RingMax() const;
+
+  void Loop();
+  void HandleMessage(net::Message&& msg);
+
+  // Applies `op` in one local transaction (idempotent via the marker).
+  Status ApplyOp(uint64_t op_id, const Op& op);
+  Status RunOpTransaction(uint64_t op_id, const Op& op);
+  void ForwardDownstream(uint64_t op_id, const Op& op);
+  void OnTailCommit(uint64_t op_id);
+
+  void HandleOpForward(const net::Message& msg);
+  void HandleReadReq(const net::Message& msg);
+  void HandleFetchObjects(const net::Message& msg);
+  void HandleReplayReq(const net::Message& msg);
+  void HandleCleanupAck(const net::Message& msg);
+
+  // Reboot helpers: resolve incomplete transactions against a neighbour.
+  Status ResolveIncompleteFromNeighbour(uint64_t neighbour, bool roll_forward);
+  Result<std::vector<std::pair<uint64_t, std::string>>> FetchRanges(
+      uint64_t neighbour, const std::vector<txn::Intent>& intents);
+
+  // Chain-level key locks (head only): held from admission until tail ack.
+  void LockKeys(const std::vector<uint64_t>& keys);
+  void UnlockKeys(const std::vector<uint64_t>& keys);
+
+  ReplicaOptions options_;
+  net::Endpoint* endpoint_ = nullptr;
+
+  // Persistent state (crash-sim pools survive simulated reboots).
+  std::unique_ptr<nvm::Pool> pool_;
+  std::unique_ptr<nvm::Pool> backup_pool_;  // Head only.
+  std::unique_ptr<heap::Heap> heap_;
+  std::unique_ptr<txn::TxManager> mgr_;
+  std::unique_ptr<pds::BPlusTree> tree_;
+
+  // View / role.
+  mutable std::mutex view_mu_;
+  View view_;
+
+  // Message loop.
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  // Head execution (serialized for offset determinism).
+  std::mutex exec_mu_;
+  uint64_t next_op_id_ = 1;
+
+  // Completion watermark (tail acks arrive in order).
+  std::mutex comp_mu_;
+  std::condition_variable comp_cv_;
+  uint64_t last_acked_ = 0;
+
+  // Pending reads (req_id -> reply slot).
+  struct PendingRead {
+    bool done = false;
+    bool found = false;
+    std::string value;
+  };
+  std::mutex read_mu_;
+  std::condition_variable read_cv_;
+  std::map<uint64_t, PendingRead> reads_;
+  uint64_t next_read_id_ = 1;
+
+  // In-flight ops: forwarded (or admitted, at the head) but not cleaned up.
+  mutable std::mutex inflight_mu_;
+  std::map<uint64_t, Op> in_flight_;
+
+  // Chain-level key locks (head).
+  std::mutex keylock_mu_;
+  std::condition_variable keylock_cv_;
+  std::map<uint64_t, bool> locked_keys_;
+
+  // Volatile applied watermark (rebuilt from the marker ring on reboot).
+  std::atomic<uint64_t> applied_watermark_{0};
+
+  // Keys of in-flight ops adopted during head promotion, unlocked when the
+  // tail's (re-)acks arrive.
+  std::map<uint64_t, std::vector<uint64_t>> orphan_ops_;
+
+  // Fault injection.
+  std::atomic<bool> crash_next_apply_{false};
+  std::atomic<bool> crashed_mid_apply_{false};
+};
+
+}  // namespace kamino::chain
+
+#endif  // SRC_CHAIN_REPLICA_H_

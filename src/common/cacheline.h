@@ -1,0 +1,34 @@
+// Cache-line geometry used by the persistence model.
+//
+// The Kamino-Tx log manager relies on the x86 guarantee that aligned 8-byte
+// stores are failure-atomic and that a cache line is the unit of write-back
+// to NVM. These constants are shared by the pool's persistence tracking and
+// the intent-log layout (each log record fits inside one line so it can be
+// persisted without being torn — paper §6.2).
+
+#ifndef SRC_COMMON_CACHELINE_H_
+#define SRC_COMMON_CACHELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kamino {
+
+inline constexpr size_t kCacheLineSize = 64;
+
+// Rounds `x` down / up to a cache-line boundary.
+inline constexpr uint64_t CacheLineFloor(uint64_t x) { return x & ~(kCacheLineSize - 1); }
+inline constexpr uint64_t CacheLineCeil(uint64_t x) {
+  return (x + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+}
+
+// Rounds `x` up to the next multiple of `align` (power of two).
+inline constexpr uint64_t AlignUp(uint64_t x, uint64_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+
+inline constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace kamino
+
+#endif  // SRC_COMMON_CACHELINE_H_

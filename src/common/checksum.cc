@@ -1,0 +1,60 @@
+#include "src/common/checksum.h"
+
+#include <array>
+
+namespace kamino {
+namespace {
+
+// Table-driven CRC implementations. Tables are built once at static-init time;
+// both polynomials are in "reflected" form.
+constexpr uint32_t kCrc32cPoly = 0x82F63B78u;   // Castagnoli, reflected.
+constexpr uint64_t kCrc64Poly = 0xC96C5795D7870F42ull;  // ECMA-182, reflected.
+
+std::array<uint32_t, 256> BuildCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kCrc32cPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+std::array<uint64_t, 256> BuildCrc64Table() {
+  std::array<uint64_t, 256> table{};
+  for (uint64_t i = 0; i < 256; ++i) {
+    uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kCrc64Poly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256> kCrc32cTable = BuildCrc32cTable();
+const std::array<uint64_t, 256> kCrc64Table = BuildCrc64Table();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ p[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+uint64_t Crc64(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kCrc64Table[(crc ^ p[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace kamino

@@ -1,0 +1,23 @@
+// CRC-32C and CRC-64 checksums for persistent metadata integrity.
+//
+// The log-manager header (paper Figure 11) carries a checksum so recovery can
+// detect a torn header write; allocator and heap superblocks reuse the same
+// routines.
+
+#ifndef SRC_COMMON_CHECKSUM_H_
+#define SRC_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kamino {
+
+// CRC-32C (Castagnoli). `seed` allows incremental computation.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+// CRC-64 (ECMA-182, as used by XZ). `seed` allows incremental computation.
+uint64_t Crc64(const void* data, size_t len, uint64_t seed = 0);
+
+}  // namespace kamino
+
+#endif  // SRC_COMMON_CHECKSUM_H_

@@ -1,0 +1,71 @@
+// Fast deterministic PRNGs for workload generation and tests.
+//
+// Benchmarks need a generator that is (a) cheap enough not to perturb the
+// measured path and (b) seedable so runs are reproducible. We use
+// xoshiro256** for raw 64-bit output and SplitMix64 for seeding.
+
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace kamino {
+
+// SplitMix64: used to expand a single seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** — public-domain PRNG by Blackman & Vigna.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 0x853C49E6748FEA9Bull) {
+    uint64_t sm = seed;
+    for (auto& word : s_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses the widening-multiply trick (Lemire).
+  uint64_t NextBounded(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * static_cast<__uint128_t>(bound)) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Satisfies UniformRandomBitGenerator so it can drive <random> adapters.
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return Next(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<uint64_t, 4> s_;
+};
+
+}  // namespace kamino
+
+#endif  // SRC_COMMON_RANDOM_H_

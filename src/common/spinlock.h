@@ -1,0 +1,117 @@
+// Small synchronization primitives shared across modules.
+//
+// `SpinLock` protects very short critical sections (free-list pops, LRU
+// bumps). `SharedSpinLock` is a reader/writer spin lock used where the
+// std::shared_mutex syscall cost would dominate (per-object lock table).
+
+#ifndef SRC_COMMON_SPINLOCK_H_
+#define SRC_COMMON_SPINLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace kamino {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    int spins = 0;
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins > kSpinsBeforeYield) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 1024;
+  std::atomic<bool> flag_{false};
+};
+
+// Reader/writer spin lock. Writer-preferring: once a writer is waiting, new
+// readers queue behind it so writers are not starved by a read-heavy stream.
+class SharedSpinLock {
+ public:
+  SharedSpinLock() = default;
+  SharedSpinLock(const SharedSpinLock&) = delete;
+  SharedSpinLock& operator=(const SharedSpinLock&) = delete;
+
+  void lock() {
+    writers_waiting_.fetch_add(1, std::memory_order_relaxed);
+    int spins = 0;
+    for (;;) {
+      uint32_t expected = 0;
+      if (state_.compare_exchange_weak(expected, kWriterBit, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        break;
+      }
+      if (++spins > kSpinsBeforeYield) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  bool try_lock() {
+    uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriterBit, std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void unlock() { state_.fetch_and(~kWriterBit, std::memory_order_release); }
+
+  void lock_shared() {
+    int spins = 0;
+    for (;;) {
+      if (writers_waiting_.load(std::memory_order_relaxed) == 0) {
+        uint32_t prev = state_.fetch_add(1, std::memory_order_acquire);
+        if ((prev & kWriterBit) == 0) {
+          return;
+        }
+        state_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (++spins > kSpinsBeforeYield) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  bool try_lock_shared() {
+    if (writers_waiting_.load(std::memory_order_relaxed) != 0) {
+      return false;
+    }
+    uint32_t prev = state_.fetch_add(1, std::memory_order_acquire);
+    if ((prev & kWriterBit) == 0) {
+      return true;
+    }
+    state_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
+
+ private:
+  static constexpr uint32_t kWriterBit = 0x80000000u;
+  static constexpr int kSpinsBeforeYield = 1024;
+
+  std::atomic<uint32_t> state_{0};            // kWriterBit | reader count.
+  std::atomic<uint32_t> writers_waiting_{0};  // Writer-preference gate.
+};
+
+}  // namespace kamino
+
+#endif  // SRC_COMMON_SPINLOCK_H_

@@ -1,0 +1,35 @@
+#include "src/common/status.h"
+
+namespace kamino {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfMemory:
+      return "OUT_OF_MEMORY";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kTxAborted:
+      return "TX_ABORTED";
+    case StatusCode::kTxConflict:
+      return "TX_CONFLICT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kNotSupported:
+      return "NOT_SUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace kamino

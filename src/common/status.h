@@ -1,0 +1,152 @@
+// Lightweight error-handling vocabulary used across the Kamino-Tx libraries.
+//
+// We deliberately avoid exceptions in the hot transaction paths: persistent
+// memory code runs in the critical path of every transaction, and the paper's
+// engines report failures (aborts, allocation failure, recovery mismatches)
+// as values. `Status` carries a code plus a human-readable message; `Result<T>`
+// is a value-or-Status sum type.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace kamino {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,
+  kCorruption,
+  kTxAborted,
+  kTxConflict,
+  kUnavailable,
+  kInternal,
+  kIoError,
+  kNotSupported,
+};
+
+// Returns a stable, human-readable name for `code` (e.g. "OUT_OF_MEMORY").
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap, copyable status value. The common OK case stores no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code, std::string message = "")
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status TxAborted(std::string msg) { return Status(StatusCode::kTxAborted, std::move(msg)); }
+  static Status TxConflict(std::string msg) {
+    return Status(StatusCode::kTxConflict, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+  static Status IoError(std::string msg) { return Status(StatusCode::kIoError, std::move(msg)); }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    std::string s(StatusCodeName(code_));
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+// Value-or-error. `value()` asserts on error in debug builds; callers are
+// expected to check `ok()` first (the style used throughout this codebase).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(v_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace kamino
+
+// Propagates a non-OK Status from an expression. Usable in functions that
+// themselves return Status.
+#define KAMINO_RETURN_IF_ERROR(expr)       \
+  do {                                     \
+    ::kamino::Status _st = (expr);         \
+    if (!_st.ok()) {                       \
+      return _st;                          \
+    }                                      \
+  } while (0)
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,58 @@
+#include "src/kv/kv_store.h"
+
+namespace kamino::kv {
+
+Result<std::unique_ptr<KvStore>> KvStore::Create(txn::TxManager* mgr) {
+  if (mgr == nullptr) {
+    return Status::InvalidArgument("null manager");
+  }
+  Result<std::unique_ptr<pds::BPlusTree>> tree = pds::BPlusTree::Create(mgr);
+  if (!tree.ok()) {
+    return tree.status();
+  }
+  mgr->heap()->set_root((*tree)->anchor());
+  return std::unique_ptr<KvStore>(new KvStore(mgr, std::move(*tree)));
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(txn::TxManager* mgr) {
+  if (mgr == nullptr) {
+    return Status::InvalidArgument("null manager");
+  }
+  const uint64_t anchor = mgr->heap()->root();
+  if (anchor == 0) {
+    return Status::NotFound("heap root holds no store anchor");
+  }
+  Result<std::unique_ptr<pds::BPlusTree>> tree = pds::BPlusTree::Attach(mgr, anchor);
+  if (!tree.ok()) {
+    return tree.status();
+  }
+  return std::unique_ptr<KvStore>(new KvStore(mgr, std::move(*tree)));
+}
+
+Result<std::string> KvStore::Read(uint64_t key) { return tree_->Get(key); }
+
+Status KvStore::Update(uint64_t key, std::string_view value) {
+  return tree_->Update(key, value);
+}
+
+Status KvStore::Insert(uint64_t key, std::string_view value) {
+  return tree_->Insert(key, value);
+}
+
+Status KvStore::Upsert(uint64_t key, std::string_view value) {
+  return tree_->Upsert(key, value);
+}
+
+Status KvStore::ReadModifyWrite(uint64_t key,
+                                const std::function<void(std::string&)>& mutate) {
+  return tree_->ReadModifyWrite(key, mutate);
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> KvStore::Scan(uint64_t start,
+                                                                    size_t limit) {
+  return tree_->Scan(start, limit);
+}
+
+Status KvStore::Delete(uint64_t key) { return tree_->Delete(key); }
+
+}  // namespace kamino::kv

@@ -1,0 +1,62 @@
+// Transactional key-value store over the persistent B+Tree — the system the
+// paper's evaluation drives with YCSB (§7: "we have designed and implemented
+// a key-value store that uses a NVML based persistent B+Tree").
+//
+// Keys are uint64 record ids (YCSB's "user<N>"); values are opaque byte
+// strings (1 KB in the paper's runs). Every operation is one transaction on
+// the underlying atomicity engine, so swapping `TxManagerOptions::engine`
+// re-runs the identical store over Kamino-Tx, undo-logging, CoW or
+// no-logging.
+
+#ifndef SRC_KV_KV_STORE_H_
+#define SRC_KV_KV_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/pds/bplus_tree.h"
+#include "src/txn/tx_manager.h"
+
+namespace kamino::kv {
+
+class KvStore {
+ public:
+  // Creates a fresh store on `mgr`'s heap and anchors it at the heap root.
+  static Result<std::unique_ptr<KvStore>> Create(txn::TxManager* mgr);
+
+  // Reattaches to a store previously anchored at the heap root (the
+  // restart/recovery path; run after TxManager::Open).
+  static Result<std::unique_ptr<KvStore>> Open(txn::TxManager* mgr);
+
+  // YCSB READ.
+  Result<std::string> Read(uint64_t key);
+  // YCSB UPDATE (key must exist).
+  Status Update(uint64_t key, std::string_view value);
+  // YCSB INSERT (fails if present).
+  Status Insert(uint64_t key, std::string_view value);
+  // Insert-or-replace (bulk loads).
+  Status Upsert(uint64_t key, std::string_view value);
+  // YCSB READ-MODIFY-WRITE: reads the current value, applies `mutate`, and
+  // writes the result — all in one transaction, declaring write intent
+  // before reading (the supported RMW pattern; see LockManager docs).
+  Status ReadModifyWrite(uint64_t key, const std::function<void(std::string&)>& mutate);
+  // YCSB SCAN.
+  Result<std::vector<std::pair<uint64_t, std::string>>> Scan(uint64_t start, size_t limit);
+  Status Delete(uint64_t key);
+
+  pds::BPlusTree* tree() { return tree_.get(); }
+  txn::TxManager* manager() { return mgr_; }
+
+ private:
+  KvStore(txn::TxManager* mgr, std::unique_ptr<pds::BPlusTree> tree)
+      : mgr_(mgr), tree_(std::move(tree)) {}
+
+  txn::TxManager* mgr_;
+  std::unique_ptr<pds::BPlusTree> tree_;
+};
+
+}  // namespace kamino::kv
+
+#endif  // SRC_KV_KV_STORE_H_

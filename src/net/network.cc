@@ -1,0 +1,169 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+
+namespace kamino::net {
+
+// --- Endpoint -----------------------------------------------------------------
+
+Status Endpoint::Send(uint64_t dst, Message msg) {
+  msg.src = node_id_;
+  msg.dst = dst;
+  ++sent_;
+  return net_->Submit(std::move(msg));
+}
+
+std::optional<Message> Endpoint::Receive(uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+               [&] { return !inbox_.empty() || down_; });
+  if (down_ || inbox_.empty()) {
+    return std::nullopt;
+  }
+  Message msg = std::move(inbox_.front());
+  inbox_.pop_front();
+  ++received_;
+  return msg;
+}
+
+void Endpoint::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    down_ = true;
+    inbox_.clear();
+  }
+  cv_.notify_all();
+}
+
+void Endpoint::Restart() {
+  std::lock_guard<std::mutex> lk(mu_);
+  down_ = false;
+  inbox_.clear();
+}
+
+void Endpoint::Deliver(Message msg) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (down_) {
+      return;  // Crashed nodes lose in-flight messages.
+    }
+    inbox_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+// --- Network ------------------------------------------------------------------
+
+Network::Network(const NetworkOptions& options) : options_(options) {
+  delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+}
+
+Network::~Network() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  delivery_thread_.join();
+}
+
+Endpoint* Network::CreateEndpoint(uint64_t node_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = endpoints_.find(node_id);
+  if (it != endpoints_.end()) {
+    return it->second.get();
+  }
+  auto ep = std::unique_ptr<Endpoint>(new Endpoint(this, node_id));
+  Endpoint* raw = ep.get();
+  endpoints_.emplace(node_id, std::move(ep));
+  return raw;
+}
+
+void Network::SetNodeDown(uint64_t node_id, bool down) {
+  Endpoint* ep = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (down) {
+      down_nodes_.insert(node_id);
+    } else {
+      down_nodes_.erase(node_id);
+    }
+    auto it = endpoints_.find(node_id);
+    if (it != endpoints_.end()) {
+      ep = it->second.get();
+    }
+  }
+  if (ep != nullptr) {
+    if (down) {
+      ep->Shutdown();
+    } else {
+      ep->Restart();
+    }
+  }
+}
+
+void Network::CutLink(uint64_t a, uint64_t b, bool cut) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto key = std::minmax(a, b);
+  if (cut) {
+    cut_links_.insert({key.first, key.second});
+  } else {
+    cut_links_.erase({key.first, key.second});
+  }
+}
+
+Status Network::Submit(Message msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (endpoints_.find(msg.dst) == endpoints_.end()) {
+    return Status::NotFound("no such endpoint");
+  }
+  if (down_nodes_.count(msg.src) != 0 || down_nodes_.count(msg.dst) != 0) {
+    return Status::Ok();  // Silently dropped, like a real wire.
+  }
+  const auto key = std::minmax(msg.src, msg.dst);
+  if (cut_links_.count({key.first, key.second}) != 0) {
+    return Status::Ok();
+  }
+  Pending p;
+  p.deliver_at = std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(options_.one_way_latency_us);
+  p.msg = std::move(msg);
+  pending_.push(std::move(p));
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+void Network::DeliveryLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (stop_) {
+      return;
+    }
+    if (pending_.empty()) {
+      cv_.wait(lk, [&] { return stop_ || !pending_.empty(); });
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (pending_.top().deliver_at > now) {
+      cv_.wait_until(lk, pending_.top().deliver_at);
+      continue;
+    }
+    Pending p = std::move(const_cast<Pending&>(pending_.top()));
+    pending_.pop();
+    // Re-check drop conditions at delivery time (node may have died while
+    // the message was in flight).
+    if (down_nodes_.count(p.msg.dst) != 0) {
+      continue;
+    }
+    auto it = endpoints_.find(p.msg.dst);
+    if (it == endpoints_.end()) {
+      continue;
+    }
+    Endpoint* ep = it->second.get();
+    lk.unlock();
+    ep->Deliver(std::move(p.msg));
+    lk.lock();
+  }
+}
+
+}  // namespace kamino::net

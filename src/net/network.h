@@ -1,0 +1,128 @@
+// In-process simulated network.
+//
+// The paper's chain-replication results were measured over 32 Gbps
+// InfiniBand between Azure VMs; what the protocol comparison actually
+// depends on is (a) the number of one-way hops each scheme puts on the
+// critical path and (b) what work each replica does per hop. This network
+// preserves both: every endpoint is a queue, every send is delivered by a
+// background thread after a configurable one-way latency, and links can be
+// cut or endpoints crashed to drive the failure-handling protocols
+// (paper §5.2, §5.3).
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace kamino::net {
+
+struct Message {
+  uint64_t type = 0;  // Application-defined opcode.
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  uint64_t view_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct NetworkOptions {
+  // One-way delivery latency per message (the paper's l_n).
+  uint32_t one_way_latency_us = 10;
+};
+
+class Network;
+
+// A node's attachment point. Receive is a blocking queue pop.
+class Endpoint {
+ public:
+  uint64_t node_id() const { return node_id_; }
+
+  // Enqueues a message for delayed delivery. Fails if the destination does
+  // not exist; silently drops if the destination or link is down (as a real
+  // network would).
+  Status Send(uint64_t dst, Message msg);
+
+  // Blocks up to `timeout_ms` for the next message. nullopt on timeout or
+  // endpoint shutdown.
+  std::optional<Message> Receive(uint64_t timeout_ms);
+
+  // Unblocks all receivers and drops queued messages (local crash).
+  void Shutdown();
+  // Re-arms the endpoint after Shutdown (reboot).
+  void Restart();
+
+  uint64_t messages_sent() const { return sent_; }
+  uint64_t messages_received() const { return received_; }
+
+ private:
+  friend class Network;
+  Endpoint(Network* net, uint64_t node_id) : net_(net), node_id_(node_id) {}
+
+  void Deliver(Message msg);
+
+  Network* net_;
+  uint64_t node_id_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> inbox_;
+  bool down_ = false;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+};
+
+class Network {
+ public:
+  explicit Network(const NetworkOptions& options = NetworkOptions());
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Creates (or returns the existing) endpoint for `node_id`. Endpoints are
+  // owned by the network.
+  Endpoint* CreateEndpoint(uint64_t node_id);
+
+  // Failure injection. A down endpoint neither sends nor receives; a cut
+  // link drops messages in both directions.
+  void SetNodeDown(uint64_t node_id, bool down);
+  void CutLink(uint64_t a, uint64_t b, bool cut);
+
+  uint64_t one_way_latency_us() const { return options_.one_way_latency_us; }
+
+ private:
+  friend class Endpoint;
+
+  struct Pending {
+    std::chrono::steady_clock::time_point deliver_at;
+    Message msg;
+    bool operator>(const Pending& other) const { return deliver_at > other.deliver_at; }
+  };
+
+  Status Submit(Message msg);
+  void DeliveryLoop();
+
+  NetworkOptions options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, std::unique_ptr<Endpoint>> endpoints_;
+  std::set<uint64_t> down_nodes_;
+  std::set<std::pair<uint64_t, uint64_t>> cut_links_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+  bool stop_ = false;
+  std::thread delivery_thread_;
+};
+
+}  // namespace kamino::net
+
+#endif  // SRC_NET_NETWORK_H_

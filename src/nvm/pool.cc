@@ -1,0 +1,182 @@
+#include "src/nvm/pool.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "src/common/random.h"
+
+namespace kamino::nvm {
+
+Result<std::unique_ptr<Pool>> Pool::Create(const PoolOptions& options) {
+  if (options.size == 0) {
+    return Status::InvalidArgument("pool size must be non-zero");
+  }
+  auto pool = std::unique_ptr<Pool>(new Pool());
+  Status st = pool->Init(options);
+  if (!st.ok()) {
+    return st;
+  }
+  return pool;
+}
+
+Result<std::unique_ptr<Pool>> Pool::OpenFile(const PoolOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("OpenFile requires a backing file path");
+  }
+  auto pool = std::unique_ptr<Pool>(new Pool());
+  pool->crash_sim_ = false;  // Shadow-image state cannot outlive a process.
+  pool->flush_latency_ns_ = options.flush_latency_ns;
+  pool->drain_latency_ns_ = options.drain_latency_ns;
+
+  pool->fd_ = ::open(options.path.c_str(), O_RDWR);
+  if (pool->fd_ < 0) {
+    return Status::IoError("open(" + options.path + ") failed");
+  }
+  struct stat st{};
+  if (::fstat(pool->fd_, &st) != 0 || st.st_size <= 0) {
+    return Status::IoError("fstat failed or empty file");
+  }
+  pool->size_ = static_cast<uint64_t>(st.st_size);
+  void* mem =
+      ::mmap(nullptr, pool->size_, PROT_READ | PROT_WRITE, MAP_SHARED, pool->fd_, 0);
+  if (mem == MAP_FAILED) {
+    return Status::IoError("mmap failed");
+  }
+  pool->base_ = static_cast<uint8_t*>(mem);
+  pool->file_backed_ = true;
+  return pool;
+}
+
+Status Pool::Init(const PoolOptions& options) {
+  size_ = CacheLineCeil(options.size);
+  crash_sim_ = options.crash_sim;
+  flush_latency_ns_ = options.flush_latency_ns;
+  drain_latency_ns_ = options.drain_latency_ns;
+
+  if (!options.path.empty()) {
+    fd_ = ::open(options.path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0) {
+      return Status::IoError("open(" + options.path + ") failed");
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return Status::IoError("ftruncate failed");
+    }
+    void* mem = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+    if (mem == MAP_FAILED) {
+      ::close(fd_);
+      fd_ = -1;
+      return Status::IoError("mmap failed");
+    }
+    base_ = static_cast<uint8_t*>(mem);
+    file_backed_ = true;
+  } else {
+    void* mem =
+        ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) {
+      return Status::OutOfMemory("anonymous mmap failed");
+    }
+    base_ = static_cast<uint8_t*>(mem);
+  }
+
+  if (crash_sim_) {
+    persistent_ = std::make_unique<uint8_t[]>(size_);
+    std::memset(persistent_.get(), 0, size_);
+  }
+  return Status::Ok();
+}
+
+Pool::~Pool() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void Pool::SpinFor(uint32_t ns) const {
+  if (ns == 0) {
+    return;
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy wait: models the synchronous stall of a slow NVM write-back.
+  }
+}
+
+void Pool::Flush(const void* addr, uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  const uint64_t start = CacheLineFloor(OffsetOf(addr));
+  const uint64_t end = CacheLineCeil(OffsetOf(addr) + len);
+  const uint64_t lines = (end - start) / kCacheLineSize;
+
+  flush_calls_.fetch_add(1, std::memory_order_relaxed);
+  lines_flushed_.fetch_add(lines, std::memory_order_relaxed);
+
+  if (crash_sim_) {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (uint64_t off = start; off < end; off += kCacheLineSize) {
+      auto& slot = staged_[off];
+      std::memcpy(slot.data(), base_ + off, kCacheLineSize);
+    }
+  }
+  SpinFor(static_cast<uint32_t>(lines * flush_latency_ns_));
+}
+
+void Pool::Drain() {
+  drain_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (crash_sim_) {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (const auto& [off, snapshot] : staged_) {
+      std::memcpy(persistent_.get() + off, snapshot.data(), kCacheLineSize);
+      bytes_persisted_.fetch_add(kCacheLineSize, std::memory_order_relaxed);
+    }
+    staged_.clear();
+  }
+  SpinFor(drain_latency_ns_);
+}
+
+Status Pool::Crash(CrashMode mode, uint64_t seed, double survive_prob) {
+  if (!crash_sim_) {
+    return Status::NotSupported("Crash() requires PoolOptions::crash_sim");
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  // Flushed-but-unfenced lines are lost either way: CLWB without a fence
+  // gives no durability ordering guarantee we can rely on here; dropping them
+  // is the adversarial (and allowed) outcome.
+  staged_.clear();
+
+  if (mode == CrashMode::kEvictRandomly) {
+    // Lines that differ between images were dirty in "cache". Each one may
+    // have been written back by an eviction before the failure.
+    Xoshiro256 rng(seed);
+    for (uint64_t off = 0; off < size_; off += kCacheLineSize) {
+      if (std::memcmp(base_ + off, persistent_.get() + off, kCacheLineSize) != 0) {
+        if (rng.NextDouble() < survive_prob) {
+          std::memcpy(persistent_.get() + off, base_ + off, kCacheLineSize);
+        }
+      }
+    }
+  }
+  std::memcpy(base_, persistent_.get(), size_);
+  return Status::Ok();
+}
+
+bool Pool::IsPersisted(uint64_t offset, uint64_t len) const {
+  if (!crash_sim_) {
+    return true;
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  return std::memcmp(base_ + offset, persistent_.get() + offset, len) == 0;
+}
+
+}  // namespace kamino::nvm

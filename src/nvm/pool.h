@@ -1,0 +1,176 @@
+// Emulated byte-addressable non-volatile memory.
+//
+// The paper evaluates on DRAM standing in for NVDIMM (§7: "We use DRAM to
+// emulate NVM"). We go one step further and give the emulated NVM an explicit
+// *persistence model* so that recovery code can actually be tested:
+//
+//   - CPU stores land in the working image immediately (they are "in cache").
+//   - `Flush(addr, len)` stages a snapshot of the covered cache lines
+//     (emulating CLWB issued on each line).
+//   - `Drain()` makes all staged lines durable (emulating SFENCE).
+//   - `Persist(addr, len)` = Flush + Drain.
+//
+// When `crash_sim` is enabled the pool keeps a second, "persistent" image.
+// `Crash(...)` rebuilds the working image from the persistent one, discarding
+// stores that were never flushed — exactly what a power failure does to data
+// sitting in the cache hierarchy. The `kEvictRandomly` mode additionally lets
+// each dirty-but-unflushed line survive with probability p, modelling
+// arbitrary cache evictions; crash-consistent code must tolerate both.
+//
+// Pools can also inject per-line flush latency and per-fence latency to model
+// NVM technologies slower than DRAM (§7 notes Kamino-Tx's advantage grows as
+// media slows down).
+
+#ifndef SRC_NVM_POOL_H_
+#define SRC_NVM_POOL_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/cacheline.h"
+#include "src/common/status.h"
+
+namespace kamino::nvm {
+
+struct PoolOptions {
+  // Total pool size in bytes. Rounded up to a cache-line multiple.
+  uint64_t size = 64ull << 20;
+
+  // Backing file path. Empty means anonymous (volatile, test-only) memory.
+  std::string path;
+
+  // Enable the persistent shadow image + Crash() support.
+  bool crash_sim = false;
+
+  // Injected latency, in nanoseconds, charged per cache line flushed and per
+  // drain (fence). Zero disables injection.
+  uint32_t flush_latency_ns = 0;
+  uint32_t drain_latency_ns = 0;
+};
+
+// How Crash() treats dirty lines that were never flushed.
+enum class CrashMode {
+  // All unflushed lines are lost (clean power-cut model).
+  kDropUnflushed,
+  // Each dirty unflushed line independently survives with probability
+  // `survive_prob` — models cache evictions that happened to write the line
+  // back before the failure. Crash-consistent code must be correct for every
+  // outcome, so property tests sweep seeds.
+  kEvictRandomly,
+};
+
+struct PoolStats {
+  uint64_t flush_calls = 0;
+  uint64_t lines_flushed = 0;
+  uint64_t drain_calls = 0;
+  uint64_t bytes_persisted = 0;
+};
+
+class Pool {
+ public:
+  // Creates a new zero-initialized pool (truncates any existing backing file).
+  static Result<std::unique_ptr<Pool>> Create(const PoolOptions& options);
+
+  // Maps an existing backing file (options.path required; options.size is
+  // ignored — the file's size is used). The cross-process durability path:
+  // data persisted before the previous process exited is visible here.
+  static Result<std::unique_ptr<Pool>> OpenFile(const PoolOptions& options);
+
+  ~Pool();
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  uint8_t* base() { return base_; }
+  const uint8_t* base() const { return base_; }
+  uint64_t size() const { return size_; }
+  bool crash_sim_enabled() const { return crash_sim_; }
+
+  // Offset <-> pointer translation. Offsets are the stable persistent
+  // representation (pointers change across re-open).
+  uint64_t OffsetOf(const void* p) const {
+    auto addr = reinterpret_cast<uintptr_t>(p);
+    auto lo = reinterpret_cast<uintptr_t>(base_);
+    return static_cast<uint64_t>(addr - lo);
+  }
+  void* At(uint64_t offset) { return base_ + offset; }
+  const void* At(uint64_t offset) const { return base_ + offset; }
+  bool Contains(const void* p) const {
+    auto addr = reinterpret_cast<uintptr_t>(p);
+    auto lo = reinterpret_cast<uintptr_t>(base_);
+    return addr >= lo && addr < lo + size_;
+  }
+
+  // Persistence primitives.
+  void Flush(const void* addr, uint64_t len);
+  void Drain();
+  void Persist(const void* addr, uint64_t len) {
+    Flush(addr, len);
+    Drain();
+  }
+
+  // Persists an aligned 8-byte store. The store itself must already have been
+  // performed by the caller; this is the ordering point.
+  void PersistU64(const uint64_t* addr) { Persist(addr, sizeof(uint64_t)); }
+
+  // Crash simulation. Requires crash_sim. Discards (per `mode`) all stores
+  // that were not persisted, as a power failure would. After Crash() the
+  // working image is what recovery code would see at next startup.
+  Status Crash(CrashMode mode = CrashMode::kDropUnflushed, uint64_t seed = 0,
+               double survive_prob = 0.5);
+
+  // Test hook: returns true iff the byte ranges [offset, offset+len) are
+  // identical in the working and persistent images (i.e. fully persisted).
+  // Requires crash_sim.
+  bool IsPersisted(uint64_t offset, uint64_t len) const;
+
+  PoolStats stats() const {
+    PoolStats s;
+    s.flush_calls = flush_calls_.load(std::memory_order_relaxed);
+    s.lines_flushed = lines_flushed_.load(std::memory_order_relaxed);
+    s.drain_calls = drain_calls_.load(std::memory_order_relaxed);
+    s.bytes_persisted = bytes_persisted_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    flush_calls_.store(0, std::memory_order_relaxed);
+    lines_flushed_.store(0, std::memory_order_relaxed);
+    drain_calls_.store(0, std::memory_order_relaxed);
+    bytes_persisted_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  Pool() = default;
+
+  Status Init(const PoolOptions& options);
+  void SpinFor(uint32_t ns) const;
+
+  uint8_t* base_ = nullptr;
+  uint64_t size_ = 0;
+  bool file_backed_ = false;
+  int fd_ = -1;
+  bool crash_sim_ = false;
+  uint32_t flush_latency_ns_ = 0;
+  uint32_t drain_latency_ns_ = 0;
+
+  // Crash-sim state. `persistent_` mirrors `base_`; `staged_` holds snapshots
+  // of flushed-but-not-fenced lines keyed by line offset. Guarded by `mu_`
+  // (crash-sim mode trades speed for checkability).
+  std::unique_ptr<uint8_t[]> persistent_;
+  std::unordered_map<uint64_t, std::array<uint8_t, kCacheLineSize>> staged_;
+  mutable std::mutex mu_;
+
+  std::atomic<uint64_t> flush_calls_{0};
+  std::atomic<uint64_t> lines_flushed_{0};
+  std::atomic<uint64_t> drain_calls_{0};
+  std::atomic<uint64_t> bytes_persisted_{0};
+};
+
+}  // namespace kamino::nvm
+
+#endif  // SRC_NVM_POOL_H_

@@ -1,0 +1,224 @@
+#include "src/pds/dlist.h"
+
+namespace kamino::pds {
+
+Result<std::unique_ptr<DList>> DList::Create(txn::TxManager* mgr) {
+  if (mgr == nullptr) {
+    return Status::InvalidArgument("null manager");
+  }
+  uint64_t anchor_off = 0;
+  Status st = mgr->Run([&](txn::Tx& tx) -> Status {
+    Result<uint64_t> off = tx.Alloc(sizeof(Anchor));
+    if (!off.ok()) {
+      return off.status();
+    }
+    anchor_off = *off;  // Alloc zeroes: head = tail = size = 0.
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  mgr->WaitIdle();
+  return std::unique_ptr<DList>(new DList(mgr, anchor_off));
+}
+
+Result<std::unique_ptr<DList>> DList::Attach(txn::TxManager* mgr, uint64_t anchor_offset) {
+  if (mgr == nullptr) {
+    return Status::InvalidArgument("null manager");
+  }
+  if (mgr->heap()->ObjectSize(anchor_offset) < sizeof(Anchor)) {
+    return Status::InvalidArgument("anchor offset is not a live list anchor");
+  }
+  return std::unique_ptr<DList>(new DList(mgr, anchor_offset));
+}
+
+Status DList::Insert(uint64_t key, double value) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return mgr_->RunWithRetries([&](txn::Tx& tx) -> Status {
+    // Find the first node with a key >= `key` (its predecessor is `prev`).
+    const Anchor* a = anchor_view();
+    uint64_t cur = a->head;
+    uint64_t prev = 0;
+    while (cur != 0 && EntryAt(cur)->key < key) {
+      prev = cur;
+      cur = EntryAt(cur)->next;
+    }
+    if (cur != 0 && EntryAt(cur)->key == key) {
+      return Status::AlreadyExists("key present");
+    }
+
+    // Figure 4's four-pointer splice, all inside one transaction.
+    Result<uint64_t> noff = tx.Alloc(sizeof(Entry));
+    if (!noff.ok()) {
+      return noff.status();
+    }
+    Result<void*> nw = tx.OpenWrite(*noff, sizeof(Entry));
+    if (!nw.ok()) {
+      return nw.status();
+    }
+    auto* node = static_cast<Entry*>(*nw);
+    node->type = 1;
+    node->key = key;
+    node->value = value;
+    node->next = cur;
+    node->prev = prev;
+
+    Result<void*> aw = tx.OpenWrite(anchor_off_, sizeof(Anchor));
+    if (!aw.ok()) {
+      return aw.status();
+    }
+    auto* anchor_w = static_cast<Anchor*>(*aw);
+
+    if (prev != 0) {
+      Result<void*> pw = tx.OpenWrite(prev, sizeof(Entry));
+      if (!pw.ok()) {
+        return pw.status();
+      }
+      static_cast<Entry*>(*pw)->next = *noff;
+    } else {
+      anchor_w->head = *noff;
+    }
+    if (cur != 0) {
+      Result<void*> cw = tx.OpenWrite(cur, sizeof(Entry));
+      if (!cw.ok()) {
+        return cw.status();
+      }
+      static_cast<Entry*>(*cw)->prev = *noff;
+    } else {
+      anchor_w->tail = *noff;
+    }
+    ++anchor_w->size;
+    return Status::Ok();
+  });
+}
+
+Status DList::Erase(uint64_t key) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return mgr_->RunWithRetries([&](txn::Tx& tx) -> Status {
+    const Anchor* a = anchor_view();
+    uint64_t cur = a->head;
+    while (cur != 0 && EntryAt(cur)->key < key) {
+      cur = EntryAt(cur)->next;
+    }
+    if (cur == 0 || EntryAt(cur)->key != key) {
+      return Status::NotFound("key absent");
+    }
+    const Entry* victim = EntryAt(cur);
+    const uint64_t prev = victim->prev;
+    const uint64_t next = victim->next;
+
+    Result<void*> aw = tx.OpenWrite(anchor_off_, sizeof(Anchor));
+    if (!aw.ok()) {
+      return aw.status();
+    }
+    auto* anchor_w = static_cast<Anchor*>(*aw);
+
+    if (prev != 0) {
+      Result<void*> pw = tx.OpenWrite(prev, sizeof(Entry));
+      if (!pw.ok()) {
+        return pw.status();
+      }
+      static_cast<Entry*>(*pw)->next = next;
+    } else {
+      anchor_w->head = next;
+    }
+    if (next != 0) {
+      Result<void*> nw = tx.OpenWrite(next, sizeof(Entry));
+      if (!nw.ok()) {
+        return nw.status();
+      }
+      static_cast<Entry*>(*nw)->prev = prev;
+    } else {
+      anchor_w->tail = prev;
+    }
+    --anchor_w->size;
+    return tx.Free(cur);
+  });
+}
+
+Status DList::Update(uint64_t key, double value) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return mgr_->RunWithRetries([&](txn::Tx& tx) -> Status {
+    uint64_t cur = anchor_view()->head;
+    while (cur != 0 && EntryAt(cur)->key < key) {
+      cur = EntryAt(cur)->next;
+    }
+    if (cur == 0 || EntryAt(cur)->key != key) {
+      return Status::NotFound("key absent");
+    }
+    Result<void*> w = tx.OpenWrite(cur, sizeof(Entry));
+    if (!w.ok()) {
+      return w.status();
+    }
+    static_cast<Entry*>(*w)->value = value;
+    return Status::Ok();
+  });
+}
+
+Result<double> DList::Lookup(uint64_t key) {
+  std::lock_guard<std::mutex> guard(mu_);
+  double out = 0;
+  Status st = mgr_->RunWithRetries([&](txn::Tx& tx) -> Status {
+    uint64_t cur = anchor_view()->head;
+    while (cur != 0 && EntryAt(cur)->key < key) {
+      cur = EntryAt(cur)->next;
+    }
+    if (cur == 0 || EntryAt(cur)->key != key) {
+      return Status::NotFound("key absent");
+    }
+    // Dependent read on the node.
+    KAMINO_RETURN_IF_ERROR(tx.ReadLock(cur));
+    out = EntryAt(cur)->value;
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, double>> DList::Items() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::pair<uint64_t, double>> out;
+  for (uint64_t cur = anchor_view()->head; cur != 0; cur = EntryAt(cur)->next) {
+    const Entry* e = EntryAt(cur);
+    out.emplace_back(e->key, e->value);
+  }
+  return out;
+}
+
+uint64_t DList::size() const { return anchor_view()->size; }
+
+Status DList::Validate() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const Anchor* a = anchor_view();
+  uint64_t count = 0;
+  uint64_t prev = 0;
+  uint64_t cur = a->head;
+  uint64_t last_key = 0;
+  while (cur != 0) {
+    const Entry* e = EntryAt(cur);
+    if (heap_->ObjectSize(cur) < sizeof(Entry)) {
+      return Status::Corruption("node is not a live allocation");
+    }
+    if (e->prev != prev) {
+      return Status::Corruption("prev pointer mismatch");
+    }
+    if (count > 0 && e->key <= last_key) {
+      return Status::Corruption("keys out of order");
+    }
+    last_key = e->key;
+    prev = cur;
+    cur = e->next;
+    ++count;
+  }
+  if (prev != a->tail) {
+    return Status::Corruption("tail mismatch");
+  }
+  if (count != a->size) {
+    return Status::Corruption("size field mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace kamino::pds

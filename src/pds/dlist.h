@@ -1,0 +1,92 @@
+// Transactional persistent doubly-linked list — the paper's running example
+// (Figure 4: "Structure of the heap and the format of transactions in
+// Kamino-Tx... a persistent doubly linked list").
+//
+// Each element is a persistent object holding a key, a value, and persistent
+// prev/next pointers. Insert/erase atomically modify up to three objects
+// (the new/victim node and its two neighbours), exactly the multi-object
+// transaction shape the paper motivates.
+//
+// Operations are transactional and engine-agnostic. The list is sorted by
+// key (making lookups meaningful) and keeps head/tail in a persistent
+// anchor. A volatile mutex serializes structural operations — the object
+// locks underneath still enforce the dependent-transaction semantics this
+// library is about.
+
+#ifndef SRC_PDS_DLIST_H_
+#define SRC_PDS_DLIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/heap/heap.h"
+#include "src/txn/tx_manager.h"
+
+namespace kamino::pds {
+
+class DList {
+ public:
+  // Paper Figure 4's node: native fields plus persistent pointers.
+  struct Entry {
+    int64_t type;
+    uint64_t key;
+    double value;
+    uint64_t next;  // Offset; 0 = end.
+    uint64_t prev;
+  };
+
+  struct Anchor {
+    uint64_t head;
+    uint64_t tail;
+    uint64_t size;
+  };
+
+  // Creates an empty list; anchor() is its persistent offset.
+  static Result<std::unique_ptr<DList>> Create(txn::TxManager* mgr);
+  static Result<std::unique_ptr<DList>> Attach(txn::TxManager* mgr, uint64_t anchor_offset);
+
+  uint64_t anchor() const { return anchor_off_; }
+
+  // Inserts (key, value) keeping the list sorted ascending by key; duplicate
+  // keys rejected with kAlreadyExists. Figure 4's TxInsert.
+  Status Insert(uint64_t key, double value);
+
+  // Figure 4's TxDelete.
+  Status Erase(uint64_t key);
+
+  // Figure 4's TxUpdate: overwrite the value of an existing key.
+  Status Update(uint64_t key, double value);
+
+  // Figure 4's TxLookup.
+  Result<double> Lookup(uint64_t key);
+
+  // Snapshot of all (key, value) pairs in order (test/diagnostic).
+  std::vector<std::pair<uint64_t, double>> Items() const;
+
+  uint64_t size() const;
+
+  // Invariants: forward/backward consistency, sortedness, size field.
+  Status Validate() const;
+
+ private:
+  DList(txn::TxManager* mgr, uint64_t anchor_off)
+      : mgr_(mgr), heap_(mgr->heap()), anchor_off_(anchor_off) {}
+
+  const Anchor* anchor_view() const {
+    return static_cast<const Anchor*>(heap_->pool()->At(anchor_off_));
+  }
+  const Entry* EntryAt(uint64_t off) const {
+    return static_cast<const Entry*>(heap_->pool()->At(off));
+  }
+
+  txn::TxManager* mgr_;
+  heap::Heap* heap_;
+  uint64_t anchor_off_;
+  mutable std::mutex mu_;  // Serializes structural transactions.
+};
+
+}  // namespace kamino::pds
+
+#endif  // SRC_PDS_DLIST_H_

@@ -1,0 +1,272 @@
+#include "src/pds/hash_map.h"
+
+#include <cstring>
+
+#include "src/common/cacheline.h"
+
+namespace kamino::pds {
+
+namespace {
+uint64_t Mix(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xFF51AFD7ED558CCDull;
+  key ^= key >> 33;
+  key *= 0xC4CEB9FE1A85EC53ull;
+  key ^= key >> 33;
+  return key;
+}
+}  // namespace
+
+Result<std::unique_ptr<HashMap>> HashMap::Create(txn::TxManager* mgr, uint64_t num_buckets) {
+  if (mgr == nullptr) {
+    return Status::InvalidArgument("null manager");
+  }
+  if (!IsPowerOfTwo(num_buckets)) {
+    return Status::InvalidArgument("num_buckets must be a power of two");
+  }
+  uint64_t anchor_off = 0;
+  Status st = mgr->Run([&](txn::Tx& tx) -> Status {
+    Result<uint64_t> buckets = tx.Alloc(num_buckets * sizeof(uint64_t));  // Zeroed.
+    if (!buckets.ok()) {
+      return buckets.status();
+    }
+    Result<uint64_t> aoff = tx.Alloc(sizeof(Anchor));
+    if (!aoff.ok()) {
+      return aoff.status();
+    }
+    Result<void*> aw = tx.OpenWrite(*aoff, sizeof(Anchor));
+    if (!aw.ok()) {
+      return aw.status();
+    }
+    auto* anchor = static_cast<Anchor*>(*aw);
+    anchor->buckets_off = *buckets;
+    anchor->num_buckets = num_buckets;
+    anchor_off = *aoff;
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  mgr->WaitIdle();
+  return std::unique_ptr<HashMap>(new HashMap(mgr, anchor_off));
+}
+
+Result<std::unique_ptr<HashMap>> HashMap::Attach(txn::TxManager* mgr, uint64_t anchor_offset) {
+  if (mgr == nullptr) {
+    return Status::InvalidArgument("null manager");
+  }
+  if (mgr->heap()->ObjectSize(anchor_offset) < sizeof(Anchor)) {
+    return Status::InvalidArgument("anchor offset is not a live map anchor");
+  }
+  return std::unique_ptr<HashMap>(new HashMap(mgr, anchor_offset));
+}
+
+uint64_t HashMap::BucketWordOffset(uint64_t key) const {
+  const Anchor* a = anchor_view();
+  return a->buckets_off + (Mix(key) & (a->num_buckets - 1)) * sizeof(uint64_t);
+}
+
+Result<uint64_t> HashMap::MakeNode(txn::Tx& tx, uint64_t key, std::string_view value,
+                                   uint64_t next) {
+  const uint64_t bytes = offsetof(Node, data) + value.size();
+  Result<uint64_t> off = tx.Alloc(bytes, /*zero=*/false);
+  if (!off.ok()) {
+    return off.status();
+  }
+  Result<void*> w = tx.OpenWrite(*off, bytes);
+  if (!w.ok()) {
+    return w.status();
+  }
+  auto* node = static_cast<Node*>(*w);
+  node->key = key;
+  node->next = next;
+  node->vsize = static_cast<uint32_t>(value.size());
+  std::memcpy(node->data, value.data(), value.size());
+  return *off;
+}
+
+Status HashMap::DoPut(txn::Tx& tx, uint64_t key, std::string_view value, bool replace) {
+  // Declaring write intent on the bucket head is also the bucket lock; the
+  // chain is stable for the rest of the transaction.
+  const uint64_t word_off = BucketWordOffset(key);
+  Result<void*> hw = tx.OpenWrite(word_off, sizeof(uint64_t));
+  if (!hw.ok()) {
+    return hw.status();
+  }
+  auto* head = static_cast<uint64_t*>(*hw);
+
+  // Walk the chain looking for the key; remember the predecessor.
+  uint64_t prev = 0;
+  uint64_t cur = *head;
+  while (cur != 0) {
+    const Node* n = NodeAt(cur);
+    if (n->key == key) {
+      break;
+    }
+    prev = cur;
+    cur = n->next;
+  }
+
+  if (cur != 0) {
+    if (!replace) {
+      return Status::AlreadyExists("key present");
+    }
+    const Node* old = NodeAt(cur);
+    const uint64_t capacity = heap_->ObjectSize(cur);
+    if (capacity >= offsetof(Node, data) + value.size()) {
+      // Overwrite in place (whole-node intent).
+      Result<void*> nw = tx.OpenWrite(cur, 0);
+      if (!nw.ok()) {
+        return nw.status();
+      }
+      auto* node = static_cast<Node*>(*nw);
+      node->vsize = static_cast<uint32_t>(value.size());
+      std::memcpy(node->data, value.data(), value.size());
+      return Status::Ok();
+    }
+    // Replace the node: splice a fresh one in at the same position.
+    Result<uint64_t> fresh = MakeNode(tx, key, value, old->next);
+    if (!fresh.ok()) {
+      return fresh.status();
+    }
+    if (prev == 0) {
+      *head = *fresh;
+    } else {
+      Result<void*> pw = tx.OpenWrite(prev, 0);
+      if (!pw.ok()) {
+        return pw.status();
+      }
+      static_cast<Node*>(*pw)->next = *fresh;
+    }
+    return tx.Free(cur);
+  }
+
+  // Insert at head.
+  Result<uint64_t> fresh = MakeNode(tx, key, value, *head);
+  if (!fresh.ok()) {
+    return fresh.status();
+  }
+  *head = *fresh;
+  return Status::Ok();
+}
+
+Status HashMap::Put(uint64_t key, std::string_view value) {
+  return mgr_->RunWithRetries(
+      [&](txn::Tx& tx) { return DoPut(tx, key, value, /*replace=*/true); });
+}
+
+Status HashMap::Insert(uint64_t key, std::string_view value) {
+  return mgr_->RunWithRetries(
+      [&](txn::Tx& tx) { return DoPut(tx, key, value, /*replace=*/false); });
+}
+
+Result<std::string> HashMap::Get(uint64_t key) {
+  std::string out;
+  Status st = mgr_->RunWithRetries([&](txn::Tx& tx) -> Status {
+    const uint64_t word_off = BucketWordOffset(key);
+    // Dependent read on the bucket: wait out pending writers of this chain.
+    KAMINO_RETURN_IF_ERROR(tx.ReadLock(word_off));
+    uint64_t cur = *static_cast<const uint64_t*>(heap_->pool()->At(word_off));
+    while (cur != 0) {
+      const Node* n = NodeAt(cur);
+      if (n->key == key) {
+        KAMINO_RETURN_IF_ERROR(tx.ReadLock(cur));
+        out.assign(reinterpret_cast<const char*>(n->data), n->vsize);
+        return Status::Ok();
+      }
+      cur = n->next;
+    }
+    return Status::NotFound("key absent");
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  return out;
+}
+
+bool HashMap::Contains(uint64_t key) {
+  return Get(key).ok();
+}
+
+Status HashMap::Erase(uint64_t key) {
+  return mgr_->RunWithRetries([&](txn::Tx& tx) -> Status {
+    const uint64_t word_off = BucketWordOffset(key);
+    Result<void*> hw = tx.OpenWrite(word_off, sizeof(uint64_t));
+    if (!hw.ok()) {
+      return hw.status();
+    }
+    auto* head = static_cast<uint64_t*>(*hw);
+    uint64_t prev = 0;
+    uint64_t cur = *head;
+    while (cur != 0) {
+      const Node* n = NodeAt(cur);
+      if (n->key == key) {
+        break;
+      }
+      prev = cur;
+      cur = n->next;
+    }
+    if (cur == 0) {
+      return Status::NotFound("key absent");
+    }
+    const uint64_t next = NodeAt(cur)->next;
+    if (prev == 0) {
+      *head = next;
+    } else {
+      Result<void*> pw = tx.OpenWrite(prev, 0);
+      if (!pw.ok()) {
+        return pw.status();
+      }
+      static_cast<Node*>(*pw)->next = next;
+    }
+    return tx.Free(cur);
+  });
+}
+
+std::vector<std::pair<uint64_t, std::string>> HashMap::Items() const {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  const Anchor* a = anchor_view();
+  for (uint64_t b = 0; b < a->num_buckets; ++b) {
+    uint64_t cur = *static_cast<const uint64_t*>(
+        heap_->pool()->At(a->buckets_off + b * sizeof(uint64_t)));
+    while (cur != 0) {
+      const Node* n = NodeAt(cur);
+      out.emplace_back(n->key, std::string(reinterpret_cast<const char*>(n->data), n->vsize));
+      cur = n->next;
+    }
+  }
+  return out;
+}
+
+uint64_t HashMap::CountSlow() const { return Items().size(); }
+
+Status HashMap::Validate() const {
+  const Anchor* a = anchor_view();
+  std::vector<uint64_t> seen;
+  for (uint64_t b = 0; b < a->num_buckets; ++b) {
+    uint64_t cur = *static_cast<const uint64_t*>(
+        heap_->pool()->At(a->buckets_off + b * sizeof(uint64_t)));
+    uint64_t hops = 0;
+    while (cur != 0) {
+      const Node* n = NodeAt(cur);
+      if (heap_->ObjectSize(cur) < offsetof(Node, data) + n->vsize) {
+        return Status::Corruption("node not a live allocation of sufficient size");
+      }
+      if ((Mix(n->key) & (a->num_buckets - 1)) != b) {
+        return Status::Corruption("node on wrong chain");
+      }
+      seen.push_back(n->key);
+      cur = n->next;
+      if (++hops > 1u << 20) {
+        return Status::Corruption("chain cycle");
+      }
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  if (std::adjacent_find(seen.begin(), seen.end()) != seen.end()) {
+    return Status::Corruption("duplicate key");
+  }
+  return Status::Ok();
+}
+
+}  // namespace kamino::pds

@@ -1,0 +1,89 @@
+// Transactional persistent chained hash map.
+//
+// A fixed bucket array (one large persistent allocation) holds chain heads;
+// nodes are separate persistent objects with inline values. Unlike the
+// B+Tree and DList, this structure needs no volatile structure lock at all:
+// every writer's first action is to declare write intent on its bucket's
+// head word, so the engines' object locks serialize all work per bucket —
+// including the dependent-transaction wait on Kamino's pending objects —
+// while operations on different buckets run fully in parallel.
+//
+// Lock-granularity discipline (important): bucket head words are always
+// opened as 8-byte ranges at their own offset; chain nodes are always opened
+// whole. Mixing granularities for the same data would defeat the object
+// locks.
+
+#ifndef SRC_PDS_HASH_MAP_H_
+#define SRC_PDS_HASH_MAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/heap/heap.h"
+#include "src/txn/tx_manager.h"
+
+namespace kamino::pds {
+
+class HashMap {
+ public:
+  struct Anchor {
+    uint64_t buckets_off;  // Offset of the bucket array (num_buckets u64s).
+    uint64_t num_buckets;  // Power of two.
+  };
+
+  // Creates a map with a fixed bucket count (power of two).
+  static Result<std::unique_ptr<HashMap>> Create(txn::TxManager* mgr, uint64_t num_buckets);
+  static Result<std::unique_ptr<HashMap>> Attach(txn::TxManager* mgr, uint64_t anchor_offset);
+
+  uint64_t anchor() const { return anchor_off_; }
+
+  // Insert-or-replace.
+  Status Put(uint64_t key, std::string_view value);
+  // Insert-only; kAlreadyExists if present.
+  Status Insert(uint64_t key, std::string_view value);
+  Result<std::string> Get(uint64_t key);
+  Status Erase(uint64_t key);
+  bool Contains(uint64_t key);
+
+  // Full scan (diagnostic; not isolated against concurrent writers).
+  std::vector<std::pair<uint64_t, std::string>> Items() const;
+  uint64_t CountSlow() const;
+
+  // Invariants: every node hashes to the chain it is on, nodes are live
+  // allocations, no duplicate keys.
+  Status Validate() const;
+
+ private:
+  struct Node {
+    uint64_t key;
+    uint64_t next;
+    uint32_t vsize;
+    uint8_t data[4];  // Flexible-array idiom.
+  };
+
+  HashMap(txn::TxManager* mgr, uint64_t anchor_off)
+      : mgr_(mgr), heap_(mgr->heap()), anchor_off_(anchor_off) {}
+
+  const Anchor* anchor_view() const {
+    return static_cast<const Anchor*>(heap_->pool()->At(anchor_off_));
+  }
+  const Node* NodeAt(uint64_t off) const {
+    return static_cast<const Node*>(heap_->pool()->At(off));
+  }
+  uint64_t BucketWordOffset(uint64_t key) const;
+
+  Result<uint64_t> MakeNode(txn::Tx& tx, uint64_t key, std::string_view value, uint64_t next);
+
+  Status DoPut(txn::Tx& tx, uint64_t key, std::string_view value, bool replace);
+
+  txn::TxManager* mgr_;
+  heap::Heap* heap_;
+  uint64_t anchor_off_;
+};
+
+}  // namespace kamino::pds
+
+#endif  // SRC_PDS_HASH_MAP_H_

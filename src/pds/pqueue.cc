@@ -1,0 +1,168 @@
+#include "src/pds/pqueue.h"
+
+#include <cstring>
+
+namespace kamino::pds {
+
+Result<std::unique_ptr<PQueue>> PQueue::Create(txn::TxManager* mgr) {
+  if (mgr == nullptr) {
+    return Status::InvalidArgument("null manager");
+  }
+  uint64_t anchor_off = 0;
+  Status st = mgr->Run([&](txn::Tx& tx) -> Status {
+    Result<uint64_t> off = tx.Alloc(sizeof(Anchor));  // Zeroed.
+    if (!off.ok()) {
+      return off.status();
+    }
+    anchor_off = *off;
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  mgr->WaitIdle();
+  return std::unique_ptr<PQueue>(new PQueue(mgr, anchor_off));
+}
+
+Result<std::unique_ptr<PQueue>> PQueue::Attach(txn::TxManager* mgr, uint64_t anchor_offset) {
+  if (mgr == nullptr) {
+    return Status::InvalidArgument("null manager");
+  }
+  if (mgr->heap()->ObjectSize(anchor_offset) < sizeof(Anchor)) {
+    return Status::InvalidArgument("anchor offset is not a live queue anchor");
+  }
+  return std::unique_ptr<PQueue>(new PQueue(mgr, anchor_offset));
+}
+
+Result<uint64_t> PQueue::PushBack(std::string_view value) {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t seq = 0;
+  Status st = mgr_->RunWithRetries([&](txn::Tx& tx) -> Status {
+    const Anchor* a = anchor_view();
+    const uint64_t old_tail = a->tail;
+
+    const uint64_t bytes = offsetof(Node, data) + value.size();
+    Result<uint64_t> noff = tx.Alloc(bytes, /*zero=*/false);
+    if (!noff.ok()) {
+      return noff.status();
+    }
+    Result<void*> nw = tx.OpenWrite(*noff, bytes);
+    if (!nw.ok()) {
+      return nw.status();
+    }
+    Result<void*> aw = tx.OpenWrite(anchor_off_, sizeof(Anchor));
+    if (!aw.ok()) {
+      return aw.status();
+    }
+    auto* anchor_w = static_cast<Anchor*>(*aw);
+    auto* node = static_cast<Node*>(*nw);
+    node->next = 0;
+    node->seq = anchor_w->next_seq;
+    node->vsize = static_cast<uint32_t>(value.size());
+    std::memcpy(node->data, value.data(), value.size());
+
+    if (old_tail != 0) {
+      Result<void*> tw = tx.OpenWrite(old_tail, 0);
+      if (!tw.ok()) {
+        return tw.status();
+      }
+      static_cast<Node*>(*tw)->next = *noff;
+    } else {
+      anchor_w->head = *noff;
+    }
+    anchor_w->tail = *noff;
+    ++anchor_w->size;
+    seq = anchor_w->next_seq++;
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  return seq;
+}
+
+Result<std::string> PQueue::PopFront() {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::string out;
+  Status st = mgr_->RunWithRetries([&](txn::Tx& tx) -> Status {
+    const Anchor* a = anchor_view();
+    if (a->head == 0) {
+      return Status::NotFound("queue empty");
+    }
+    const uint64_t victim = a->head;
+    const Node* node = NodeAt(victim);
+    out.assign(reinterpret_cast<const char*>(node->data), node->vsize);
+
+    Result<void*> aw = tx.OpenWrite(anchor_off_, sizeof(Anchor));
+    if (!aw.ok()) {
+      return aw.status();
+    }
+    auto* anchor_w = static_cast<Anchor*>(*aw);
+    anchor_w->head = node->next;
+    if (anchor_w->head == 0) {
+      anchor_w->tail = 0;
+    }
+    --anchor_w->size;
+    return tx.Free(victim);
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  return out;
+}
+
+Result<std::string> PQueue::Front() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const Anchor* a = anchor_view();
+  if (a->head == 0) {
+    return Status::NotFound("queue empty");
+  }
+  const Node* node = NodeAt(a->head);
+  return std::string(reinterpret_cast<const char*>(node->data), node->vsize);
+}
+
+uint64_t PQueue::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return anchor_view()->size;
+}
+
+std::vector<std::string> PQueue::Items() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::string> out;
+  for (uint64_t cur = anchor_view()->head; cur != 0; cur = NodeAt(cur)->next) {
+    const Node* n = NodeAt(cur);
+    out.emplace_back(reinterpret_cast<const char*>(n->data), n->vsize);
+  }
+  return out;
+}
+
+Status PQueue::Validate() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const Anchor* a = anchor_view();
+  uint64_t count = 0;
+  uint64_t last = 0;
+  uint64_t prev_seq = 0;
+  for (uint64_t cur = a->head; cur != 0; cur = NodeAt(cur)->next) {
+    const Node* n = NodeAt(cur);
+    if (heap_->ObjectSize(cur) < offsetof(Node, data) + n->vsize) {
+      return Status::Corruption("node not a live allocation of sufficient size");
+    }
+    if (count > 0 && n->seq <= prev_seq) {
+      return Status::Corruption("sequence numbers not increasing");
+    }
+    prev_seq = n->seq;
+    last = cur;
+    if (++count > a->size + 1) {
+      return Status::Corruption("chain longer than size (cycle?)");
+    }
+  }
+  if (count != a->size) {
+    return Status::Corruption("size field mismatch");
+  }
+  if (last != a->tail) {
+    return Status::Corruption("tail mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace kamino::pds

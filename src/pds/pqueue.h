@@ -1,0 +1,81 @@
+// Transactional persistent FIFO queue.
+//
+// The paper's chain replicas buffer forwarded operations "in persistent
+// operation queues" (§5); this is that structure as a reusable PDS: a
+// singly-linked list of persistent nodes with head/tail anchors, where push,
+// pop and the contained payload commit atomically under any engine.
+
+#ifndef SRC_PDS_PQUEUE_H_
+#define SRC_PDS_PQUEUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/heap/heap.h"
+#include "src/txn/tx_manager.h"
+
+namespace kamino::pds {
+
+class PQueue {
+ public:
+  struct Anchor {
+    uint64_t head;  // Oldest node (0 = empty).
+    uint64_t tail;  // Newest node.
+    uint64_t size;
+    uint64_t next_seq;  // Monotonic id assigned to pushes.
+  };
+
+  static Result<std::unique_ptr<PQueue>> Create(txn::TxManager* mgr);
+  static Result<std::unique_ptr<PQueue>> Attach(txn::TxManager* mgr, uint64_t anchor_offset);
+
+  uint64_t anchor() const { return anchor_off_; }
+
+  // Appends `value`; returns the item's sequence number.
+  Result<uint64_t> PushBack(std::string_view value);
+
+  // Removes and returns the oldest item; kNotFound when empty.
+  Result<std::string> PopFront();
+
+  // Reads the oldest item without removing it; kNotFound when empty.
+  Result<std::string> Front() const;
+
+  uint64_t size() const;
+  bool empty() const { return size() == 0; }
+
+  // All items oldest-first (diagnostic).
+  std::vector<std::string> Items() const;
+
+  // Invariants: chain length == size field, tail reachable, nodes live.
+  Status Validate() const;
+
+ private:
+  struct Node {
+    uint64_t next;
+    uint64_t seq;
+    uint32_t vsize;
+    uint8_t data[4];  // Flexible-array idiom.
+  };
+
+  PQueue(txn::TxManager* mgr, uint64_t anchor_off)
+      : mgr_(mgr), heap_(mgr->heap()), anchor_off_(anchor_off) {}
+
+  const Anchor* anchor_view() const {
+    return static_cast<const Anchor*>(heap_->pool()->At(anchor_off_));
+  }
+  const Node* NodeAt(uint64_t off) const {
+    return static_cast<const Node*>(heap_->pool()->At(off));
+  }
+
+  txn::TxManager* mgr_;
+  heap::Heap* heap_;
+  uint64_t anchor_off_;
+  mutable std::mutex mu_;  // Serializes structural transactions.
+};
+
+}  // namespace kamino::pds
+
+#endif  // SRC_PDS_PQUEUE_H_

@@ -1,0 +1,48 @@
+// Cost model for Figure 16 ("normalized performance per dollar").
+//
+// The paper prices configurations with the AWS TCO calculator for Azure
+// A9-class machines (16 cores, 112 GB). The figure's point is relative:
+// Kamino-Tx-Simple doubles NVM capacity cost for the highest throughput,
+// Dynamic-α pays (1+α)×, undo-logging pays 1×. Any monotone per-GB price
+// reproduces the crossover, so the model is (base node $ + $/GB × NVM GB)
+// per month, with defaults loosely derived from 2016-era A9 pricing.
+
+#ifndef SRC_STATS_COST_MODEL_H_
+#define SRC_STATS_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace kamino::stats {
+
+struct CostModelOptions {
+  // Monthly cost of a server excluding the NVM (compute, network, ...).
+  double node_dollars = 800.0;
+  // Monthly cost per GB of NVM (the A9's 112 GB RAM at ~$1.5k/month memory
+  // share ≈ $13/GB; rounded).
+  double dollars_per_gb = 13.0;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const CostModelOptions& options = CostModelOptions())
+      : options_(options) {}
+
+  // Total monthly cost of `servers` nodes holding `nvm_bytes` of NVM overall.
+  double Dollars(int servers, uint64_t nvm_bytes) const {
+    return options_.node_dollars * servers +
+           options_.dollars_per_gb * (static_cast<double>(nvm_bytes) / (1ull << 30));
+  }
+
+  // Figure 16's metric.
+  double OpsPerSecPerDollar(double ops_per_sec, int servers, uint64_t nvm_bytes) const {
+    const double dollars = Dollars(servers, nvm_bytes);
+    return dollars <= 0 ? 0 : ops_per_sec / dollars;
+  }
+
+ private:
+  CostModelOptions options_;
+};
+
+}  // namespace kamino::stats
+
+#endif  // SRC_STATS_COST_MODEL_H_

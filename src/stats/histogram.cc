@@ -1,0 +1,126 @@
+#include "src/stats/histogram.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace kamino::stats {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets) {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+int LatencyHistogram::BucketFor(uint64_t nanos) {
+  if (nanos < kSub) {
+    return static_cast<int>(nanos);
+  }
+  // nanos in [2^(e + kSubBits), 2^(e + kSubBits + 1)) lands in super-bucket
+  // e+1, linear sub-bucket (nanos >> e) - kSub.
+  const int msb = 63 - __builtin_clzll(nanos);
+  const int exponent = msb - kSubBits;
+  const int sub = static_cast<int>(nanos >> exponent) - kSub;
+  const int index = (exponent + 1) * kSub + sub;
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+uint64_t LatencyHistogram::BucketLow(int index) {
+  if (index < kSub) {
+    return static_cast<uint64_t>(index);
+  }
+  const int exponent = index / kSub - 1;
+  const int sub = index % kSub;
+  return (uint64_t{kSub} + static_cast<uint64_t>(sub)) << exponent;
+}
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  buckets_[static_cast<size_t>(BucketFor(nanos))].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t prev = min_.load(std::memory_order_relaxed);
+  while (nanos < prev && !min_.compare_exchange_weak(prev, nanos, std::memory_order_relaxed)) {
+  }
+  prev = max_.load(std::memory_order_relaxed);
+  while (nanos > prev && !max_.compare_exchange_weak(prev, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)].fetch_add(
+        other.buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  const uint64_t omin = other.min_.load(std::memory_order_relaxed);
+  uint64_t prev = min_.load(std::memory_order_relaxed);
+  while (omin < prev && !min_.compare_exchange_weak(prev, omin, std::memory_order_relaxed)) {
+  }
+  const uint64_t omax = other.max_.load(std::memory_order_relaxed);
+  prev = max_.load(std::memory_order_relaxed);
+  while (omax > prev && !max_.compare_exchange_weak(prev, omax, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanNs() const {
+  const uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) / static_cast<double>(n);
+}
+
+uint64_t LatencyHistogram::PercentileNs(double p) const {
+  const uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  const auto target =
+      static_cast<uint64_t>(std::ceil(static_cast<double>(n) * p / 100.0));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      return BucketLow(i);
+    }
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "mean=%.2fus p50=%.2fus p99=%.2fus max=%.2fus n=%llu",
+                MeanNs() / 1000.0, static_cast<double>(PercentileNs(50)) / 1000.0,
+                static_cast<double>(PercentileNs(99)) / 1000.0,
+                static_cast<double>(MaxNs()) / 1000.0,
+                static_cast<unsigned long long>(count()));
+  return buf;
+}
+
+ScopedLatency::ScopedLatency(LatencyHistogram* hist) : hist_(hist), start_ns_(NowNanos()) {}
+
+ScopedLatency::~ScopedLatency() {
+  if (hist_ != nullptr) {
+    hist_->Record(NowNanos() - start_ns_);
+  }
+}
+
+}  // namespace kamino::stats

@@ -1,0 +1,66 @@
+// Latency histogram with logarithmic buckets (HdrHistogram-style), used by
+// the latency benchmarks (Figures 13, 14, 17) to report mean and tail
+// percentiles without per-sample storage.
+
+#ifndef SRC_STATS_HISTOGRAM_H_
+#define SRC_STATS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kamino::stats {
+
+class LatencyHistogram {
+ public:
+  // Buckets: 64 orders of magnitude (powers of two), 16 linear sub-buckets
+  // each — ~6% relative error, fixed footprint, lock-free recording.
+  LatencyHistogram();
+
+  void Record(uint64_t nanos);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double MeanNs() const;
+  uint64_t PercentileNs(double p) const;  // p in (0, 100].
+  uint64_t MinNs() const { return min_.load(std::memory_order_relaxed); }
+  uint64_t MaxNs() const { return max_.load(std::memory_order_relaxed); }
+
+  // "mean=1.2us p50=1.1us p99=3.4us" style summary.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBits = 4;
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kBuckets = 64 * kSub;
+
+  static int BucketFor(uint64_t nanos);
+  static uint64_t BucketLow(int index);
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~0ull};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Convenience RAII timer recording into a histogram.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram* hist);
+  ~ScopedLatency();
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  LatencyHistogram* hist_;
+  uint64_t start_ns_;
+};
+
+uint64_t NowNanos();
+
+}  // namespace kamino::stats
+
+#endif  // SRC_STATS_HISTOGRAM_H_

@@ -1,0 +1,403 @@
+#include "src/txn/backup_store.h"
+
+#include <cstring>
+
+#include "src/common/cacheline.h"
+#include "src/common/checksum.h"
+
+namespace kamino::txn {
+
+// --- FullBackupStore ---------------------------------------------------------
+
+FullBackupStore::FullBackupStore(nvm::Pool* main, nvm::Pool* backup)
+    : main_(main), backup_(backup) {}
+
+Status FullBackupStore::EnsureBackupCopy(uint64_t offset, uint64_t size, bool pin) {
+  // The full backup is kept identical to the main version for every object
+  // whose writing transaction has been applied; the lock protocol guarantees
+  // no transaction reaches here while its range is still pending. Nothing to
+  // do — this is the paper's "no copying in the critical path".
+  (void)offset;
+  (void)size;
+  (void)pin;
+  return Status::Ok();
+}
+
+Status FullBackupStore::ApplyFromMain(uint64_t offset, uint64_t size) {
+  std::memcpy(static_cast<uint8_t*>(backup_->At(offset)), main_->At(offset), size);
+  backup_->Persist(backup_->At(offset), size);
+  applies_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status FullBackupStore::RestoreToMain(uint64_t offset, uint64_t size) {
+  std::memcpy(static_cast<uint8_t*>(main_->At(offset)), backup_->At(offset), size);
+  main_->Persist(main_->At(offset), size);
+  restores_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void FullBackupStore::Invalidate(uint64_t offset) { (void)offset; }
+
+uint64_t FullBackupStore::backup_bytes() const { return backup_->size(); }
+
+BackupStats FullBackupStore::stats() const {
+  BackupStats s;
+  s.applies = applies_.load(std::memory_order_relaxed);
+  s.restores = restores_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FullBackupStore::SyncAll() {
+  std::memcpy(backup_->base(), main_->base(), main_->size());
+  backup_->Persist(backup_->base(), main_->size());
+}
+
+// --- DynamicBackupStore ------------------------------------------------------
+
+DynamicBackupStore::DynamicBackupStore(nvm::Pool* main, nvm::Pool* backup)
+    : main_(main), backup_(backup) {}
+
+uint64_t DynamicBackupStore::RequiredPoolSize(uint64_t data_budget_bytes,
+                                              uint64_t lookup_buckets) {
+  const uint64_t table = lookup_buckets * sizeof(Entry);
+  // Allocator needs headroom for chunk headers and partial chunks.
+  const uint64_t alloc_region =
+      AlignUp(data_budget_bytes + data_budget_bytes / 8, alloc::kChunkSize) +
+      4 * alloc::kChunkSize;
+  return AlignUp(4096 + table, 4096) + alloc_region;
+}
+
+Result<std::unique_ptr<DynamicBackupStore>> DynamicBackupStore::Create(
+    nvm::Pool* main, nvm::Pool* backup, const DynamicBackupOptions& options) {
+  if (main == nullptr || backup == nullptr) {
+    return Status::InvalidArgument("null pool");
+  }
+  if (!IsPowerOfTwo(options.lookup_buckets)) {
+    return Status::InvalidArgument("lookup_buckets must be a power of two");
+  }
+  auto store = std::unique_ptr<DynamicBackupStore>(new DynamicBackupStore(main, backup));
+  Status st = store->Format(options);
+  if (!st.ok()) {
+    return st;
+  }
+  return store;
+}
+
+Result<std::unique_ptr<DynamicBackupStore>> DynamicBackupStore::Open(nvm::Pool* main,
+                                                                     nvm::Pool* backup) {
+  if (main == nullptr || backup == nullptr) {
+    return Status::InvalidArgument("null pool");
+  }
+  auto store = std::unique_ptr<DynamicBackupStore>(new DynamicBackupStore(main, backup));
+  Status st = store->Attach();
+  if (!st.ok()) {
+    return st;
+  }
+  return store;
+}
+
+Status DynamicBackupStore::Format(const DynamicBackupOptions& options) {
+  lookup_buckets_ = options.lookup_buckets;
+  budget_bytes_ = options.budget_bytes;
+  table_offset_ = 4096;
+  const uint64_t table_bytes = lookup_buckets_ * sizeof(Entry);
+  const uint64_t alloc_offset = AlignUp(table_offset_ + table_bytes, 4096);
+  if (alloc_offset + alloc::kChunkSize + 8192 > backup_->size()) {
+    return Status::InvalidArgument("backup pool too small for table + one chunk");
+  }
+
+  std::memset(backup_->At(table_offset_), 0, table_bytes);
+  backup_->Persist(backup_->At(table_offset_), table_bytes);
+
+  Result<std::unique_ptr<alloc::Allocator>> a =
+      alloc::Allocator::Create(backup_, alloc_offset, backup_->size() - alloc_offset);
+  if (!a.ok()) {
+    return a.status();
+  }
+  slot_alloc_ = std::move(*a);
+
+  auto* sb = static_cast<Superblock*>(backup_->At(0));
+  sb->magic = kMagic;
+  sb->version = 1;
+  sb->lookup_buckets = lookup_buckets_;
+  sb->table_offset = table_offset_;
+  sb->alloc_offset = alloc_offset;
+  sb->budget_bytes = budget_bytes_;
+  sb->checksum = Crc64(sb, offsetof(Superblock, checksum));
+  backup_->Persist(sb, sizeof(Superblock));
+  return Status::Ok();
+}
+
+Status DynamicBackupStore::Attach() {
+  const auto* sb = static_cast<const Superblock*>(backup_->At(0));
+  if (sb->magic != kMagic) {
+    return Status::Corruption("dynamic backup superblock magic mismatch");
+  }
+  if (sb->checksum != Crc64(sb, offsetof(Superblock, checksum))) {
+    return Status::Corruption("dynamic backup superblock checksum mismatch");
+  }
+  lookup_buckets_ = sb->lookup_buckets;
+  table_offset_ = sb->table_offset;
+  budget_bytes_ = sb->budget_bytes;
+
+  Result<std::unique_ptr<alloc::Allocator>> a =
+      alloc::Allocator::Open(backup_, sb->alloc_offset);
+  if (!a.ok()) {
+    return a.status();
+  }
+  slot_alloc_ = std::move(*a);
+
+  // Rebuild the volatile index + LRU (arbitrary recency order — the copies
+  // are all equally "cold" after a restart).
+  for (uint64_t b = 0; b < lookup_buckets_; ++b) {
+    Entry* e = EntryAt(b);
+    if (e->state != 1) {
+      continue;
+    }
+    if (e->crc != EntryCrc(*e)) {
+      // Torn entry write: the insert never completed; treat as free.
+      e->state = 0;
+      backup_->PersistU64(&e->state);
+      continue;
+    }
+    lru_.push_front(e->key);
+    VolatileEntry ve;
+    ve.bucket = b;
+    ve.lru_it = lru_.begin();
+    ve.in_lru = true;
+    index_.emplace(e->key, ve);
+    resident_bytes_ += e->size;
+  }
+  return Status::Ok();
+}
+
+uint64_t DynamicBackupStore::EntryCrc(const Entry& e) {
+  return Crc64(&e, offsetof(Entry, crc));
+}
+
+uint64_t DynamicBackupStore::HashKey(uint64_t key) {
+  // Fibonacci hashing; keys are pool offsets with low-bit regularity.
+  return (key * 0x9E3779B97F4A7C15ull) >> 13;
+}
+
+Result<uint64_t> DynamicBackupStore::FindInsertBucketLocked(uint64_t key) {
+  const uint64_t mask = lookup_buckets_ - 1;
+  uint64_t b = HashKey(key) & mask;
+  for (uint64_t probe = 0; probe < lookup_buckets_; ++probe, b = (b + 1) & mask) {
+    const Entry* e = EntryAt(b);
+    if (e->state != 1) {
+      return b;  // Free or tombstone.
+    }
+  }
+  return Status::OutOfMemory("dynamic backup lookup table full");
+}
+
+void DynamicBackupStore::RemoveEntryLocked(uint64_t key, VolatileEntry& ve) {
+  Entry* e = EntryAt(ve.bucket);
+  const uint64_t slot_off = e->backup_off;
+  resident_bytes_ -= e->size;
+  e->state = 2;  // Tombstone; 8-byte store is failure-atomic.
+  backup_->PersistU64(&e->state);
+  (void)slot_alloc_->FreeRaw(slot_off);
+  if (ve.in_lru) {
+    lru_.erase(ve.lru_it);
+  }
+  index_.erase(key);
+}
+
+bool DynamicBackupStore::EvictOneLocked() {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const uint64_t key = *it;
+    auto idx = index_.find(key);
+    if (idx == index_.end()) {
+      continue;
+    }
+    if (idx->second.pins != 0) {
+      continue;  // Pending objects are never eviction candidates (paper §6.4).
+    }
+    RemoveEntryLocked(key, idx->second);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+Status DynamicBackupStore::InsertCopyLocked(uint64_t key, uint64_t size) {
+  // Enforce the α budget first, then allocate a slot (evicting cold copies
+  // if the pool itself is the binding constraint).
+  if (budget_bytes_ != 0) {
+    while (resident_bytes_ + size > budget_bytes_) {
+      if (!EvictOneLocked()) {
+        return Status::OutOfMemory("dynamic backup full of pinned copies");
+      }
+    }
+  }
+  Result<uint64_t> slot = slot_alloc_->AllocRaw(size);
+  while (!slot.ok()) {
+    if (!EvictOneLocked()) {
+      return Status::OutOfMemory("dynamic backup full of pinned copies");
+    }
+    slot = slot_alloc_->AllocRaw(size);
+  }
+  Result<uint64_t> bucket = FindInsertBucketLocked(key);
+  if (!bucket.ok()) {
+    (void)slot_alloc_->FreeRaw(*slot);
+    return bucket.status();
+  }
+
+  // Content first, then the table entry: a valid entry must never point at a
+  // slot whose copy is not durable.
+  std::memcpy(static_cast<uint8_t*>(backup_->At(*slot)), main_->At(key), size);
+  backup_->Persist(backup_->At(*slot), size);
+
+  Entry* e = EntryAt(*bucket);
+  e->key = key;
+  e->backup_off = *slot;
+  e->size = size;
+  e->state = 1;
+  e->crc = EntryCrc(*e);
+  backup_->Persist(e, sizeof(Entry));
+
+  lru_.push_front(key);
+  VolatileEntry ve;
+  ve.bucket = *bucket;
+  ve.lru_it = lru_.begin();
+  ve.in_lru = true;
+  index_.emplace(key, ve);
+  resident_bytes_ += size;
+  return Status::Ok();
+}
+
+Status DynamicBackupStore::EnsureBackupCopy(uint64_t offset, uint64_t size, bool pin) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = index_.find(offset);
+  if (it != index_.end()) {
+    Entry* e = EntryAt(it->second.bucket);
+    if (e->size >= size) {
+      ensure_hits_.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // Touch.
+      if (pin) {
+        ++it->second.pins;
+      }
+      return Status::Ok();
+    }
+    // Existing copy is too small (range grew): replace it.
+    RemoveEntryLocked(offset, it->second);
+  }
+  ensure_misses_.fetch_add(1, std::memory_order_relaxed);
+  Status st = InsertCopyLocked(offset, size);
+  if (!st.ok()) {
+    return st;
+  }
+  if (pin) {
+    auto inserted = index_.find(offset);
+    ++inserted->second.pins;
+  }
+  return Status::Ok();
+}
+
+Status DynamicBackupStore::ApplyFromMain(uint64_t offset, uint64_t size) {
+  std::lock_guard<std::mutex> guard(mu_);
+  applies_.fetch_add(1, std::memory_order_relaxed);
+  auto it = index_.find(offset);
+  if (it == index_.end()) {
+    // Freshly allocated object being rolled forward: create its copy now,
+    // off the critical path.
+    return InsertCopyLocked(offset, size);
+  }
+  Entry* e = EntryAt(it->second.bucket);
+  if (e->size < size) {
+    RemoveEntryLocked(offset, it->second);
+    return InsertCopyLocked(offset, size);
+  }
+  std::memcpy(static_cast<uint8_t*>(backup_->At(e->backup_off)), main_->At(offset), size);
+  backup_->Persist(backup_->At(e->backup_off), size);
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return Status::Ok();
+}
+
+Status DynamicBackupStore::RestoreToMain(uint64_t offset, uint64_t size) {
+  std::lock_guard<std::mutex> guard(mu_);
+  restores_.fetch_add(1, std::memory_order_relaxed);
+  auto it = index_.find(offset);
+  if (it == index_.end()) {
+    return Status::Corruption("no backup copy for pending object");
+  }
+  const Entry* e = EntryAt(it->second.bucket);
+  if (e->size < size) {
+    return Status::Corruption("backup copy smaller than restore range");
+  }
+  std::memcpy(static_cast<uint8_t*>(main_->At(offset)), backup_->At(e->backup_off), size);
+  main_->Persist(main_->At(offset), size);
+  return Status::Ok();
+}
+
+void DynamicBackupStore::Invalidate(uint64_t offset) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = index_.find(offset);
+  if (it == index_.end()) {
+    return;
+  }
+  RemoveEntryLocked(offset, it->second);
+}
+
+void DynamicBackupStore::Pin(uint64_t offset) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = index_.find(offset);
+  if (it != index_.end()) {
+    ++it->second.pins;
+  }
+}
+
+void DynamicBackupStore::Unpin(uint64_t offset) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = index_.find(offset);
+  if (it != index_.end() && it->second.pins > 0) {
+    --it->second.pins;
+  }
+}
+
+uint64_t DynamicBackupStore::backup_bytes() const { return backup_->size(); }
+
+BackupStats DynamicBackupStore::stats() const {
+  BackupStats s;
+  s.ensure_hits = ensure_hits_.load(std::memory_order_relaxed);
+  s.ensure_misses = ensure_misses_.load(std::memory_order_relaxed);
+  s.applies = applies_.load(std::memory_order_relaxed);
+  s.restores = restores_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void DynamicBackupStore::CompactAfterRecovery() {
+  std::lock_guard<std::mutex> guard(mu_);
+  // Slots referenced by valid lookup-table entries are live; anything else
+  // in the slot allocator was orphaned by a crash mid-eviction/insert.
+  std::unordered_map<uint64_t, bool> referenced;
+  for (const auto& [key, ve] : index_) {
+    referenced.emplace(EntryAt(ve.bucket)->backup_off, true);
+  }
+  std::vector<uint64_t> orphans;
+  slot_alloc_->ForEachAllocation([&](uint64_t off, uint64_t size) {
+    (void)size;
+    if (referenced.find(off) == referenced.end()) {
+      orphans.push_back(off);
+    }
+  });
+  for (uint64_t off : orphans) {
+    (void)slot_alloc_->FreeRaw(off);
+  }
+}
+
+bool DynamicBackupStore::HasCopy(uint64_t offset) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return index_.count(offset) != 0;
+}
+
+uint64_t DynamicBackupStore::resident_copies() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return index_.size();
+}
+
+}  // namespace kamino::txn

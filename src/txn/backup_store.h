@@ -1,0 +1,243 @@
+// Backup version of the heap (paper §3 "backup version", §4 "dynamic backup").
+//
+// The backup store answers four questions for the Kamino engine:
+//   - EnsureBackupCopy: before a transaction is allowed to modify an object
+//     in place, a consistent pre-transaction copy must exist ("Kamino-Tx
+//     ensures existence of a consistent copy of each persistent object before
+//     allowing a program to modify it"). For the full backup this is free;
+//     for the dynamic backup a miss costs one critical-path copy (the paper's
+//     stated trade-off for α < 1).
+//   - ApplyFromMain: roll the backup forward after commit (async applier, or
+//     recovery of a committed transaction).
+//   - RestoreToMain: roll the main version back (abort, or recovery of an
+//     incomplete transaction).
+//   - Invalidate: drop the copy of a freed object.
+//
+// FullBackupStore mirrors the entire pool at identical offsets
+// (Kamino-Tx-Simple, storage 2 × dataSize). DynamicBackupStore keeps copies
+// of only the hottest objects in a pool of size ≈ α × dataSize, indexed by a
+// *persistent* open-addressing hash table (recovery needs it) plus a volatile
+// LRU for eviction (paper Figure 7, §6.4). Pinned (pending) objects are never
+// evicted.
+
+#ifndef SRC_TXN_BACKUP_STORE_H_
+#define SRC_TXN_BACKUP_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/alloc/allocator.h"
+#include "src/common/status.h"
+#include "src/nvm/pool.h"
+
+namespace kamino::txn {
+
+struct BackupStats {
+  uint64_t ensure_hits = 0;
+  uint64_t ensure_misses = 0;  // Critical-path copies (dynamic only).
+  uint64_t applies = 0;
+  uint64_t restores = 0;
+  uint64_t evictions = 0;
+};
+
+class BackupStore {
+ public:
+  virtual ~BackupStore() = default;
+
+  // Guarantees a consistent pre-transaction copy of [offset, offset+size)
+  // exists. Must be called (and completed) before the range is modified.
+  // With `pin`, the copy is atomically pinned against eviction (released via
+  // Unpin once the applier has synced it, or on abort).
+  virtual Status EnsureBackupCopy(uint64_t offset, uint64_t size, bool pin = false) = 0;
+
+  // Copies main -> backup for the range; creates the copy if absent.
+  virtual Status ApplyFromMain(uint64_t offset, uint64_t size) = 0;
+
+  // Copies backup -> main for the range. Fails with kCorruption if no copy
+  // exists (the engine's invariants guarantee one does).
+  virtual Status RestoreToMain(uint64_t offset, uint64_t size) = 0;
+
+  // Forgets the copy anchored at `offset` (object freed).
+  virtual void Invalidate(uint64_t offset) = 0;
+
+  // Eviction guards for in-flight objects. No-ops for the full backup.
+  virtual void Pin(uint64_t offset) { (void)offset; }
+  virtual void Unpin(uint64_t offset) { (void)offset; }
+
+  // NVM bytes this store occupies (for Table 1 / Figure 16 accounting).
+  virtual uint64_t backup_bytes() const = 0;
+
+  virtual BackupStats stats() const = 0;
+
+  // Post-recovery housekeeping. The dynamic store reclaims backup slots
+  // orphaned by a crash between an entry's tombstone and its replacement
+  // (a bounded leak otherwise). No-op for other stores.
+  virtual void CompactAfterRecovery() {}
+};
+
+// --- Kamino-Tx-Simple: full mirror -----------------------------------------
+
+class FullBackupStore : public BackupStore {
+ public:
+  // `backup` must be at least as large as `main`. Offsets are shared.
+  FullBackupStore(nvm::Pool* main, nvm::Pool* backup);
+
+  Status EnsureBackupCopy(uint64_t offset, uint64_t size, bool pin = false) override;
+  Status ApplyFromMain(uint64_t offset, uint64_t size) override;
+  Status RestoreToMain(uint64_t offset, uint64_t size) override;
+  void Invalidate(uint64_t offset) override;
+  uint64_t backup_bytes() const override;
+  BackupStats stats() const override;
+
+  // Bulk main -> backup copy, for non-transactional bulk loads and for
+  // building a backup on a new chain head (paper §5.2).
+  void SyncAll();
+
+ private:
+  nvm::Pool* main_;
+  nvm::Pool* backup_;
+  std::atomic<uint64_t> applies_{0};
+  std::atomic<uint64_t> restores_{0};
+};
+
+// --- Kamino-Tx-Chain replica: no local backup --------------------------------
+
+// Non-head chain replicas keep no copies at all (paper §5): their neighbours
+// in the chain are the backup. Ensure/Apply are free; Restore fails loudly —
+// replica recovery fetches object state from a neighbour instead (the
+// chain's roll-forward / roll-back protocol, §5.3).
+class NullBackupStore : public BackupStore {
+ public:
+  Status EnsureBackupCopy(uint64_t, uint64_t, bool) override { return Status::Ok(); }
+  Status ApplyFromMain(uint64_t, uint64_t) override { return Status::Ok(); }
+  Status RestoreToMain(uint64_t, uint64_t) override {
+    return Status::Internal("chain replica has no local backup; recover from a neighbour");
+  }
+  void Invalidate(uint64_t) override {}
+  uint64_t backup_bytes() const override { return 0; }
+  BackupStats stats() const override { return BackupStats{}; }
+};
+
+// --- Kamino-Tx-Dynamic: partial backup --------------------------------------
+
+struct DynamicBackupOptions {
+  // Number of persistent lookup-table buckets (power of two). Should be at
+  // least ~2x the expected number of resident copies.
+  uint64_t lookup_buckets = 1 << 16;
+
+  // Copy budget in bytes (the paper's α × dataSize). Eviction keeps the sum
+  // of resident copy sizes at or below this. 0 means "bounded only by the
+  // backup pool's capacity".
+  uint64_t budget_bytes = 0;
+};
+
+class DynamicBackupStore : public BackupStore {
+ public:
+  // Pool size needed for a copy budget of `data_budget_bytes` (the paper's
+  // α × dataSize) with the given table size.
+  static uint64_t RequiredPoolSize(uint64_t data_budget_bytes, uint64_t lookup_buckets);
+
+  // Formats `backup` as a fresh dynamic backup region.
+  static Result<std::unique_ptr<DynamicBackupStore>> Create(nvm::Pool* main, nvm::Pool* backup,
+                                                            const DynamicBackupOptions& options);
+
+  // Reattaches after a restart; rebuilds the volatile index and LRU from the
+  // persistent lookup table.
+  static Result<std::unique_ptr<DynamicBackupStore>> Open(nvm::Pool* main, nvm::Pool* backup);
+
+  Status EnsureBackupCopy(uint64_t offset, uint64_t size, bool pin = false) override;
+  Status ApplyFromMain(uint64_t offset, uint64_t size) override;
+  Status RestoreToMain(uint64_t offset, uint64_t size) override;
+  void Invalidate(uint64_t offset) override;
+  void Pin(uint64_t offset) override;
+  void Unpin(uint64_t offset) override;
+  uint64_t backup_bytes() const override;
+  BackupStats stats() const override;
+
+  void CompactAfterRecovery() override;
+
+  // True iff a copy of the object at `offset` is resident (test hook).
+  bool HasCopy(uint64_t offset) const;
+  uint64_t resident_copies() const;
+  // Live bytes in the slot allocator (test hook; includes leaked slots until
+  // CompactAfterRecovery runs).
+  uint64_t slot_bytes_allocated() const { return slot_alloc_->stats().bytes_allocated; }
+
+ private:
+  // Persistent lookup-table entry: one cache line, self-validating. Torn
+  // writes are detected by the CRC and treated as free at Open().
+  struct Entry {
+    uint64_t key;         // Main-heap offset of the object.
+    uint64_t backup_off;  // Offset of the copy in the backup pool.
+    uint64_t size;
+    uint64_t state;       // 0 free, 1 valid, 2 tombstone.
+    uint64_t crc;         // Over the four fields above.
+    uint64_t pad[3];
+  };
+  static_assert(sizeof(Entry) == 64);
+
+  struct Superblock {
+    uint64_t magic;
+    uint64_t version;
+    uint64_t lookup_buckets;
+    uint64_t table_offset;
+    uint64_t alloc_offset;
+    uint64_t budget_bytes;
+    uint64_t checksum;
+  };
+  static constexpr uint64_t kMagic = 0x4B414D44594E424Bull;  // "KAMDYNBK"
+
+  struct VolatileEntry {
+    uint64_t bucket = 0;
+    std::list<uint64_t>::iterator lru_it;
+    uint32_t pins = 0;
+    bool in_lru = false;
+  };
+
+  DynamicBackupStore(nvm::Pool* main, nvm::Pool* backup);
+
+  Status Format(const DynamicBackupOptions& options);
+  Status Attach();
+
+  Entry* EntryAt(uint64_t bucket) {
+    return reinterpret_cast<Entry*>(static_cast<uint8_t*>(backup_->At(table_offset_)) +
+                                    bucket * sizeof(Entry));
+  }
+  static uint64_t EntryCrc(const Entry& e);
+  static uint64_t HashKey(uint64_t key);
+
+  // All helpers below require mu_ held.
+  // Inserts a copy of main [key, key+size) — allocates a slot (evicting as
+  // needed), copies, persists, and publishes the table entry.
+  Status InsertCopyLocked(uint64_t key, uint64_t size);
+  // Evicts the least-recently-used unpinned copy; false if none evictable.
+  bool EvictOneLocked();
+  void RemoveEntryLocked(uint64_t key, VolatileEntry& ve);
+  // Finds a free-or-tombstone bucket for `key` by linear probing.
+  Result<uint64_t> FindInsertBucketLocked(uint64_t key);
+
+  nvm::Pool* main_;
+  nvm::Pool* backup_;
+  std::unique_ptr<alloc::Allocator> slot_alloc_;
+  uint64_t lookup_buckets_ = 0;
+  uint64_t table_offset_ = 0;
+  uint64_t budget_bytes_ = 0;
+  uint64_t resident_bytes_ = 0;  // Guarded by mu_.
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, VolatileEntry> index_;
+  std::list<uint64_t> lru_;  // Front = most recently used. Values are keys.
+
+  std::atomic<uint64_t> ensure_hits_{0};
+  std::atomic<uint64_t> ensure_misses_{0};
+  std::atomic<uint64_t> applies_{0};
+  std::atomic<uint64_t> restores_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace kamino::txn
+
+#endif  // SRC_TXN_BACKUP_STORE_H_

@@ -1,0 +1,195 @@
+#include "src/txn/cow_engine.h"
+
+#include <cstring>
+
+namespace kamino::txn {
+
+Status CowEngine::Begin(TxContext* ctx) {
+  (void)ctx;  // The slot is acquired lazily on the first write intent.
+  return Status::Ok();
+}
+
+Result<void*> CowEngine::OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) {
+  auto existing = ctx->open_ranges.find(offset);
+  if (existing != ctx->open_ranges.end()) {
+    const Intent& in = ctx->intents[existing->second];
+    if (in.kind == IntentKind::kCowWrite) {
+      return pool()->At(in.aux);  // Shadow already exists.
+    }
+    return pool()->At(offset);  // Allocated in this transaction: edit directly.
+  }
+  Result<uint64_t> resolved = ResolveSize(offset, size);
+  if (!resolved.ok()) {
+    return resolved.status();
+  }
+  size = *resolved;
+
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+
+  // Critical-path shadow: allocate, record (so recovery can find or discard
+  // it), then copy the current contents in.
+  Result<alloc::Reservation> resv = heap_->allocator()->PrepareAlloc(size);
+  if (!resv.ok()) {
+    return resv.status();
+  }
+  Status st = log_->AppendRecord(ctx->slot, IntentKind::kCowWrite, offset, size, resv->offset);
+  if (!st.ok()) {
+    heap_->allocator()->CancelAlloc(*resv);
+    return st;
+  }
+  heap_->allocator()->CommitAlloc(*resv);
+  std::memcpy(pool()->At(resv->offset), pool()->At(offset), size);
+
+  ctx->open_ranges.emplace(offset, ctx->intents.size());
+  ctx->intents.push_back(Intent{IntentKind::kCowWrite, offset, size, resv->offset});
+  return pool()->At(resv->offset);
+}
+
+Result<uint64_t> CowEngine::Alloc(TxContext* ctx, uint64_t size) {
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  Result<alloc::Reservation> resv = heap_->allocator()->PrepareAlloc(size);
+  if (!resv.ok()) {
+    return resv.status();
+  }
+  Status st = LockWrite(ctx, resv->offset);
+  if (!st.ok()) {
+    heap_->allocator()->CancelAlloc(*resv);
+    return st;
+  }
+  st = log_->AppendRecord(ctx->slot, IntentKind::kAlloc, resv->offset, resv->size);
+  if (!st.ok()) {
+    heap_->allocator()->CancelAlloc(*resv);
+    return st;
+  }
+  heap_->allocator()->CommitAlloc(*resv);
+  ctx->open_ranges.emplace(resv->offset, ctx->intents.size());
+  ctx->intents.push_back(Intent{IntentKind::kAlloc, resv->offset, resv->size, 0});
+  return resv->offset;
+}
+
+Status CowEngine::Free(TxContext* ctx, uint64_t offset) {
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  Result<uint64_t> size = ResolveSize(offset, 0);
+  if (!size.ok()) {
+    return size.status();
+  }
+  KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size));
+  ctx->intents.push_back(Intent{IntentKind::kFree, offset, *size, 0});
+  return Status::Ok();
+}
+
+Status CowEngine::Commit(std::unique_ptr<TxContext> ctx) {
+  if (!ctx->slot.valid()) {
+    ReleaseWriteLocks(ctx.get());
+    committed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  // 1. Persist the shadows and any objects allocated in this transaction.
+  bool flushed = false;
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kCowWrite) {
+      pool()->Flush(pool()->At(in.aux), in.size);
+      flushed = true;
+    } else if (in.kind == IntentKind::kAlloc) {
+      pool()->Flush(pool()->At(in.offset), in.size);
+      flushed = true;
+    }
+  }
+  if (flushed) {
+    pool()->Drain();
+  }
+  // 2. Durable commit point.
+  log_->SetState(ctx->slot, TxState::kCommitted);
+  // 3. Install shadows over the originals (redo; replayed by recovery if we
+  //    crash mid-install).
+  bool installed = false;
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kCowWrite) {
+      std::memcpy(pool()->At(in.offset), pool()->At(in.aux), in.size);
+      pool()->Flush(pool()->At(in.offset), in.size);
+      installed = true;
+    }
+  }
+  if (installed) {
+    pool()->Drain();
+  }
+  // 4. Cleanup: delete shadows, execute deferred frees, release.
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kCowWrite) {
+      KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.aux));
+    } else if (in.kind == IntentKind::kFree) {
+      KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRawKeepReserved(in.offset));
+    }
+  }
+  log_->ReleaseSlot(ctx->slot);
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kFree) {
+      heap_->allocator()->ReleaseReservation(in.offset);
+    }
+  }
+  ReleaseWriteLocks(ctx.get());
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status CowEngine::Abort(TxContext* ctx) {
+  if (!ctx->slot.valid()) {
+    ReleaseWriteLocks(ctx);
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  log_->SetState(ctx->slot, TxState::kAborted);
+  for (auto it = ctx->intents.rbegin(); it != ctx->intents.rend(); ++it) {
+    switch (it->kind) {
+      case IntentKind::kCowWrite:
+        KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(it->aux));
+        break;
+      case IntentKind::kAlloc:
+        KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(it->offset));
+        break;
+      case IntentKind::kFree:
+        break;
+      default:
+        break;
+    }
+  }
+  log_->ReleaseSlot(ctx->slot);
+  ReleaseWriteLocks(ctx);
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status CowEngine::Recover() {
+  std::vector<RecoveredTx> txs = log_->ScanForRecovery();
+  for (const RecoveredTx& tx : txs) {
+    SlotHandle handle = log_->HandleForRecovered(tx);
+    if (tx.state == TxState::kCommitted) {
+      // Redo the install from the durable shadows, then clean up.
+      for (const Intent& in : tx.intents) {
+        if (in.kind == IntentKind::kCowWrite) {
+          std::memcpy(pool()->At(in.offset), pool()->At(in.aux), in.size);
+          pool()->Persist(pool()->At(in.offset), in.size);
+          KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.aux));
+        } else if (in.kind == IntentKind::kFree) {
+          KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
+        }
+      }
+      recovered_forward_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      for (const Intent& in : tx.intents) {
+        if (in.kind == IntentKind::kCowWrite) {
+          KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.aux));
+        } else if (in.kind == IntentKind::kAlloc) {
+          KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
+        }
+      }
+      recovered_back_.fetch_add(1, std::memory_order_relaxed);
+    }
+    log_->ReleaseSlot(handle);
+  }
+  return Status::Ok();
+}
+
+}  // namespace kamino::txn

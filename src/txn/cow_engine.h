@@ -1,0 +1,38 @@
+// Copy-on-write engine — the second classical baseline (paper §1, Figure 2
+// middle; the NVM-CoW scheme of Arulraj et al. discussed in §2).
+//
+// TX_ADD allocates a persistent shadow copy in the critical path and returns
+// a pointer to it; the transaction edits the shadow. At commit the shadows
+// are persisted, the commit record flips, and the shadows are installed over
+// the originals (a redo step that recovery can replay). Abort just deletes
+// the shadows. The critical-path costs are the shadow allocation + copy —
+// again exactly what Kamino-Tx eliminates.
+
+#ifndef SRC_TXN_COW_ENGINE_H_
+#define SRC_TXN_COW_ENGINE_H_
+
+#include "src/txn/engine_base.h"
+
+namespace kamino::txn {
+
+class CowEngine : public EngineBase {
+ public:
+  CowEngine(heap::Heap* heap, LogManager* log, LockManager* locks)
+      : EngineBase(heap, log, locks) {}
+
+  EngineType type() const override { return EngineType::kCow; }
+
+  Status Begin(TxContext* ctx) override;
+  // Returns a pointer to the *shadow* copy: all edits (and reads of the
+  // object within this transaction) must go through it.
+  Result<void*> OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) override;
+  Result<uint64_t> Alloc(TxContext* ctx, uint64_t size) override;
+  Status Free(TxContext* ctx, uint64_t offset) override;
+  Status Commit(std::unique_ptr<TxContext> ctx) override;
+  Status Abort(TxContext* ctx) override;
+  Status Recover() override;
+};
+
+}  // namespace kamino::txn
+
+#endif  // SRC_TXN_COW_ENGINE_H_

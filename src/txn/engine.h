@@ -1,0 +1,100 @@
+// The atomicity-engine interface.
+//
+// All five engines sit behind the same NVML-shaped transactional API (paper
+// Table 2): they differ only in what declaring a write intent, committing,
+// aborting and recovering do. This mirrors the paper's deployment story —
+// "any application that works with NVML just needs to be re-linked to work
+// with Kamino-Tx" — and keeps baseline comparisons honest: every code path
+// outside the atomicity mechanism is identical.
+//
+//   KaminoSimpleEngine   in-place updates, full asynchronous backup (§3).
+//   KaminoDynamicEngine  in-place updates, partial (α) backup (§4).
+//   UndoLogEngine        NVML-faithful undo logging: object snapshots copied
+//                        into the log in the critical path.
+//   CowEngine            copy-on-write: edits go to shadow copies installed
+//                        at commit.
+//   NoLoggingEngine      no atomicity (Figure 1's "No Logging" bound).
+
+#ifndef SRC_TXN_ENGINE_H_
+#define SRC_TXN_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/txn/tx_context.h"
+
+namespace kamino::txn {
+
+enum class EngineType {
+  kKaminoSimple,
+  kKaminoDynamic,
+  kUndoLog,
+  kCow,
+  kRedoLog,
+  kNoLogging,
+  // Kamino-Tx-Chain non-head replica (paper §5): in-place updates with
+  // intent logging but NO local backup — the chain neighbours serve as the
+  // copies to roll forward/back during recovery, so local aborts are not
+  // supported (only committed transactions are admitted downstream).
+  kChainReplica,
+};
+
+const char* EngineTypeName(EngineType type);
+
+struct EngineStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t applied = 0;        // Transactions fully synced to the backup.
+  uint64_t recovered_forward = 0;
+  uint64_t recovered_back = 0;
+};
+
+class AtomicityEngine {
+ public:
+  virtual ~AtomicityEngine() = default;
+
+  virtual EngineType type() const = 0;
+
+  // Attaches engine resources to a fresh transaction.
+  virtual Status Begin(TxContext* ctx) = 0;
+
+  // Declares write intent on [offset, offset+size) and returns the pointer
+  // through which the caller must perform the writes (the in-place location
+  // for in-place engines; the shadow copy for CoW). Blocks if the range is
+  // part of another transaction's pending set (dependent transaction).
+  virtual Result<void*> OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) = 0;
+
+  // Transactionally allocates `size` bytes. The new object is write-locked
+  // and rolled back (freed) if the transaction does not commit.
+  virtual Result<uint64_t> Alloc(TxContext* ctx, uint64_t size) = 0;
+
+  // Transactionally frees the object at `offset`; takes effect only if the
+  // transaction commits.
+  virtual Status Free(TxContext* ctx, uint64_t offset) = 0;
+
+  // Commits. Takes ownership of the context: the Kamino engines hand it to
+  // the asynchronous applier, which later syncs the backup and releases the
+  // write locks; other engines resolve everything inline.
+  virtual Status Commit(std::unique_ptr<TxContext> ctx) = 0;
+
+  // Aborts, rolling back every declared intent, and releases all locks.
+  virtual Status Abort(TxContext* ctx) = 0;
+
+  // Crash recovery: resolves every transaction left in the intent log
+  // (incomplete transactions are treated as aborted, paper §3).
+  virtual Status Recover() = 0;
+
+  // Blocks until all committed transactions are fully applied (backup in
+  // sync, locks released). Used by tests, benchmarks and shutdown.
+  virtual void WaitIdle() {}
+
+  // NVM bytes used beyond the main heap (backup pools), for Table 1.
+  virtual uint64_t backup_bytes() const { return 0; }
+
+  virtual EngineStats stats() const = 0;
+};
+
+}  // namespace kamino::txn
+
+#endif  // SRC_TXN_ENGINE_H_

@@ -1,0 +1,106 @@
+// Shared plumbing for the atomicity engines: heap/log/lock access, intent
+// bookkeeping, and the batched flush of a transaction's write set.
+
+#ifndef SRC_TXN_ENGINE_BASE_H_
+#define SRC_TXN_ENGINE_BASE_H_
+
+#include <atomic>
+
+#include "src/heap/heap.h"
+#include "src/txn/engine.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/log_manager.h"
+
+namespace kamino::txn {
+
+class EngineBase : public AtomicityEngine {
+ public:
+  EngineStats stats() const override {
+    EngineStats s;
+    s.committed = committed_.load(std::memory_order_relaxed);
+    s.aborted = aborted_.load(std::memory_order_relaxed);
+    s.applied = applied_.load(std::memory_order_relaxed);
+    s.recovered_forward = recovered_forward_.load(std::memory_order_relaxed);
+    s.recovered_back = recovered_back_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ protected:
+  EngineBase(heap::Heap* heap, LogManager* log, LockManager* locks)
+      : heap_(heap), log_(log), locks_(locks) {}
+
+  nvm::Pool* pool() { return heap_->pool(); }
+
+  // Log slots are acquired lazily on the first write intent: read-only
+  // transactions (the bulk of YCSB B/C/D) never touch the log at all, as in
+  // NVML, and never involve the asynchronous applier.
+  Status EnsureSlot(TxContext* ctx) {
+    if (ctx->slot.valid()) {
+      return Status::Ok();
+    }
+    Result<SlotHandle> slot = log_->AcquireSlot(ctx->txid);
+    if (!slot.ok()) {
+      return slot.status();
+    }
+    ctx->slot = *slot;
+    return Status::Ok();
+  }
+
+  // Resolves a caller-supplied size: 0 means "the whole object at offset".
+  Result<uint64_t> ResolveSize(uint64_t offset, uint64_t size) {
+    if (size != 0) {
+      return size;
+    }
+    const uint64_t object = heap_->ObjectSize(offset);
+    if (object == 0) {
+      return Status::InvalidArgument("offset is not an allocation start; pass a size");
+    }
+    return object;
+  }
+
+  // Acquires the write lock on `key` and records it for release.
+  Status LockWrite(TxContext* ctx, uint64_t key) {
+    Status st = locks_->AcquireWrite(key, ctx->txid);
+    if (!st.ok()) {
+      return st;
+    }
+    ctx->write_lock_keys.push_back(key);
+    return Status::Ok();
+  }
+
+  void ReleaseWriteLocks(TxContext* ctx) {
+    for (uint64_t key : ctx->write_lock_keys) {
+      locks_->ReleaseWrite(key, ctx->txid);
+    }
+    ctx->write_lock_keys.clear();
+  }
+
+  // Flushes every kWrite/kAlloc range in the write set, then drains once.
+  // This is the only data-persistence work common to all engines' commits.
+  void FlushWriteRanges(TxContext* ctx) {
+    bool flushed = false;
+    for (const Intent& in : ctx->intents) {
+      if (in.kind == IntentKind::kWrite || in.kind == IntentKind::kAlloc) {
+        pool()->Flush(pool()->At(in.offset), in.size);
+        flushed = true;
+      }
+    }
+    if (flushed) {
+      pool()->Drain();
+    }
+  }
+
+  heap::Heap* heap_;
+  LogManager* log_;
+  LockManager* locks_;
+
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> applied_{0};
+  std::atomic<uint64_t> recovered_forward_{0};
+  std::atomic<uint64_t> recovered_back_{0};
+};
+
+}  // namespace kamino::txn
+
+#endif  // SRC_TXN_ENGINE_BASE_H_

@@ -1,0 +1,282 @@
+#include "src/txn/kamino_engine.h"
+
+#include <cstring>
+
+namespace kamino::txn {
+
+KaminoEngine::KaminoEngine(heap::Heap* heap, LogManager* log, LockManager* locks,
+                           BackupStore* store, bool dynamic, int applier_threads)
+    : EngineBase(heap, log, locks), store_(store), dynamic_(dynamic) {
+  if (applier_threads < 1) {
+    applier_threads = 1;
+  }
+  appliers_.reserve(static_cast<size_t>(applier_threads));
+  for (int i = 0; i < applier_threads; ++i) {
+    appliers_.emplace_back([this] { ApplierLoop(); });
+  }
+}
+
+KaminoEngine::~KaminoEngine() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& t : appliers_) {
+    t.join();
+  }
+}
+
+Status KaminoEngine::Begin(TxContext* ctx) {
+  (void)ctx;  // The slot is acquired lazily on the first write intent.
+  return Status::Ok();
+}
+
+Result<void*> KaminoEngine::OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) {
+  auto existing = ctx->open_ranges.find(offset);
+  if (existing != ctx->open_ranges.end()) {
+    // Already open (possibly via Alloc); edits go straight to the main copy.
+    return pool()->At(offset);
+  }
+  Result<uint64_t> resolved = ResolveSize(offset, size);
+  if (!resolved.ok()) {
+    return resolved.status();
+  }
+  size = *resolved;
+
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  // Declaring write intent = taking the object lock (paper §3). If the
+  // object is pending (a prior transaction's backup sync is outstanding)
+  // this blocks — the dependent-transaction wait.
+  KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+
+  // A consistent pre-transaction copy must exist before the first in-place
+  // store. Free for the full backup; a critical-path copy on a dynamic miss.
+  KAMINO_RETURN_IF_ERROR(store_->EnsureBackupCopy(offset, size, /*pin=*/true));
+
+  KAMINO_RETURN_IF_ERROR(
+      log_->AppendRecord(ctx->slot, IntentKind::kWrite, offset, size));
+  ctx->open_ranges.emplace(offset, ctx->intents.size());
+  ctx->intents.push_back(Intent{IntentKind::kWrite, offset, size, 0});
+  return pool()->At(offset);
+}
+
+Result<uint64_t> KaminoEngine::Alloc(TxContext* ctx, uint64_t size) {
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  Result<alloc::Reservation> resv = heap_->allocator()->PrepareAlloc(size);
+  if (!resv.ok()) {
+    return resv.status();
+  }
+  // Lock first (trivially uncontended — the object is not yet reachable),
+  // then make the intent durable *before* any persistent allocator metadata
+  // changes so recovery can always compensate.
+  Status st = LockWrite(ctx, resv->offset);
+  if (!st.ok()) {
+    heap_->allocator()->CancelAlloc(*resv);
+    return st;
+  }
+  st = log_->AppendRecord(ctx->slot, IntentKind::kAlloc, resv->offset, resv->size);
+  if (!st.ok()) {
+    heap_->allocator()->CancelAlloc(*resv);
+    return st;
+  }
+  heap_->allocator()->CommitAlloc(*resv);
+  ctx->open_ranges.emplace(resv->offset, ctx->intents.size());
+  ctx->intents.push_back(Intent{IntentKind::kAlloc, resv->offset, resv->size, 0});
+  return resv->offset;
+}
+
+Status KaminoEngine::Free(TxContext* ctx, uint64_t offset) {
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  Result<uint64_t> size = ResolveSize(offset, 0);
+  if (!size.ok()) {
+    return size.status();
+  }
+  KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size));
+  ctx->intents.push_back(Intent{IntentKind::kFree, offset, *size, 0});
+  return Status::Ok();
+}
+
+Status KaminoEngine::Commit(std::unique_ptr<TxContext> ctx) {
+  if (!ctx->slot.valid()) {
+    // Read-only transaction: nothing persistent happened; no applier trip.
+    ReleaseWriteLocks(ctx.get());
+    committed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  // 1. Make the in-place edits durable (batched: one drain).
+  FlushWriteRanges(ctx.get());
+  // 2. Durable commit point.
+  log_->SetState(ctx->slot, TxState::kCommitted);
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  // 3. Hand the context to the asynchronous Transaction Coordinator. The
+  //    write locks remain held until the backup is in sync — the transaction
+  //    itself is done: no data was copied on this thread.
+  //
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    queue_.push_back(std::move(ctx));
+    ++in_flight_;
+  }
+  queue_cv_.notify_one();
+  return Status::Ok();
+}
+
+void KaminoEngine::ApplyCommitted(TxContext* ctx) {
+  for (const Intent& in : ctx->intents) {
+    switch (in.kind) {
+      case IntentKind::kWrite:
+        (void)store_->ApplyFromMain(in.offset, in.size);
+        store_->Unpin(in.offset);
+        break;
+      case IntentKind::kAlloc:
+        (void)store_->ApplyFromMain(in.offset, in.size);
+        break;
+      case IntentKind::kFree:
+        store_->Invalidate(in.offset);
+        (void)heap_->allocator()->FreeRawKeepReserved(in.offset);
+        break;
+      default:
+        break;
+    }
+  }
+  log_->ReleaseSlot(ctx->slot);
+  // Freed slots become reusable only after the intent log no longer refers
+  // to them (a recovered re-free must never hit a re-allocated object).
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kFree) {
+      heap_->allocator()->ReleaseReservation(in.offset);
+    }
+  }
+  ReleaseWriteLocks(ctx);
+  applied_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void KaminoEngine::ApplierLoop() {
+  for (;;) {
+    std::unique_ptr<TxContext> ctx;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [&] { return stop_ || (!paused_ && !queue_.empty()); });
+      // Drain remaining work on shutdown unless a crash test froze the
+      // applier with PauseApplier.
+      if (queue_.empty() || paused_) {
+        if (stop_) {
+          return;
+        }
+        continue;
+      }
+      ctx = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ApplyCommitted(ctx.get());
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void KaminoEngine::WaitIdle() {
+  std::unique_lock<std::mutex> lk(queue_mu_);
+  idle_cv_.wait(lk, [&] { return paused_ || (in_flight_ == 0 && queue_.empty()); });
+}
+
+void KaminoEngine::PauseApplier(bool paused) {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    paused_ = paused;
+  }
+  queue_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+void KaminoEngine::DiscardPendingForCrashTest() {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  in_flight_ -= queue_.size();
+  queue_.clear();
+}
+
+Status KaminoEngine::Abort(TxContext* ctx) {
+  if (!ctx->slot.valid()) {
+    ReleaseWriteLocks(ctx);
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  log_->SetState(ctx->slot, TxState::kAborted);
+  // Roll the main version back from the backup, newest intent first.
+  for (auto it = ctx->intents.rbegin(); it != ctx->intents.rend(); ++it) {
+    switch (it->kind) {
+      case IntentKind::kWrite: {
+        Status st = store_->RestoreToMain(it->offset, it->size);
+        store_->Unpin(it->offset);
+        if (!st.ok()) {
+          return st;
+        }
+        break;
+      }
+      case IntentKind::kAlloc:
+        KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(it->offset));
+        break;
+      case IntentKind::kFree:
+        break;  // Deferred; nothing happened.
+      default:
+        break;
+    }
+  }
+  log_->ReleaseSlot(ctx->slot);
+  ReleaseWriteLocks(ctx);
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status KaminoEngine::Recover() {
+  std::vector<RecoveredTx> txs = log_->ScanForRecovery();
+  for (const RecoveredTx& tx : txs) {
+    SlotHandle handle = log_->HandleForRecovered(tx);
+    if (tx.state == TxState::kCommitted) {
+      // Roll forward: the main version carries the committed data; bring the
+      // backup (and deferred frees) up to date.
+      for (const Intent& in : tx.intents) {
+        switch (in.kind) {
+          case IntentKind::kWrite:
+          case IntentKind::kAlloc:
+            KAMINO_RETURN_IF_ERROR(store_->ApplyFromMain(in.offset, in.size));
+            break;
+          case IntentKind::kFree:
+            store_->Invalidate(in.offset);
+            KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
+            break;
+          default:
+            break;
+        }
+      }
+      recovered_forward_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Running or aborted: incomplete transactions are treated as aborted
+      // (paper §3) — restore the pre-transaction values from the backup.
+      for (auto it = tx.intents.rbegin(); it != tx.intents.rend(); ++it) {
+        switch (it->kind) {
+          case IntentKind::kWrite:
+            KAMINO_RETURN_IF_ERROR(store_->RestoreToMain(it->offset, it->size));
+            break;
+          case IntentKind::kAlloc:
+            KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(it->offset));
+            break;
+          case IntentKind::kFree:
+            break;
+          default:
+            break;
+        }
+      }
+      recovered_back_.fetch_add(1, std::memory_order_relaxed);
+    }
+    log_->ReleaseSlot(handle);
+  }
+  store_->CompactAfterRecovery();
+  return Status::Ok();
+}
+
+}  // namespace kamino::txn

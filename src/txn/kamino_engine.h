@@ -1,0 +1,91 @@
+// Kamino-Tx atomicity engine (paper §3 "Kamino-Tx-Simple", §4 "-Dynamic").
+//
+// Transactions edit the main heap *in place*. The only critical-path
+// persistence work is the intent log (object addresses — one cache line per
+// object) and the final flush of the modified ranges. After the commit
+// record is durable the transaction returns; a background Transaction
+// Coordinator thread then copies the modified objects to the backup version
+// and only afterwards releases the objects' write locks. Dependent
+// transactions — whose read/write set intersects a pending write set — block
+// on those locks until main and backup agree (paper's Safety 1 & 2).
+//
+// Aborts copy the untouched backup values over the main version in the
+// aborting thread (aborts are rare; Figure 6). Recovery treats incomplete
+// transactions as aborted: committed-but-unapplied transactions are rolled
+// forward into the backup, everything else is rolled back from it.
+//
+// The Simple/Dynamic distinction is entirely inside the BackupStore: a full
+// mirror never costs anything at OpenWrite time, while the dynamic (partial)
+// store pays one critical-path copy per cold object (paper §4).
+
+#ifndef SRC_TXN_KAMINO_ENGINE_H_
+#define SRC_TXN_KAMINO_ENGINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/txn/backup_store.h"
+#include "src/txn/engine_base.h"
+
+namespace kamino::txn {
+
+class KaminoEngine : public EngineBase {
+ public:
+  // `store` outlives the engine; `dynamic` selects the Dynamic flavour
+  // (enables pinning + critical-path copies on cold objects).
+  KaminoEngine(heap::Heap* heap, LogManager* log, LockManager* locks, BackupStore* store,
+               bool dynamic, int applier_threads = 1);
+  ~KaminoEngine() override;
+
+  EngineType type() const override {
+    return dynamic_ ? EngineType::kKaminoDynamic : EngineType::kKaminoSimple;
+  }
+
+  Status Begin(TxContext* ctx) override;
+  Result<void*> OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) override;
+  Result<uint64_t> Alloc(TxContext* ctx, uint64_t size) override;
+  Status Free(TxContext* ctx, uint64_t offset) override;
+  Status Commit(std::unique_ptr<TxContext> ctx) override;
+  Status Abort(TxContext* ctx) override;
+  Status Recover() override;
+  void WaitIdle() override;
+  uint64_t backup_bytes() const override { return store_->backup_bytes(); }
+
+  BackupStore* store() { return store_; }
+
+  // --- Crash-test hooks -------------------------------------------------
+  // Pausing stops appliers from dequeuing new work, freezing committed
+  // transactions in the "committed but not applied" window so tests can
+  // crash there deterministically.
+  void PauseApplier(bool paused);
+  // Drops all queued (unapplied) contexts, modelling the process dying
+  // before the Transaction Coordinator ran. Locks they held are NOT
+  // released — callers are about to throw the whole manager away.
+  void DiscardPendingForCrashTest();
+
+ private:
+  void ApplierLoop();
+  // Rolls a committed transaction forward into the backup and releases its
+  // locks. Runs on an applier thread (or inline during recovery).
+  void ApplyCommitted(TxContext* ctx);
+
+  BackupStore* store_;
+  bool dynamic_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::unique_ptr<TxContext>> queue_;
+  uint64_t in_flight_ = 0;
+  bool stop_ = false;
+  bool paused_ = false;
+  std::vector<std::thread> appliers_;
+};
+
+}  // namespace kamino::txn
+
+#endif  // SRC_TXN_KAMINO_ENGINE_H_

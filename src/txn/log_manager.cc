@@ -1,0 +1,229 @@
+#include "src/txn/log_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/cacheline.h"
+#include "src/common/checksum.h"
+
+namespace kamino::txn {
+
+LogManager::LogManager(nvm::Pool* pool, uint64_t region_offset)
+    : pool_(pool), region_offset_(region_offset) {}
+
+Result<std::unique_ptr<LogManager>> LogManager::Create(nvm::Pool* pool, uint64_t region_offset,
+                                                       uint64_t region_size,
+                                                       const LogOptions& options) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("null pool");
+  }
+  auto lm = std::unique_ptr<LogManager>(new LogManager(pool, region_offset));
+  Status st = lm->Format(region_size, options);
+  if (!st.ok()) {
+    return st;
+  }
+  return lm;
+}
+
+Result<std::unique_ptr<LogManager>> LogManager::Open(nvm::Pool* pool, uint64_t region_offset) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("null pool");
+  }
+  auto lm = std::unique_ptr<LogManager>(new LogManager(pool, region_offset));
+  Status st = lm->Attach();
+  if (!st.ok()) {
+    return st;
+  }
+  return lm;
+}
+
+Status LogManager::Format(uint64_t region_size, const LogOptions& options) {
+  if (options.num_slots == 0 || options.max_records == 0) {
+    return Status::InvalidArgument("log options must be non-zero");
+  }
+  const uint64_t min_slot = kSlotHeaderSize + options.max_records * kRecordSize;
+  if (options.slot_size < min_slot) {
+    return Status::InvalidArgument("slot_size too small for header + records");
+  }
+  const uint64_t need = kSlotHeaderSize + options.num_slots * options.slot_size;
+  if (need > region_size) {
+    return Status::InvalidArgument("log region too small for requested slots");
+  }
+  num_slots_ = options.num_slots;
+  slot_size_ = options.slot_size;
+  max_records_ = options.max_records;
+
+  for (uint64_t i = 0; i < num_slots_; ++i) {
+    SlotHeader* h = SlotHeaderAt(i);
+    h->state = static_cast<uint64_t>(TxState::kFree);
+    h->txid = 0;
+    pool_->Flush(h, sizeof(SlotHeader));
+    free_slots_.push_back(i);
+  }
+  pool_->Drain();
+
+  auto* hdr = static_cast<LogHeader*>(pool_->At(region_offset_));
+  hdr->magic = kMagic;
+  hdr->version = 1;
+  hdr->num_slots = num_slots_;
+  hdr->slot_size = slot_size_;
+  hdr->max_records = max_records_;
+  hdr->checksum = Crc64(hdr, offsetof(LogHeader, checksum));
+  pool_->Persist(hdr, sizeof(LogHeader));
+  return Status::Ok();
+}
+
+Status LogManager::Attach() {
+  const auto* hdr = static_cast<const LogHeader*>(pool_->At(region_offset_));
+  if (hdr->magic != kMagic) {
+    return Status::Corruption("log header magic mismatch");
+  }
+  if (hdr->checksum != Crc64(hdr, offsetof(LogHeader, checksum))) {
+    return Status::Corruption("log header checksum mismatch");
+  }
+  num_slots_ = hdr->num_slots;
+  slot_size_ = hdr->slot_size;
+  max_records_ = hdr->max_records;
+
+  for (uint64_t i = 0; i < num_slots_; ++i) {
+    const SlotHeader* h = SlotHeaderAt(i);
+    max_recovered_txid_ = std::max(max_recovered_txid_, h->txid);
+    if (static_cast<TxState>(h->state) == TxState::kFree) {
+      free_slots_.push_back(i);
+    }
+    // Non-free slots stay held until recovery resolves them.
+  }
+  return Status::Ok();
+}
+
+Result<SlotHandle> LogManager::AcquireSlot(uint64_t txid) {
+  uint64_t index;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    slot_available_.wait(lk, [&] { return !free_slots_.empty(); });
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  SlotHeader* h = SlotHeaderAt(index);
+  // txid and state share one cache line: a single persist covers both. The
+  // new txid also invalidates every record left behind by the slot's previous
+  // occupant (their txid_tag no longer matches).
+  h->txid = txid;
+  h->state = static_cast<uint64_t>(TxState::kRunning);
+  pool_->Persist(h, sizeof(SlotHeader));
+
+  SlotHandle s;
+  s.slot_index = index;
+  s.txid = txid;
+  return s;
+}
+
+uint64_t LogManager::RecordCrc(const Record& r) {
+  return Crc64(&r, offsetof(Record, crc));
+}
+
+bool LogManager::RecordValid(const Record& r, uint64_t txid, uint64_t index) const {
+  if (r.txid_tag != txid) {
+    return false;
+  }
+  const uint64_t kind = r.kind_seq >> 56;
+  const uint64_t seq = r.kind_seq & ((1ull << 56) - 1);
+  if (kind == 0 || kind > static_cast<uint64_t>(IntentKind::kRedoWrite) || seq != index) {
+    return false;
+  }
+  return r.crc == RecordCrc(r);
+}
+
+Status LogManager::AppendRecord(SlotHandle& slot, IntentKind kind, uint64_t offset,
+                                uint64_t size, uint64_t aux, bool drain) {
+  if (slot.num_records >= max_records_) {
+    return Status::OutOfMemory("intent log slot record capacity exceeded");
+  }
+  Record* r = RecordAt(slot.slot_index, slot.num_records);
+  r->offset = offset;
+  r->size = size;
+  r->kind_seq = (static_cast<uint64_t>(kind) << 56) | slot.num_records;
+  r->aux = aux;
+  r->txid_tag = slot.txid;
+  r->crc = RecordCrc(*r);
+  pool_->Flush(r, kRecordSize);
+  if (drain) {
+    pool_->Drain();
+  }
+  ++slot.num_records;
+  return Status::Ok();
+}
+
+Result<uint64_t> LogManager::ReservePayload(SlotHandle& slot, uint64_t size) {
+  const uint64_t aligned = AlignUp(size, kCacheLineSize);
+  if (slot.payload_used + aligned > PayloadAreaSize()) {
+    return Status::OutOfMemory("intent log slot payload capacity exceeded");
+  }
+  const uint64_t off = PayloadAreaOffset(slot.slot_index) + slot.payload_used;
+  slot.payload_used += aligned;
+  return off;
+}
+
+void LogManager::SetState(const SlotHandle& slot, TxState state) {
+  SlotHeader* h = SlotHeaderAt(slot.slot_index);
+  h->state = static_cast<uint64_t>(state);
+  pool_->PersistU64(&h->state);
+}
+
+void LogManager::ReleaseSlot(SlotHandle& slot) {
+  if (!slot.valid()) {
+    return;
+  }
+  SlotHeader* h = SlotHeaderAt(slot.slot_index);
+  h->state = static_cast<uint64_t>(TxState::kFree);
+  pool_->PersistU64(&h->state);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_slots_.push_back(slot.slot_index);
+  }
+  slot_available_.notify_one();
+  slot.slot_index = ~0ull;
+  slot.num_records = 0;
+  slot.payload_used = 0;
+}
+
+std::vector<RecoveredTx> LogManager::ScanForRecovery() {
+  std::vector<RecoveredTx> out;
+  for (uint64_t i = 0; i < num_slots_; ++i) {
+    const SlotHeader* h = SlotHeaderAt(i);
+    const auto state = static_cast<TxState>(h->state);
+    if (state == TxState::kFree) {
+      continue;
+    }
+    RecoveredTx tx;
+    tx.slot_index = i;
+    tx.txid = h->txid;
+    tx.state = state;
+    for (uint64_t rix = 0; rix < max_records_; ++rix) {
+      const Record* r = RecordAt(i, rix);
+      if (!RecordValid(*r, h->txid, rix)) {
+        break;  // First invalid record ends the sequence.
+      }
+      Intent in;
+      in.kind = static_cast<IntentKind>(r->kind_seq >> 56);
+      in.offset = r->offset;
+      in.size = r->size;
+      in.aux = r->aux;
+      tx.intents.push_back(in);
+    }
+    out.push_back(std::move(tx));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RecoveredTx& a, const RecoveredTx& b) { return a.txid < b.txid; });
+  return out;
+}
+
+SlotHandle LogManager::HandleForRecovered(const RecoveredTx& tx) const {
+  SlotHandle s;
+  s.slot_index = tx.slot_index;
+  s.txid = tx.txid;
+  s.num_records = tx.intents.size();
+  return s;
+}
+
+}  // namespace kamino::txn

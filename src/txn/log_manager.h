@@ -1,0 +1,202 @@
+// Log Manager (paper §6.2, Figure 11).
+//
+// Maintains persistent, fixed-size intent logs: per-transaction slots holding
+// a header (state + transaction id) and a sequence of 64-byte, cache-line-
+// aligned records. Records are *self-validating* — each carries the owning
+// slot's txid and a CRC — so appending a record costs exactly one line flush
+// and one drain, with no separate persistent record counter ("fine-grained
+// logging of fixed-size write intents with minimum number of cache flushes").
+// Stale records from a slot's previous occupant fail validation automatically
+// because their txid tag no longer matches.
+//
+// Kamino-Tx records only object addresses in these logs; the undo and CoW
+// baseline engines additionally use each slot's payload area for object
+// snapshots (undo) — the copying the paper is eliminating from the critical
+// path.
+
+#ifndef SRC_TXN_LOG_MANAGER_H_
+#define SRC_TXN_LOG_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/nvm/pool.h"
+
+namespace kamino::txn {
+
+enum class TxState : uint64_t {
+  kFree = 0,
+  kRunning = 1,
+  kCommitted = 2,
+  kAborted = 3,
+};
+
+enum class IntentKind : uint64_t {
+  kNone = 0,
+  kWrite = 1,      // In-place modification of [offset, offset+size).
+  kAlloc = 2,      // New allocation (also treated as a write at commit).
+  kFree = 3,       // Deallocation, deferred to post-commit.
+  kCowWrite = 4,   // CoW engine: heap shadow at `aux` for [offset, offset+size).
+  kRedoWrite = 5,  // Redo engine: log-resident staging copy at `aux`.
+};
+
+// Volatile view of one intent record.
+struct Intent {
+  IntentKind kind = IntentKind::kNone;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t aux = 0;  // Undo: payload offset in pool; CoW: shadow offset.
+};
+
+struct LogOptions {
+  uint64_t num_slots = 128;
+  uint64_t slot_size = 64 * 1024;  // Header + records + payload area.
+  uint64_t max_records = 128;      // 64 B each.
+};
+
+// Handle to an acquired slot; owned by a TxContext.
+struct SlotHandle {
+  uint64_t slot_index = ~0ull;
+  uint64_t txid = 0;
+  uint64_t num_records = 0;   // Volatile; recovered by scanning.
+  uint64_t payload_used = 0;  // Bump offset into the payload area.
+
+  bool valid() const { return slot_index != ~0ull; }
+};
+
+// A transaction reconstructed from the log during recovery.
+struct RecoveredTx {
+  uint64_t slot_index = 0;
+  uint64_t txid = 0;
+  TxState state = TxState::kFree;
+  std::vector<Intent> intents;
+};
+
+class LogManager {
+ public:
+  // Formats the log region [region_offset, region_offset+region_size).
+  static Result<std::unique_ptr<LogManager>> Create(nvm::Pool* pool, uint64_t region_offset,
+                                                    uint64_t region_size,
+                                                    const LogOptions& options);
+
+  // Attaches to an existing log region (recovery path). Slots holding
+  // non-free transactions stay unavailable until ScanForRecovery() +
+  // ReleaseSlot().
+  static Result<std::unique_ptr<LogManager>> Open(nvm::Pool* pool, uint64_t region_offset);
+
+  // Acquires a free slot for `txid` and durably marks it Running. Blocks if
+  // all slots are busy (backpressure on the async applier).
+  Result<SlotHandle> AcquireSlot(uint64_t txid);
+
+  // Appends one intent record and persists it (one flush; one drain unless
+  // `drain` is false, in which case the caller batches the drain).
+  Status AppendRecord(SlotHandle& slot, IntentKind kind, uint64_t offset, uint64_t size,
+                      uint64_t aux = 0, bool drain = true);
+
+  // Reserves `size` bytes in the slot's payload area (undo snapshots);
+  // returns the pool offset of the reservation.
+  Result<uint64_t> ReservePayload(SlotHandle& slot, uint64_t size);
+
+  // Durably transitions the slot's state (the commit/abort point).
+  void SetState(const SlotHandle& slot, TxState state);
+
+  // Durably frees the slot and returns it to the free list.
+  void ReleaseSlot(SlotHandle& slot);
+
+  // Recovery: returns every non-free transaction in the log, sorted by txid.
+  // Slots remain held; the engine resolves each and calls ReleaseSlot (via a
+  // handle rebuilt with HandleForRecovered).
+  std::vector<RecoveredTx> ScanForRecovery();
+  SlotHandle HandleForRecovered(const RecoveredTx& tx) const;
+
+  // Largest txid present in the log at Open() time (0 for a fresh log).
+  uint64_t max_recovered_txid() const { return max_recovered_txid_; }
+
+  uint64_t num_slots() const { return num_slots_; }
+  uint64_t slot_size() const { return slot_size_; }
+  uint64_t max_records() const { return max_records_; }
+
+ private:
+  // Persistent layouts. kRecordSize == cache line so a record persists with a
+  // single line flush and can never be torn across lines.
+  static constexpr uint64_t kRecordSize = 64;
+  static constexpr uint64_t kSlotHeaderSize = 64;
+  static constexpr uint64_t kMagic = 0x4B414D494E4F4C47ull;  // "KAMINOLG"
+
+  struct LogHeader {
+    uint64_t magic;
+    uint64_t version;
+    uint64_t num_slots;
+    uint64_t slot_size;
+    uint64_t max_records;
+    uint64_t checksum;
+  };
+
+  struct SlotHeader {
+    uint64_t state;  // TxState.
+    uint64_t txid;
+    uint64_t reserved[6];
+  };
+
+  struct Record {
+    uint64_t offset;
+    uint64_t size;
+    uint64_t kind_seq;  // kind << 56 | record index.
+    uint64_t aux;
+    uint64_t txid_tag;  // Must equal the slot's txid.
+    uint64_t crc;       // Crc64 over the 5 fields above.
+    uint64_t pad[2];
+  };
+  static_assert(sizeof(Record) == kRecordSize);
+
+  LogManager(nvm::Pool* pool, uint64_t region_offset);
+
+  Status Format(uint64_t region_size, const LogOptions& options);
+  Status Attach();
+
+  uint64_t SlotOffset(uint64_t index) const {
+    return region_offset_ + kSlotHeaderSize + index * slot_size_;
+  }
+  SlotHeader* SlotHeaderAt(uint64_t index) {
+    return static_cast<SlotHeader*>(pool_->At(SlotOffset(index)));
+  }
+  const SlotHeader* SlotHeaderAt(uint64_t index) const {
+    return static_cast<const SlotHeader*>(pool_->At(SlotOffset(index)));
+  }
+  Record* RecordAt(uint64_t slot_index, uint64_t record_index) {
+    return static_cast<Record*>(
+        pool_->At(SlotOffset(slot_index) + kSlotHeaderSize + record_index * kRecordSize));
+  }
+  const Record* RecordAt(uint64_t slot_index, uint64_t record_index) const {
+    return static_cast<const Record*>(
+        pool_->At(SlotOffset(slot_index) + kSlotHeaderSize + record_index * kRecordSize));
+  }
+  uint64_t PayloadAreaOffset(uint64_t slot_index) const {
+    return SlotOffset(slot_index) + kSlotHeaderSize + max_records_ * kRecordSize;
+  }
+  uint64_t PayloadAreaSize() const {
+    return slot_size_ - kSlotHeaderSize - max_records_ * kRecordSize;
+  }
+
+  static uint64_t RecordCrc(const Record& r);
+  bool RecordValid(const Record& r, uint64_t txid, uint64_t index) const;
+
+  nvm::Pool* pool_;
+  uint64_t region_offset_;
+  uint64_t num_slots_ = 0;
+  uint64_t slot_size_ = 0;
+  uint64_t max_records_ = 0;
+  uint64_t max_recovered_txid_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable slot_available_;
+  std::vector<uint64_t> free_slots_;
+};
+
+}  // namespace kamino::txn
+
+#endif  // SRC_TXN_LOG_MANAGER_H_

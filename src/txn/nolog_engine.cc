@@ -1,0 +1,74 @@
+#include "src/txn/nolog_engine.h"
+
+namespace kamino::txn {
+
+Status NoLoggingEngine::Begin(TxContext* ctx) {
+  (void)ctx;  // No intent-log slot: nothing is logged.
+  return Status::Ok();
+}
+
+Result<void*> NoLoggingEngine::OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) {
+  auto existing = ctx->open_ranges.find(offset);
+  if (existing != ctx->open_ranges.end()) {
+    return pool()->At(offset);
+  }
+  Result<uint64_t> resolved = ResolveSize(offset, size);
+  if (!resolved.ok()) {
+    return resolved.status();
+  }
+  size = *resolved;
+  KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+  ctx->open_ranges.emplace(offset, ctx->intents.size());
+  ctx->intents.push_back(Intent{IntentKind::kWrite, offset, size, 0});
+  return pool()->At(offset);
+}
+
+Result<uint64_t> NoLoggingEngine::Alloc(TxContext* ctx, uint64_t size) {
+  Result<uint64_t> offset = heap_->allocator()->AllocRaw(size);
+  if (!offset.ok()) {
+    return offset.status();
+  }
+  Status st = LockWrite(ctx, *offset);
+  if (!st.ok()) {
+    (void)heap_->allocator()->FreeRaw(*offset);
+    return st;
+  }
+  ctx->open_ranges.emplace(*offset, ctx->intents.size());
+  ctx->intents.push_back(Intent{IntentKind::kAlloc, *offset, size, 0});
+  return *offset;
+}
+
+Status NoLoggingEngine::Free(TxContext* ctx, uint64_t offset) {
+  Result<uint64_t> size = ResolveSize(offset, 0);
+  if (!size.ok()) {
+    return size.status();
+  }
+  KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+  ctx->intents.push_back(Intent{IntentKind::kFree, offset, *size, 0});
+  return Status::Ok();
+}
+
+Status NoLoggingEngine::Commit(std::unique_ptr<TxContext> ctx) {
+  FlushWriteRanges(ctx.get());
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kFree) {
+      KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
+    }
+  }
+  ReleaseWriteLocks(ctx.get());
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status NoLoggingEngine::Abort(TxContext* ctx) {
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kAlloc) {
+      (void)heap_->allocator()->FreeRaw(in.offset);
+    }
+  }
+  ReleaseWriteLocks(ctx);
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+}  // namespace kamino::txn

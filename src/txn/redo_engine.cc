@@ -1,0 +1,178 @@
+#include "src/txn/redo_engine.h"
+
+#include <cstring>
+
+namespace kamino::txn {
+
+Status RedoLogEngine::Begin(TxContext* ctx) {
+  (void)ctx;  // The slot is acquired lazily on the first write intent.
+  return Status::Ok();
+}
+
+Result<void*> RedoLogEngine::OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) {
+  auto existing = ctx->open_ranges.find(offset);
+  if (existing != ctx->open_ranges.end()) {
+    const Intent& in = ctx->intents[existing->second];
+    if (in.kind == IntentKind::kRedoWrite) {
+      return pool()->At(in.aux);  // Staging copy already exists.
+    }
+    return pool()->At(offset);  // Allocated in this transaction: edit directly.
+  }
+  Result<uint64_t> resolved = ResolveSize(offset, size);
+  if (!resolved.ok()) {
+    return resolved.status();
+  }
+  size = *resolved;
+
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+
+  // Critical-path staging copy inside the log slot (no heap allocation, but
+  // still a copy — the cost profile the paper's §2 attributes to NVM-Log).
+  Result<uint64_t> staging = log_->ReservePayload(ctx->slot, size);
+  if (!staging.ok()) {
+    return staging.status();
+  }
+  std::memcpy(pool()->At(*staging), pool()->At(offset), size);
+  KAMINO_RETURN_IF_ERROR(
+      log_->AppendRecord(ctx->slot, IntentKind::kRedoWrite, offset, size, *staging));
+
+  ctx->open_ranges.emplace(offset, ctx->intents.size());
+  ctx->intents.push_back(Intent{IntentKind::kRedoWrite, offset, size, *staging});
+  return pool()->At(*staging);
+}
+
+Result<uint64_t> RedoLogEngine::Alloc(TxContext* ctx, uint64_t size) {
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  Result<alloc::Reservation> resv = heap_->allocator()->PrepareAlloc(size);
+  if (!resv.ok()) {
+    return resv.status();
+  }
+  Status st = LockWrite(ctx, resv->offset);
+  if (!st.ok()) {
+    heap_->allocator()->CancelAlloc(*resv);
+    return st;
+  }
+  st = log_->AppendRecord(ctx->slot, IntentKind::kAlloc, resv->offset, resv->size);
+  if (!st.ok()) {
+    heap_->allocator()->CancelAlloc(*resv);
+    return st;
+  }
+  heap_->allocator()->CommitAlloc(*resv);
+  ctx->open_ranges.emplace(resv->offset, ctx->intents.size());
+  ctx->intents.push_back(Intent{IntentKind::kAlloc, resv->offset, resv->size, 0});
+  return resv->offset;
+}
+
+Status RedoLogEngine::Free(TxContext* ctx, uint64_t offset) {
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  Result<uint64_t> size = ResolveSize(offset, 0);
+  if (!size.ok()) {
+    return size.status();
+  }
+  KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size));
+  ctx->intents.push_back(Intent{IntentKind::kFree, offset, *size, 0});
+  return Status::Ok();
+}
+
+Status RedoLogEngine::Commit(std::unique_ptr<TxContext> ctx) {
+  if (!ctx->slot.valid()) {
+    ReleaseWriteLocks(ctx.get());
+    committed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  // 1. Persist the staged new values + objects allocated in this txn.
+  bool flushed = false;
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kRedoWrite) {
+      pool()->Flush(pool()->At(in.aux), in.size);
+      flushed = true;
+    } else if (in.kind == IntentKind::kAlloc) {
+      pool()->Flush(pool()->At(in.offset), in.size);
+      flushed = true;
+    }
+  }
+  if (flushed) {
+    pool()->Drain();
+  }
+  // 2. Durable commit point.
+  log_->SetState(ctx->slot, TxState::kCommitted);
+  // 3. Redo: install the staged values over the originals (replayed by
+  //    recovery if we crash mid-install).
+  bool installed = false;
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kRedoWrite) {
+      std::memcpy(pool()->At(in.offset), pool()->At(in.aux), in.size);
+      pool()->Flush(pool()->At(in.offset), in.size);
+      installed = true;
+    }
+  }
+  if (installed) {
+    pool()->Drain();
+  }
+  // 4. Deferred frees, then release.
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kFree) {
+      KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRawKeepReserved(in.offset));
+    }
+  }
+  log_->ReleaseSlot(ctx->slot);
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kFree) {
+      heap_->allocator()->ReleaseReservation(in.offset);
+    }
+  }
+  ReleaseWriteLocks(ctx.get());
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status RedoLogEngine::Abort(TxContext* ctx) {
+  if (!ctx->slot.valid()) {
+    ReleaseWriteLocks(ctx);
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  log_->SetState(ctx->slot, TxState::kAborted);
+  // The main heap was never touched: only compensate allocations.
+  for (auto it = ctx->intents.rbegin(); it != ctx->intents.rend(); ++it) {
+    if (it->kind == IntentKind::kAlloc) {
+      KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(it->offset));
+    }
+  }
+  log_->ReleaseSlot(ctx->slot);
+  ReleaseWriteLocks(ctx);
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status RedoLogEngine::Recover() {
+  std::vector<RecoveredTx> txs = log_->ScanForRecovery();
+  for (const RecoveredTx& tx : txs) {
+    SlotHandle handle = log_->HandleForRecovered(tx);
+    if (tx.state == TxState::kCommitted) {
+      // Replay the redo step from the durable staging copies.
+      for (const Intent& in : tx.intents) {
+        if (in.kind == IntentKind::kRedoWrite) {
+          std::memcpy(pool()->At(in.offset), pool()->At(in.aux), in.size);
+          pool()->Persist(pool()->At(in.offset), in.size);
+        } else if (in.kind == IntentKind::kFree) {
+          KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
+        }
+      }
+      recovered_forward_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      for (const Intent& in : tx.intents) {
+        if (in.kind == IntentKind::kAlloc) {
+          KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
+        }
+      }
+      recovered_back_.fetch_add(1, std::memory_order_relaxed);
+    }
+    log_->ReleaseSlot(handle);
+  }
+  return Status::Ok();
+}
+
+}  // namespace kamino::txn

@@ -1,0 +1,40 @@
+// Per-transaction volatile state shared between the public Tx API and the
+// atomicity engines.
+
+#ifndef SRC_TXN_TX_CONTEXT_H_
+#define SRC_TXN_TX_CONTEXT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/txn/log_manager.h"
+
+namespace kamino::txn {
+
+struct TxContext {
+  uint64_t txid = 0;
+
+  // Intent-log slot (invalid for the no-logging engine).
+  SlotHandle slot;
+
+  // Volatile mirror of the slot's records, in append order.
+  std::vector<Intent> intents;
+
+  // Write-lock keys held by this transaction, in acquisition order. For the
+  // Kamino engines these are released by the async applier, not at commit.
+  std::vector<uint64_t> write_lock_keys;
+
+  // Read-lock keys; always released at commit/abort time.
+  std::vector<uint64_t> read_lock_keys;
+
+  // offset -> index into `intents`, for deduplicating repeated OpenWrite /
+  // detecting writes to objects allocated in this transaction.
+  std::unordered_map<uint64_t, size_t> open_ranges;
+
+  bool active = true;
+};
+
+}  // namespace kamino::txn
+
+#endif  // SRC_TXN_TX_CONTEXT_H_

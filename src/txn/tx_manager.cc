@@ -1,0 +1,335 @@
+#include "src/txn/tx_manager.h"
+
+#include "src/txn/cow_engine.h"
+#include "src/txn/kamino_engine.h"
+#include "src/txn/nolog_engine.h"
+#include "src/txn/redo_engine.h"
+#include "src/txn/undo_engine.h"
+
+namespace kamino::txn {
+
+const char* EngineTypeName(EngineType type) {
+  switch (type) {
+    case EngineType::kKaminoSimple:
+      return "kamino-simple";
+    case EngineType::kKaminoDynamic:
+      return "kamino-dynamic";
+    case EngineType::kUndoLog:
+      return "undo-logging";
+    case EngineType::kCow:
+      return "copy-on-write";
+    case EngineType::kRedoLog:
+      return "redo-logging";
+    case EngineType::kNoLogging:
+      return "no-logging";
+    case EngineType::kChainReplica:
+      return "chain-replica";
+  }
+  return "unknown";
+}
+
+// --- Tx ---------------------------------------------------------------------
+
+Tx& Tx::operator=(Tx&& other) noexcept {
+  if (this != &other) {
+    if (active()) {
+      (void)Abort();
+    }
+    mgr_ = other.mgr_;
+    ctx_ = std::move(other.ctx_);
+  }
+  return *this;
+}
+
+Tx::~Tx() {
+  if (active()) {
+    (void)Abort();
+  }
+}
+
+Result<void*> Tx::OpenWrite(uint64_t offset, uint64_t size) {
+  if (!active()) {
+    return Status::Internal("transaction not active");
+  }
+  return mgr_->engine_->OpenWrite(ctx_.get(), offset, size);
+}
+
+void* Tx::OpenedPointer(uint64_t offset) {
+  if (!active()) {
+    return nullptr;
+  }
+  auto it = ctx_->open_ranges.find(offset);
+  if (it == ctx_->open_ranges.end()) {
+    return nullptr;
+  }
+  const Intent& in = ctx_->intents[it->second];
+  if (in.kind == IntentKind::kCowWrite || in.kind == IntentKind::kRedoWrite) {
+    return mgr_->heap_->pool()->At(in.aux);  // Shadow / staging copy.
+  }
+  return mgr_->heap_->pool()->At(offset);
+}
+
+Status Tx::ReadLock(uint64_t offset) {
+  if (!active()) {
+    return Status::Internal("transaction not active");
+  }
+  Status st = mgr_->locks_->AcquireRead(offset, ctx_->txid);
+  if (!st.ok()) {
+    return st;
+  }
+  ctx_->read_lock_keys.push_back(offset);
+  return Status::Ok();
+}
+
+Result<uint64_t> Tx::Alloc(uint64_t size, bool zero) {
+  if (!active()) {
+    return Status::Internal("transaction not active");
+  }
+  Result<uint64_t> off = mgr_->engine_->Alloc(ctx_.get(), size);
+  if (!off.ok()) {
+    return off;
+  }
+  if (zero) {
+    std::memset(mgr_->heap_->pool()->At(*off), 0, size);
+  }
+  return off;
+}
+
+Status Tx::Free(uint64_t offset) {
+  if (!active()) {
+    return Status::Internal("transaction not active");
+  }
+  return mgr_->engine_->Free(ctx_.get(), offset);
+}
+
+void Tx::ReleaseReadLocks() {
+  for (uint64_t key : ctx_->read_lock_keys) {
+    mgr_->locks_->ReleaseRead(key, ctx_->txid);
+  }
+  ctx_->read_lock_keys.clear();
+}
+
+Status Tx::Commit() {
+  if (!active()) {
+    return Status::Internal("transaction not active");
+  }
+  ReleaseReadLocks();
+  ctx_->active = false;
+  return mgr_->engine_->Commit(std::move(ctx_));
+}
+
+Status Tx::Abort() {
+  if (!active()) {
+    return Status::Internal("transaction not active");
+  }
+  ReleaseReadLocks();
+  ctx_->active = false;
+  Status st = mgr_->engine_->Abort(ctx_.get());
+  ctx_.reset();
+  return st;
+}
+
+// --- TxManager ----------------------------------------------------------------
+
+TxManager::TxManager(heap::Heap* heap, const TxManagerOptions& options)
+    : heap_(heap), options_(options) {}
+
+Result<std::unique_ptr<TxManager>> TxManager::Create(heap::Heap* heap,
+                                                     const TxManagerOptions& options) {
+  if (heap == nullptr) {
+    return Status::InvalidArgument("null heap");
+  }
+  auto mgr = std::unique_ptr<TxManager>(new TxManager(heap, options));
+  Status st = mgr->Init(/*attach_existing=*/false);
+  if (!st.ok()) {
+    return st;
+  }
+  return mgr;
+}
+
+Result<std::unique_ptr<TxManager>> TxManager::Open(heap::Heap* heap,
+                                                   const TxManagerOptions& options) {
+  if (heap == nullptr) {
+    return Status::InvalidArgument("null heap");
+  }
+  auto mgr = std::unique_ptr<TxManager>(new TxManager(heap, options));
+  Status st = mgr->Init(/*attach_existing=*/true);
+  if (!st.ok()) {
+    return st;
+  }
+  if (!options.skip_recovery) {
+    st = mgr->engine_->Recover();
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  mgr->next_txid_.store(mgr->log_->max_recovered_txid() + 1, std::memory_order_relaxed);
+  return mgr;
+}
+
+TxManager::~TxManager() {
+  if (engine_ != nullptr) {
+    engine_->WaitIdle();
+  }
+}
+
+Status TxManager::Init(bool attach_existing) {
+  // Log manager over the heap's log region.
+  if (attach_existing) {
+    Result<std::unique_ptr<LogManager>> lm =
+        LogManager::Open(heap_->pool(), heap_->log_region_offset());
+    if (!lm.ok()) {
+      return lm.status();
+    }
+    log_ = std::move(*lm);
+  } else {
+    // Fit the default geometry into whatever log region the heap reserved:
+    // shrink the per-slot size (payload area) before giving up.
+    LogOptions lopts = options_.log;
+    const uint64_t budget = (heap_->log_region_size() - 4096) / lopts.num_slots;
+    if (lopts.slot_size > budget) {
+      lopts.slot_size = budget & ~uint64_t{4095};
+      const uint64_t min_slot = 64 + lopts.max_records * 64;
+      if (lopts.slot_size < min_slot) {
+        return Status::InvalidArgument("heap log region too small for the intent log");
+      }
+    }
+    Result<std::unique_ptr<LogManager>> lm = LogManager::Create(
+        heap_->pool(), heap_->log_region_offset(), heap_->log_region_size(), lopts);
+    if (!lm.ok()) {
+      return lm.status();
+    }
+    log_ = std::move(*lm);
+  }
+
+  locks_ = std::make_unique<LockManager>(options_.lock);
+
+  const bool is_kamino = options_.engine == EngineType::kKaminoSimple ||
+                         options_.engine == EngineType::kKaminoDynamic;
+  if (is_kamino) {
+    // Backup pool: borrowed or created.
+    if (options_.external_backup_pool != nullptr) {
+      backup_pool_ = options_.external_backup_pool;
+    } else {
+      nvm::PoolOptions popts;
+      popts.path = options_.backup_path;
+      popts.crash_sim = options_.backup_crash_sim;
+      popts.flush_latency_ns = options_.backup_flush_latency_ns;
+      popts.drain_latency_ns = options_.backup_drain_latency_ns;
+      if (options_.engine == EngineType::kKaminoSimple) {
+        popts.size = heap_->pool()->size();
+      } else {
+        const uint64_t budget = static_cast<uint64_t>(
+            options_.alpha * static_cast<double>(heap_->allocator()->stats().capacity));
+        popts.size =
+            DynamicBackupStore::RequiredPoolSize(budget, options_.dynamic_lookup_buckets);
+      }
+      Result<std::unique_ptr<nvm::Pool>> bp = nvm::Pool::Create(popts);
+      if (!bp.ok()) {
+        return bp.status();
+      }
+      owned_backup_pool_ = std::move(*bp);
+      backup_pool_ = owned_backup_pool_.get();
+    }
+
+    if (options_.engine == EngineType::kKaminoSimple) {
+      if (backup_pool_->size() < heap_->pool()->size()) {
+        return Status::InvalidArgument("full backup pool smaller than main pool");
+      }
+      backup_store_ = std::make_unique<FullBackupStore>(heap_->pool(), backup_pool_);
+    } else {
+      if (attach_existing) {
+        Result<std::unique_ptr<DynamicBackupStore>> ds =
+            DynamicBackupStore::Open(heap_->pool(), backup_pool_);
+        if (!ds.ok()) {
+          return ds.status();
+        }
+        backup_store_ = std::move(*ds);
+      } else {
+        DynamicBackupOptions dopts;
+        dopts.lookup_buckets = options_.dynamic_lookup_buckets;
+        dopts.budget_bytes = static_cast<uint64_t>(
+            options_.alpha * static_cast<double>(heap_->allocator()->stats().capacity));
+        Result<std::unique_ptr<DynamicBackupStore>> ds =
+            DynamicBackupStore::Create(heap_->pool(), backup_pool_, dopts);
+        if (!ds.ok()) {
+          return ds.status();
+        }
+        backup_store_ = std::move(*ds);
+      }
+    }
+    engine_ = std::make_unique<KaminoEngine>(
+        heap_, log_.get(), locks_.get(), backup_store_.get(),
+        options_.engine == EngineType::kKaminoDynamic, options_.applier_threads);
+    return Status::Ok();
+  }
+
+  switch (options_.engine) {
+    case EngineType::kChainReplica:
+      backup_store_ = std::make_unique<NullBackupStore>();
+      engine_ = std::make_unique<KaminoEngine>(heap_, log_.get(), locks_.get(),
+                                               backup_store_.get(), /*dynamic=*/false,
+                                               options_.applier_threads);
+      return Status::Ok();
+    case EngineType::kUndoLog:
+      engine_ = std::make_unique<UndoLogEngine>(heap_, log_.get(), locks_.get());
+      return Status::Ok();
+    case EngineType::kCow:
+      engine_ = std::make_unique<CowEngine>(heap_, log_.get(), locks_.get());
+      return Status::Ok();
+    case EngineType::kRedoLog:
+      engine_ = std::make_unique<RedoLogEngine>(heap_, log_.get(), locks_.get());
+      return Status::Ok();
+    case EngineType::kNoLogging:
+      engine_ = std::make_unique<NoLoggingEngine>(heap_, log_.get(), locks_.get());
+      return Status::Ok();
+    default:
+      return Status::InvalidArgument("unknown engine type");
+  }
+}
+
+Result<Tx> TxManager::Begin() {
+  auto ctx = std::make_unique<TxContext>();
+  ctx->txid = next_txid_.fetch_add(1, std::memory_order_relaxed);
+  Status st = engine_->Begin(ctx.get());
+  if (!st.ok()) {
+    return st;
+  }
+  return Tx(this, std::move(ctx));
+}
+
+Status TxManager::Run(const std::function<Status(Tx&)>& body) {
+  Result<Tx> tx = Begin();
+  if (!tx.ok()) {
+    return tx.status();
+  }
+  Status st = body(*tx);
+  if (!tx->active()) {
+    return st;  // Body committed or aborted explicitly.
+  }
+  if (st.ok()) {
+    return tx->Commit();
+  }
+  (void)tx->Abort();
+  return st;
+}
+
+Status TxManager::RunWithRetries(const std::function<Status(Tx&)>& body, int max_attempts) {
+  Status st = Status::Internal("RunWithRetries: zero attempts");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    st = Run(body);
+    if (st.code() != StatusCode::kTxConflict) {
+      return st;
+    }
+  }
+  return st;
+}
+
+TxManager::Footprint TxManager::footprint() const {
+  Footprint f;
+  f.main_bytes = heap_->pool()->size();
+  f.backup_bytes = engine_->backup_bytes();
+  return f;
+}
+
+}  // namespace kamino::txn

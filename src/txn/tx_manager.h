@@ -1,0 +1,209 @@
+// Public transactional API over a persistent heap (paper Table 2).
+//
+// A TxManager binds a heap to one of the five atomicity engines and owns the
+// log manager, the lock manager and (for the Kamino engines) the backup
+// store + pool. The per-transaction handle `Tx` mirrors NVML's macros:
+//
+//   NVML                      Kamino-Tx library
+//   ------------------------  -----------------------------
+//   TX_BEGIN(pop)             Tx tx = mgr->Begin();
+//   TX_ADD(obj) + D_RW(obj)   T* p = tx.OpenWrite(pptr);
+//   TX_ZALLOC(size)           tx.Alloc(size) / tx.AllocObject<T>()
+//   TX_FREE(obj)              tx.Free(offset)
+//   TX_COMMIT                 tx.Commit()
+//   TX_ABORT                  tx.Abort()
+//
+// Usage:
+//   auto mgr = txn::TxManager::Create(heap.get(), options).value();
+//   Status st = mgr->Run([&](txn::Tx& tx) -> Status {
+//     auto node = tx.OpenWrite(node_ptr);
+//     if (!node.ok()) return node.status();
+//     (*node)->value = 42;
+//     return Status::Ok();
+//   });
+
+#ifndef SRC_TXN_TX_MANAGER_H_
+#define SRC_TXN_TX_MANAGER_H_
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <memory>
+
+#include "src/heap/heap.h"
+#include "src/txn/backup_store.h"
+#include "src/txn/engine.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/log_manager.h"
+
+namespace kamino::txn {
+
+struct TxManagerOptions {
+  EngineType engine = EngineType::kKaminoSimple;
+  LogOptions log;
+  LockOptions lock;
+
+  // Kamino applier threads (background Transaction Coordinator workers).
+  int applier_threads = 1;
+
+  // Kamino-Tx-Dynamic: backup copy budget as a fraction of the heap's object
+  // capacity (the paper's α), plus the lookup-table geometry.
+  double alpha = 0.2;
+  uint64_t dynamic_lookup_buckets = 1 << 16;
+
+  // Backup pool placement. If `external_backup_pool` is set the manager
+  // borrows it (required for crash/restart tests, where the pool must
+  // outlive the manager); otherwise a pool is created and owned internally.
+  nvm::Pool* external_backup_pool = nullptr;
+  std::string backup_path;  // Backing file for an internally created pool.
+  bool backup_crash_sim = false;
+  uint32_t backup_flush_latency_ns = 0;
+  uint32_t backup_drain_latency_ns = 0;
+
+  // Open() only: attach without running engine recovery. Used by chain
+  // replicas, whose recovery needs a neighbour's state (paper §5.3) and is
+  // driven by the chain layer instead.
+  bool skip_recovery = false;
+};
+
+class TxManager;
+
+// Move-only transaction handle. Destroying an active transaction aborts it.
+class Tx {
+ public:
+  Tx(Tx&& other) noexcept = default;
+  Tx& operator=(Tx&& other) noexcept;
+  Tx(const Tx&) = delete;
+  Tx& operator=(const Tx&) = delete;
+  ~Tx();
+
+  // Declares write intent on [offset, offset+size) and returns the pointer
+  // to write through (main copy, or CoW shadow). size == 0 means "the whole
+  // object starting at offset". May block on dependent transactions.
+  Result<void*> OpenWrite(uint64_t offset, uint64_t size = 0);
+
+  template <typename T>
+  Result<T*> OpenWrite(heap::PPtr<T> p) {
+    Result<void*> r = OpenWrite(p.offset, sizeof(T));
+    if (!r.ok()) {
+      return r.status();
+    }
+    return static_cast<T*>(*r);
+  }
+
+  // Takes a read lock on the object at `offset` for the duration of the
+  // transaction — this is what makes reads of pending objects dependent.
+  Status ReadLock(uint64_t offset);
+
+  // If this transaction already opened `offset` for write, returns the
+  // pointer writes must go through (the CoW shadow, or the in-place
+  // location); nullptr otherwise. Lets data-structure code re-read objects
+  // it has modified earlier in the same transaction without knowing which
+  // engine is underneath.
+  void* OpenedPointer(uint64_t offset);
+
+  // Transactionally allocates `size` bytes (zeroed by default, like NVML's
+  // TX_ZALLOC). Rolled back if the transaction does not commit.
+  Result<uint64_t> Alloc(uint64_t size, bool zero = true);
+
+  template <typename T>
+  Result<heap::PPtr<T>> AllocObject() {
+    Result<uint64_t> off = Alloc(sizeof(T), /*zero=*/true);
+    if (!off.ok()) {
+      return off.status();
+    }
+    return heap::PPtr<T>(*off);
+  }
+
+  // Transactionally frees the object at `offset` (takes effect at commit).
+  Status Free(uint64_t offset);
+
+  Status Commit();
+  Status Abort();
+
+  bool active() const { return ctx_ != nullptr && ctx_->active; }
+  uint64_t txid() const { return ctx_ ? ctx_->txid : 0; }
+
+  // Test-only: drops the transaction WITHOUT aborting — no rollback, no lock
+  // release, the log slot stays Running. Models a process dying
+  // mid-transaction; only meaningful right before a simulated crash.
+  void LeakForCrashTest() {
+    if (ctx_) {
+      ctx_->active = false;
+      ctx_.reset();
+    }
+  }
+
+ private:
+  friend class TxManager;
+  Tx(TxManager* mgr, std::unique_ptr<TxContext> ctx) : mgr_(mgr), ctx_(std::move(ctx)) {}
+
+  void ReleaseReadLocks();
+
+  TxManager* mgr_ = nullptr;
+  std::unique_ptr<TxContext> ctx_;
+};
+
+class TxManager {
+ public:
+  // Formats the heap's log region and builds fresh engine state.
+  static Result<std::unique_ptr<TxManager>> Create(heap::Heap* heap,
+                                                   const TxManagerOptions& options);
+
+  // Attaches to an existing log region (and backup, for Kamino engines) and
+  // runs crash recovery. The post-restart path.
+  static Result<std::unique_ptr<TxManager>> Open(heap::Heap* heap,
+                                                 const TxManagerOptions& options);
+
+  ~TxManager();
+
+  // Begins a transaction. Fails only if the engine cannot obtain resources.
+  Result<Tx> Begin();
+
+  // Runs `body` in a transaction: commits if it returns OK, aborts otherwise
+  // (returning the body's error). A body may also call tx.Abort() itself.
+  Status Run(const std::function<Status(Tx&)>& body);
+
+  // Like Run, but retries bodies that fail with kTxConflict (lock timeout)
+  // up to `max_attempts` times.
+  Status RunWithRetries(const std::function<Status(Tx&)>& body, int max_attempts = 8);
+
+  // Blocks until all committed transactions are fully applied.
+  void WaitIdle() { engine_->WaitIdle(); }
+
+  heap::Heap* heap() { return heap_; }
+  AtomicityEngine* engine() { return engine_.get(); }
+  LockManager* locks() { return locks_.get(); }
+  LogManager* log() { return log_.get(); }
+  BackupStore* backup_store() { return backup_store_.get(); }
+  // The backup pool (Kamino engines), owned or borrowed; nullptr otherwise.
+  nvm::Pool* backup_pool() { return backup_pool_; }
+
+  struct Footprint {
+    uint64_t main_bytes = 0;
+    uint64_t backup_bytes = 0;
+  };
+  // NVM storage accounting for Table 1 / Figure 16.
+  Footprint footprint() const;
+
+ private:
+  friend class Tx;
+
+  TxManager(heap::Heap* heap, const TxManagerOptions& options);
+
+  Status Init(bool attach_existing);
+
+  heap::Heap* heap_;
+  TxManagerOptions options_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<nvm::Pool> owned_backup_pool_;
+  nvm::Pool* backup_pool_ = nullptr;
+  std::unique_ptr<BackupStore> backup_store_;
+  std::unique_ptr<AtomicityEngine> engine_;
+  std::atomic<uint64_t> next_txid_{1};
+};
+
+}  // namespace kamino::txn
+
+#endif  // SRC_TXN_TX_MANAGER_H_

@@ -1,0 +1,164 @@
+#include "src/txn/undo_engine.h"
+
+#include <cstring>
+
+namespace kamino::txn {
+
+Status UndoLogEngine::Begin(TxContext* ctx) {
+  (void)ctx;  // The slot is acquired lazily on the first write intent.
+  return Status::Ok();
+}
+
+Result<void*> UndoLogEngine::OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) {
+  auto existing = ctx->open_ranges.find(offset);
+  if (existing != ctx->open_ranges.end()) {
+    return pool()->At(offset);
+  }
+  Result<uint64_t> resolved = ResolveSize(offset, size);
+  if (!resolved.ok()) {
+    return resolved.status();
+  }
+  size = *resolved;
+
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+
+  // The critical-path copy: snapshot the old payload into the undo log
+  // before any in-place edit (NVML TX_ADD semantics).
+  Result<uint64_t> payload = log_->ReservePayload(ctx->slot, size);
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  std::memcpy(pool()->At(*payload), pool()->At(offset), size);
+  pool()->Flush(pool()->At(*payload), size);
+  // Record + snapshot become durable together on this record's drain.
+  KAMINO_RETURN_IF_ERROR(
+      log_->AppendRecord(ctx->slot, IntentKind::kWrite, offset, size, *payload));
+
+  ctx->open_ranges.emplace(offset, ctx->intents.size());
+  ctx->intents.push_back(Intent{IntentKind::kWrite, offset, size, *payload});
+  return pool()->At(offset);
+}
+
+Result<uint64_t> UndoLogEngine::Alloc(TxContext* ctx, uint64_t size) {
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  Result<alloc::Reservation> resv = heap_->allocator()->PrepareAlloc(size);
+  if (!resv.ok()) {
+    return resv.status();
+  }
+  Status st = LockWrite(ctx, resv->offset);
+  if (!st.ok()) {
+    heap_->allocator()->CancelAlloc(*resv);
+    return st;
+  }
+  st = log_->AppendRecord(ctx->slot, IntentKind::kAlloc, resv->offset, resv->size);
+  if (!st.ok()) {
+    heap_->allocator()->CancelAlloc(*resv);
+    return st;
+  }
+  heap_->allocator()->CommitAlloc(*resv);
+  ctx->open_ranges.emplace(resv->offset, ctx->intents.size());
+  ctx->intents.push_back(Intent{IntentKind::kAlloc, resv->offset, resv->size, 0});
+  return resv->offset;
+}
+
+Status UndoLogEngine::Free(TxContext* ctx, uint64_t offset) {
+  KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+  Result<uint64_t> size = ResolveSize(offset, 0);
+  if (!size.ok()) {
+    return size.status();
+  }
+  KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size));
+  ctx->intents.push_back(Intent{IntentKind::kFree, offset, *size, 0});
+  return Status::Ok();
+}
+
+Status UndoLogEngine::Commit(std::unique_ptr<TxContext> ctx) {
+  if (!ctx->slot.valid()) {
+    ReleaseWriteLocks(ctx.get());
+    committed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  // All resolution is inline: this thread persists the data, commits,
+  // executes deferred frees, discards the undo data and releases the locks.
+  FlushWriteRanges(ctx.get());
+  log_->SetState(ctx->slot, TxState::kCommitted);
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kFree) {
+      KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRawKeepReserved(in.offset));
+    }
+  }
+  log_->ReleaseSlot(ctx->slot);
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kFree) {
+      heap_->allocator()->ReleaseReservation(in.offset);
+    }
+  }
+  ReleaseWriteLocks(ctx.get());
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status UndoLogEngine::Abort(TxContext* ctx) {
+  if (!ctx->slot.valid()) {
+    ReleaseWriteLocks(ctx);
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  log_->SetState(ctx->slot, TxState::kAborted);
+  for (auto it = ctx->intents.rbegin(); it != ctx->intents.rend(); ++it) {
+    switch (it->kind) {
+      case IntentKind::kWrite:
+        std::memcpy(pool()->At(it->offset), pool()->At(it->aux), it->size);
+        pool()->Persist(pool()->At(it->offset), it->size);
+        break;
+      case IntentKind::kAlloc:
+        KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(it->offset));
+        break;
+      case IntentKind::kFree:
+        break;
+      default:
+        break;
+    }
+  }
+  log_->ReleaseSlot(ctx->slot);
+  ReleaseWriteLocks(ctx);
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status UndoLogEngine::Recover() {
+  std::vector<RecoveredTx> txs = log_->ScanForRecovery();
+  for (const RecoveredTx& tx : txs) {
+    SlotHandle handle = log_->HandleForRecovered(tx);
+    if (tx.state == TxState::kCommitted) {
+      // Re-execute deferred frees; the in-place data already committed.
+      for (const Intent& in : tx.intents) {
+        if (in.kind == IntentKind::kFree) {
+          KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
+        }
+      }
+      recovered_forward_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      for (auto it = tx.intents.rbegin(); it != tx.intents.rend(); ++it) {
+        switch (it->kind) {
+          case IntentKind::kWrite:
+            std::memcpy(pool()->At(it->offset), pool()->At(it->aux), it->size);
+            pool()->Persist(pool()->At(it->offset), it->size);
+            break;
+          case IntentKind::kAlloc:
+            KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(it->offset));
+            break;
+          default:
+            break;
+        }
+      }
+      recovered_back_.fetch_add(1, std::memory_order_relaxed);
+    }
+    log_->ReleaseSlot(handle);
+  }
+  return Status::Ok();
+}
+
+}  // namespace kamino::txn

@@ -1,0 +1,147 @@
+// TPC-C-lite: a scaled-down TPC-C benchmark over the transactional B+Trees,
+// standing in for the paper's "TPCC benchmark suite against MySQL" (Figure 1)
+// and the TPC-C latency bar of Figure 13.
+//
+// Implements the five standard transaction profiles with the standard mix
+// (NewOrder 45%, Payment 43%, OrderStatus 4%, Delivery 4%, StockLevel 4%)
+// over eight tables, each a persistent B+Tree on the same transactional
+// heap, so a single NewOrder is one multi-tree, multi-object atomic
+// transaction — exactly the shape whose logging cost Figure 1 measures.
+
+#ifndef SRC_WORKLOAD_TPCC_LITE_H_
+#define SRC_WORKLOAD_TPCC_LITE_H_
+
+#include <atomic>
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/pds/bplus_tree.h"
+#include "src/txn/tx_manager.h"
+
+namespace kamino::workload {
+
+class TpccLite {
+ public:
+  struct Options {
+    uint32_t warehouses = 1;
+    uint32_t districts = 10;       // Per warehouse.
+    uint32_t customers = 300;      // Per district.
+    uint32_t items = 1000;
+    uint32_t max_order_lines = 10; // 5..max per NewOrder.
+  };
+
+  enum class TxKind { kNewOrder, kPayment, kOrderStatus, kDelivery, kStockLevel };
+
+  static Result<std::unique_ptr<TpccLite>> Create(txn::TxManager* mgr,
+                                                  const Options& options);
+
+  // Populates items / warehouses / districts / customers / stock.
+  Status Load();
+
+  // Standard mix: 45 / 43 / 4 / 4 / 4.
+  TxKind NextKind(Xoshiro256& rng) const;
+
+  // Executes one transaction of the given profile with random inputs.
+  Status RunTransaction(TxKind kind, Xoshiro256& rng);
+
+  // Convenience: NextKind + RunTransaction.
+  Status RunOne(Xoshiro256& rng) { return RunTransaction(NextKind(rng), rng); }
+
+  struct Stats {
+    uint64_t new_order = 0;
+    uint64_t payment = 0;
+    uint64_t order_status = 0;
+    uint64_t delivery = 0;
+    uint64_t stock_level = 0;
+    uint64_t aborted = 0;
+  };
+  Stats stats() const;
+
+  txn::TxManager* manager() { return mgr_; }
+
+ private:
+  // Fixed-size records packed into tree values.
+  struct ItemRec {
+    double price;
+  };
+  struct WarehouseRec {
+    double ytd;
+  };
+  struct DistrictRec {
+    double ytd;
+    uint64_t next_o_id;
+  };
+  struct CustomerRec {
+    double balance;
+    double ytd_payment;
+    uint64_t payment_cnt;
+    uint64_t delivery_cnt;
+  };
+  struct StockRec {
+    uint64_t quantity;
+    double ytd;
+    uint64_t order_cnt;
+  };
+  struct OrderRec {
+    uint64_t c_id;
+    uint64_t ol_cnt;
+    uint64_t delivered;
+  };
+  struct OrderLineRec {
+    uint64_t i_id;
+    uint64_t qty;
+    double amount;
+  };
+  struct NewOrderRec {
+    uint64_t o_id;
+  };
+
+  explicit TpccLite(txn::TxManager* mgr, const Options& options)
+      : mgr_(mgr), options_(options) {}
+
+  Status Build();
+
+  // Key composition: warehouse | district | entity (| line).
+  static uint64_t WKey(uint64_t w) { return w; }
+  static uint64_t DKey(uint64_t w, uint64_t d) { return (w << 8) | d; }
+  static uint64_t CKey(uint64_t w, uint64_t d, uint64_t c) {
+    return (w << 40) | (d << 32) | c;
+  }
+  static uint64_t SKey(uint64_t w, uint64_t i) { return (w << 40) | i; }
+  static uint64_t OKey(uint64_t w, uint64_t d, uint64_t o) {
+    return (w << 40) | (d << 32) | o;
+  }
+  static uint64_t OlKey(uint64_t w, uint64_t d, uint64_t o, uint64_t ol) {
+    return (w << 48) | (d << 40) | (o << 8) | ol;
+  }
+
+  Status NewOrder(Xoshiro256& rng);
+  Status Payment(Xoshiro256& rng);
+  Status OrderStatus(Xoshiro256& rng);
+  Status Delivery(Xoshiro256& rng);
+  Status StockLevel(Xoshiro256& rng);
+
+  txn::TxManager* mgr_;
+  Options options_;
+
+  // Per-profile counters; clients run on multiple threads.
+  std::atomic<uint64_t> new_order_count_{0};
+  std::atomic<uint64_t> payment_count_{0};
+  std::atomic<uint64_t> order_status_count_{0};
+  std::atomic<uint64_t> delivery_count_{0};
+  std::atomic<uint64_t> stock_level_count_{0};
+  std::atomic<uint64_t> aborted_count_{0};
+
+  std::unique_ptr<pds::BPlusTree> item_;
+  std::unique_ptr<pds::BPlusTree> warehouse_;
+  std::unique_ptr<pds::BPlusTree> district_;
+  std::unique_ptr<pds::BPlusTree> customer_;
+  std::unique_ptr<pds::BPlusTree> stock_;
+  std::unique_ptr<pds::BPlusTree> orders_;
+  std::unique_ptr<pds::BPlusTree> order_line_;
+  std::unique_ptr<pds::BPlusTree> new_order_;
+};
+
+}  // namespace kamino::workload
+
+#endif  // SRC_WORKLOAD_TPCC_LITE_H_

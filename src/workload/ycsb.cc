@@ -1,0 +1,60 @@
+#include "src/workload/ycsb.h"
+
+namespace kamino::workload {
+
+const char* YcsbWorkloadName(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kA:
+      return "YCSB-A";
+    case YcsbWorkload::kB:
+      return "YCSB-B";
+    case YcsbWorkload::kC:
+      return "YCSB-C";
+    case YcsbWorkload::kD:
+      return "YCSB-D";
+    case YcsbWorkload::kF:
+      return "YCSB-F";
+  }
+  return "YCSB-?";
+}
+
+YcsbSpec YcsbSpec::For(YcsbWorkload w) {
+  YcsbSpec s;
+  switch (w) {
+    case YcsbWorkload::kA:
+      s.read = 0.5;
+      s.update = 0.5;
+      break;
+    case YcsbWorkload::kB:
+      s.read = 0.95;
+      s.update = 0.05;
+      break;
+    case YcsbWorkload::kC:
+      s.read = 1.0;
+      break;
+    case YcsbWorkload::kD:
+      s.read = 0.95;
+      s.insert = 0.05;
+      s.latest_reads = true;
+      break;
+    case YcsbWorkload::kF:
+      s.read = 0.5;
+      s.rmw = 0.5;
+      break;
+  }
+  return s;
+}
+
+std::string YcsbValue(uint64_t key, size_t size) {
+  std::string v(size, '\0');
+  uint64_t x = key * 0x9E3779B97F4A7C15ull + 1;
+  for (size_t i = 0; i < size; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    v[i] = static_cast<char>('a' + (x % 26));
+  }
+  return v;
+}
+
+}  // namespace kamino::workload

@@ -1,0 +1,95 @@
+// YCSB workload generator — the paper's Table 3 mixes.
+//
+//   Workload   Read  Update  Insert  Read&Update (RMW)
+//   A          50    50      -       -
+//   B          95    5       -       -
+//   C          100   -       -       -
+//   D          95    -       5       -        (reads follow "latest")
+//   F          50    -       -       50
+//
+// The paper runs these against 10M 1KB records; record count and value size
+// are parameters here so benchmarks can scale to the host.
+
+#ifndef SRC_WORKLOAD_YCSB_H_
+#define SRC_WORKLOAD_YCSB_H_
+
+#include <atomic>
+#include <string>
+
+#include "src/workload/zipfian.h"
+
+namespace kamino::workload {
+
+enum class YcsbOp {
+  kRead,
+  kUpdate,
+  kInsert,
+  kReadModifyWrite,
+};
+
+enum class YcsbWorkload { kA, kB, kC, kD, kF };
+
+const char* YcsbWorkloadName(YcsbWorkload w);
+
+struct YcsbSpec {
+  double read = 0;
+  double update = 0;
+  double insert = 0;
+  double rmw = 0;
+  bool latest_reads = false;  // Workload D.
+
+  static YcsbSpec For(YcsbWorkload w);
+};
+
+// One generator per client thread; `shared_count` tracks the growing
+// keyspace for workload D's inserts across threads.
+class YcsbGenerator {
+ public:
+  YcsbGenerator(YcsbWorkload workload, uint64_t initial_records,
+                std::atomic<uint64_t>* shared_count, uint64_t seed)
+      : spec_(YcsbSpec::For(workload)),
+        shared_count_(shared_count),
+        rng_(seed),
+        zipf_(initial_records) {}
+
+  struct Request {
+    YcsbOp op;
+    uint64_t key;
+  };
+
+  Request Next() {
+    Request r;
+    const double dice = rng_.NextDouble();
+    const uint64_t count = shared_count_->load(std::memory_order_relaxed);
+    if (dice < spec_.read) {
+      r.op = YcsbOp::kRead;
+      r.key = spec_.latest_reads ? latest_.Next(rng_, count) : zipf_.Next(rng_);
+    } else if (dice < spec_.read + spec_.update) {
+      r.op = YcsbOp::kUpdate;
+      r.key = zipf_.Next(rng_);
+    } else if (dice < spec_.read + spec_.update + spec_.insert) {
+      r.op = YcsbOp::kInsert;
+      r.key = shared_count_->fetch_add(1, std::memory_order_relaxed);
+    } else {
+      r.op = YcsbOp::kReadModifyWrite;
+      r.key = zipf_.Next(rng_);
+    }
+    return r;
+  }
+
+  Xoshiro256& rng() { return rng_; }
+
+ private:
+  YcsbSpec spec_;
+  std::atomic<uint64_t>* shared_count_;
+  Xoshiro256 rng_;
+  ScrambledZipfian zipf_;
+  FastLatestChooser latest_;
+};
+
+// Deterministic value payload of `size` bytes for `key`.
+std::string YcsbValue(uint64_t key, size_t size);
+
+}  // namespace kamino::workload
+
+#endif  // SRC_WORKLOAD_YCSB_H_

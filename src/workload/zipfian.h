@@ -1,0 +1,123 @@
+// Key-choosing distributions used by YCSB (Cooper et al., SoCC'10), which
+// the paper's evaluation drives all KV benchmarks with (§7, Table 3).
+
+#ifndef SRC_WORKLOAD_ZIPFIAN_H_
+#define SRC_WORKLOAD_ZIPFIAN_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/random.h"
+
+namespace kamino::workload {
+
+// Standard YCSB Zipfian generator (theta = 0.99 by default), with the usual
+// incremental zeta computation. Produces values in [0, n).
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next(Xoshiro256& rng) const {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    return static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+// YCSB's "scrambled" Zipfian: spreads the hot items across the keyspace so
+// popularity is skewed but not spatially clustered.
+class ScrambledZipfian {
+ public:
+  explicit ScrambledZipfian(uint64_t n, double theta = 0.99) : n_(n), zipf_(n, theta) {}
+
+  uint64_t Next(Xoshiro256& rng) const {
+    const uint64_t raw = zipf_.Next(rng);
+    return Fnv64(raw) % n_;
+  }
+
+ private:
+  static uint64_t Fnv64(uint64_t v) {
+    uint64_t hash = 0xCBF29CE484222325ull;
+    for (int i = 0; i < 8; ++i) {
+      hash ^= v & 0xFF;
+      hash *= 0x100000001B3ull;
+      v >>= 8;
+    }
+    return hash;
+  }
+
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+// YCSB's "latest" distribution (workload D): skewed toward the most recently
+// inserted keys of a growing keyspace.
+class LatestChooser {
+ public:
+  explicit LatestChooser(double theta = 0.99) : theta_(theta) {}
+
+  // Picks a key in [0, current_count), favouring high (recent) ids.
+  uint64_t Next(Xoshiro256& rng, uint64_t current_count) const {
+    if (current_count == 0) {
+      return 0;
+    }
+    ZipfianGenerator zipf(current_count, theta_);
+    const uint64_t offset = zipf.Next(rng);
+    return current_count - 1 - offset;
+  }
+
+ private:
+  double theta_;
+};
+
+// Cheaper latest approximation for hot loops (the exact form rebuilds zeta
+// per call as the keyspace grows): exponential recency bias.
+class FastLatestChooser {
+ public:
+  uint64_t Next(Xoshiro256& rng, uint64_t current_count) const {
+    if (current_count == 0) {
+      return 0;
+    }
+    // Geometric-ish decay over the most recent ~5% of the keyspace.
+    const double span = std::max(1.0, static_cast<double>(current_count) * 0.05);
+    const double back = -std::log(1.0 - rng.NextDouble()) * span / 4.0;
+    const auto offset = static_cast<uint64_t>(back);
+    return offset >= current_count ? 0 : current_count - 1 - offset;
+  }
+};
+
+}  // namespace kamino::workload
+
+#endif  // SRC_WORKLOAD_ZIPFIAN_H_

@@ -1,0 +1,356 @@
+#include "src/alloc/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace kamino::alloc {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nvm::PoolOptions popts;
+    popts.size = 64ull << 20;
+    popts.crash_sim = true;
+    pool_ = std::move(nvm::Pool::Create(popts).value());
+    allocator_ = std::move(Allocator::Create(pool_.get(), 0, pool_->size()).value());
+  }
+
+  std::unique_ptr<nvm::Pool> pool_;
+  std::unique_ptr<Allocator> allocator_;
+};
+
+TEST_F(AllocatorTest, SizeClassMapping) {
+  EXPECT_EQ(Allocator::SizeClassFor(1), 0);
+  EXPECT_EQ(Allocator::SizeClassFor(64), 0);
+  EXPECT_EQ(Allocator::SizeClassFor(65), 1);
+  EXPECT_EQ(Allocator::SizeClassFor(128), 1);
+  EXPECT_EQ(Allocator::SizeClassFor(1024), 4);
+  EXPECT_EQ(Allocator::SizeClassFor(64 * 1024), 10);
+  EXPECT_EQ(Allocator::SizeClassFor(64 * 1024 + 1), -1);  // Span.
+  EXPECT_EQ(Allocator::ClassSize(0), 64u);
+  EXPECT_EQ(Allocator::ClassSize(10), 65536u);
+}
+
+TEST_F(AllocatorTest, AllocFreeRoundTrip) {
+  uint64_t off = allocator_->AllocRaw(100).value();
+  EXPECT_TRUE(allocator_->IsAllocated(off));
+  EXPECT_EQ(allocator_->UsableSize(off), 128u);
+  ASSERT_TRUE(allocator_->FreeRaw(off).ok());
+  EXPECT_FALSE(allocator_->IsAllocated(off));
+}
+
+TEST_F(AllocatorTest, DistinctOffsets) {
+  std::set<uint64_t> offsets;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t off = allocator_->AllocRaw(64).value();
+    EXPECT_TRUE(offsets.insert(off).second) << "duplicate offset " << off;
+  }
+}
+
+TEST_F(AllocatorTest, FreeIsIdempotent) {
+  uint64_t off = allocator_->AllocRaw(64).value();
+  ASSERT_TRUE(allocator_->FreeRaw(off).ok());
+  ASSERT_TRUE(allocator_->FreeRaw(off).ok());  // Recovery re-free.
+}
+
+TEST_F(AllocatorTest, ReusesFreedSlot) {
+  uint64_t a = allocator_->AllocRaw(64).value();
+  ASSERT_TRUE(allocator_->FreeRaw(a).ok());
+  // With a single partial chunk, the freed slot is the first free slot again.
+  uint64_t b = allocator_->AllocRaw(64).value();
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(AllocatorTest, ZeroSizeAllocates) {
+  uint64_t off = allocator_->AllocRaw(0).value();
+  EXPECT_EQ(allocator_->UsableSize(off), 64u);
+}
+
+TEST_F(AllocatorTest, SpanAllocation) {
+  const uint64_t big = 3ull << 20;  // 3 MiB -> multi-chunk span.
+  uint64_t off = allocator_->AllocRaw(big).value();
+  EXPECT_TRUE(allocator_->IsAllocated(off));
+  EXPECT_EQ(allocator_->UsableSize(off), big);
+  std::memset(pool_->At(off), 0x5A, big);  // Whole payload is writable.
+  ASSERT_TRUE(allocator_->FreeRaw(off).ok());
+  EXPECT_FALSE(allocator_->IsAllocated(off));
+}
+
+TEST_F(AllocatorTest, SpanChunksReusableAfterFree) {
+  const uint64_t big = 2ull << 20;
+  uint64_t a = allocator_->AllocRaw(big).value();
+  ASSERT_TRUE(allocator_->FreeRaw(a).ok());
+  uint64_t b = allocator_->AllocRaw(big).value();
+  EXPECT_TRUE(allocator_->IsAllocated(b));
+}
+
+TEST_F(AllocatorTest, PrepareWithoutCommitLeavesNoPersistentTrace) {
+  Reservation r = allocator_->PrepareAlloc(64).value();
+  EXPECT_FALSE(allocator_->IsAllocated(r.offset));
+  // A second Prepare must not hand out the same slot.
+  Reservation r2 = allocator_->PrepareAlloc(64).value();
+  EXPECT_NE(r.offset, r2.offset);
+  allocator_->CancelAlloc(r);
+  allocator_->CancelAlloc(r2);
+}
+
+TEST_F(AllocatorTest, CommitAllocMakesLive) {
+  Reservation r = allocator_->PrepareAlloc(64).value();
+  allocator_->CommitAlloc(r);
+  EXPECT_TRUE(allocator_->IsAllocated(r.offset));
+  ASSERT_TRUE(allocator_->FreeRaw(r.offset).ok());
+}
+
+TEST_F(AllocatorTest, CancelledSlotIsReusable) {
+  Reservation r = allocator_->PrepareAlloc(64).value();
+  const uint64_t off = r.offset;
+  allocator_->CancelAlloc(r);
+  Reservation r2 = allocator_->PrepareAlloc(64).value();
+  EXPECT_EQ(r2.offset, off);
+  allocator_->CancelAlloc(r2);
+}
+
+TEST_F(AllocatorTest, TwoPhaseFreeBlocksReuseUntilReleased) {
+  uint64_t off = allocator_->AllocRaw(64).value();
+  ASSERT_TRUE(allocator_->FreeRawKeepReserved(off).ok());
+  EXPECT_FALSE(allocator_->IsAllocated(off));  // Persistently free...
+  uint64_t other = allocator_->AllocRaw(64).value();
+  EXPECT_NE(other, off);  // ...but not allocatable yet.
+  allocator_->ReleaseReservation(off);
+  uint64_t reused = allocator_->AllocRaw(64).value();
+  EXPECT_EQ(reused, off);
+}
+
+TEST_F(AllocatorTest, SpanPrepareCancel) {
+  Reservation r = allocator_->PrepareAlloc(3ull << 20).value();
+  EXPECT_FALSE(allocator_->IsAllocated(r.offset));
+  allocator_->CancelAlloc(r);
+  // Chunks available again.
+  uint64_t off = allocator_->AllocRaw(3ull << 20).value();
+  EXPECT_TRUE(allocator_->IsAllocated(off));
+}
+
+TEST_F(AllocatorTest, SpanTwoPhaseFree) {
+  uint64_t off = allocator_->AllocRaw(2ull << 20).value();
+  ASSERT_TRUE(allocator_->FreeRawKeepReserved(off).ok());
+  EXPECT_FALSE(allocator_->IsAllocated(off));
+  allocator_->ReleaseReservation(off);
+  uint64_t again = allocator_->AllocRaw(2ull << 20).value();
+  EXPECT_TRUE(allocator_->IsAllocated(again));
+}
+
+TEST_F(AllocatorTest, StatsTrackAllocations) {
+  AllocatorStats before = allocator_->stats();
+  uint64_t off = allocator_->AllocRaw(1024).value();
+  AllocatorStats mid = allocator_->stats();
+  EXPECT_EQ(mid.bytes_allocated, before.bytes_allocated + 1024);
+  ASSERT_TRUE(allocator_->FreeRaw(off).ok());
+  AllocatorStats after = allocator_->stats();
+  EXPECT_EQ(after.bytes_allocated, before.bytes_allocated);
+}
+
+TEST_F(AllocatorTest, ReopenRebuildsState) {
+  std::vector<uint64_t> live;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t off = allocator_->AllocRaw(256).value();
+    if (i % 2 == 0) {
+      live.push_back(off);
+    } else {
+      ASSERT_TRUE(allocator_->FreeRaw(off).ok());
+    }
+  }
+  uint64_t span = allocator_->AllocRaw(2ull << 20).value();
+  live.push_back(span);
+
+  const uint64_t region_off = allocator_->region_offset();
+  allocator_.reset();
+  allocator_ = std::move(Allocator::Open(pool_.get(), region_off).value());
+
+  for (uint64_t off : live) {
+    EXPECT_TRUE(allocator_->IsAllocated(off)) << off;
+  }
+  // New allocations must not collide with survivors.
+  std::set<uint64_t> live_set(live.begin(), live.end());
+  for (int i = 0; i < 200; ++i) {
+    uint64_t off = allocator_->AllocRaw(256).value();
+    EXPECT_EQ(live_set.count(off), 0u);
+  }
+}
+
+TEST_F(AllocatorTest, ReopenAfterCrashDropsUncommittedReservation) {
+  Reservation r = allocator_->PrepareAlloc(64).value();
+  const uint64_t off = r.offset;
+  // Crash before CommitAlloc: nothing was persisted for this reservation.
+  ASSERT_TRUE(pool_->Crash().ok());
+  allocator_ = std::move(Allocator::Open(pool_.get(), 0).value());
+  EXPECT_FALSE(allocator_->IsAllocated(off));
+}
+
+TEST_F(AllocatorTest, OrphanSpanContinuationReclaimedOnOpen) {
+  // Simulate a crash between persisting continuation headers and the span
+  // start: allocate a span, persist, crash with random eviction so some
+  // header lines may be stale — then verify Open() never reports corruption.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    nvm::PoolOptions popts;
+    popts.size = 16ull << 20;
+    popts.crash_sim = true;
+    auto pool = std::move(nvm::Pool::Create(popts).value());
+    auto alloc = std::move(Allocator::Create(pool.get(), 0, pool->size()).value());
+    Reservation r = alloc->PrepareAlloc(3ull << 20).value();
+    alloc->CommitAlloc(r);
+    ASSERT_TRUE(pool->Crash(nvm::CrashMode::kEvictRandomly, seed, 0.5).ok());
+    auto reopened = Allocator::Open(pool.get(), 0);
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+  }
+}
+
+TEST_F(AllocatorTest, OutOfMemoryReported) {
+  nvm::PoolOptions popts;
+  popts.size = 4ull << 20;  // Room for very few chunks.
+  auto pool = std::move(nvm::Pool::Create(popts).value());
+  auto alloc = std::move(Allocator::Create(pool.get(), 0, pool->size()).value());
+  std::vector<uint64_t> got;
+  for (;;) {
+    Result<uint64_t> r = alloc->AllocRaw(64 * 1024);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kOutOfMemory);
+      break;
+    }
+    got.push_back(*r);
+    ASSERT_LT(got.size(), 10000u);
+  }
+  EXPECT_GT(got.size(), 10u);
+  // Freeing restores capacity.
+  for (uint64_t off : got) {
+    ASSERT_TRUE(alloc->FreeRaw(off).ok());
+  }
+  EXPECT_TRUE(alloc->AllocRaw(64 * 1024).ok());
+}
+
+TEST_F(AllocatorTest, InvalidFreeRejected) {
+  EXPECT_FALSE(allocator_->FreeRaw(1).ok());  // Inside superblock.
+  uint64_t off = allocator_->AllocRaw(128).value();
+  EXPECT_FALSE(allocator_->FreeRaw(off + 1).ok());  // Not an allocation start.
+  ASSERT_TRUE(allocator_->FreeRaw(off).ok());
+}
+
+TEST_F(AllocatorTest, ConcurrentAllocFree) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<uint64_t> mine;
+      for (int i = 0; i < kIters; ++i) {
+        const uint64_t size = 64u << (i % 4);
+        Result<uint64_t> off = allocator_->AllocRaw(size);
+        if (!off.ok()) {
+          failed = true;
+          return;
+        }
+        // Stamp the payload to catch overlapping allocations.
+        std::memset(pool_->At(*off), t + 1, size);
+        mine.push_back(*off);
+        if (mine.size() > 16) {
+          if (!allocator_->FreeRaw(mine.front()).ok()) {
+            failed = true;
+            return;
+          }
+          mine.erase(mine.begin());
+        }
+      }
+      for (uint64_t off : mine) {
+        const uint64_t size = allocator_->UsableSize(off);
+        const auto* p = static_cast<const uint8_t*>(pool_->At(off));
+        for (uint64_t b = 0; b < size; ++b) {
+          if (p[b] != static_cast<uint8_t>(t + 1)) {
+            failed = true;
+            return;
+          }
+        }
+        (void)allocator_->FreeRaw(off);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(failed);
+}
+
+TEST_F(AllocatorTest, ConcurrentPrepareNeverOverlaps) {
+  constexpr int kThreads = 8;
+  std::vector<std::vector<uint64_t>> offsets(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        Reservation r = allocator_->PrepareAlloc(64).value();
+        offsets[static_cast<size_t>(t)].push_back(r.offset);
+        allocator_->CommitAlloc(r);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::set<uint64_t> all;
+  for (const auto& v : offsets) {
+    for (uint64_t off : v) {
+      EXPECT_TRUE(all.insert(off).second) << "duplicate " << off;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kamino::alloc
+
+namespace kamino::alloc {
+namespace {
+
+// (Appended coverage: enumeration API used by recovery compaction.)
+class AllocatorEnumTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nvm::PoolOptions popts;
+    popts.size = 32ull << 20;
+    pool_ = std::move(nvm::Pool::Create(popts).value());
+    allocator_ = std::move(Allocator::Create(pool_.get(), 0, pool_->size()).value());
+  }
+  std::unique_ptr<nvm::Pool> pool_;
+  std::unique_ptr<Allocator> allocator_;
+};
+
+TEST_F(AllocatorEnumTest, ForEachAllocationSeesExactlyLiveSet) {
+  std::set<std::pair<uint64_t, uint64_t>> expect;
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t size = 64u << (i % 3);
+    uint64_t off = allocator_->AllocRaw(size).value();
+    if (i % 4 == 0) {
+      ASSERT_TRUE(allocator_->FreeRaw(off).ok());
+    } else {
+      expect.emplace(off, Allocator::ClassSize(Allocator::SizeClassFor(size)));
+    }
+  }
+  const uint64_t span = allocator_->AllocRaw(2ull << 20).value();
+  expect.emplace(span, 2ull << 20);
+
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  allocator_->ForEachAllocation([&](uint64_t off, uint64_t size) { seen.emplace(off, size); });
+  EXPECT_EQ(seen, expect);
+}
+
+TEST_F(AllocatorEnumTest, ForEachAllocationEmptyAllocator) {
+  int count = 0;
+  allocator_->ForEachAllocation([&](uint64_t, uint64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace kamino::alloc

@@ -1,0 +1,287 @@
+#include "src/txn/backup_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace kamino::txn {
+namespace {
+
+std::unique_ptr<nvm::Pool> MakePool(uint64_t size, bool crash_sim = true) {
+  nvm::PoolOptions o;
+  o.size = size;
+  o.crash_sim = crash_sim;
+  return std::move(nvm::Pool::Create(o).value());
+}
+
+void StampMain(nvm::Pool* main, uint64_t off, uint8_t byte, uint64_t size) {
+  std::memset(main->At(off), byte, size);
+  main->Persist(main->At(off), size);
+}
+
+// --- FullBackupStore ---------------------------------------------------------
+
+TEST(FullBackupStoreTest, ApplyThenRestoreRoundTrip) {
+  auto main = MakePool(1 << 20);
+  auto backup = MakePool(1 << 20);
+  FullBackupStore store(main.get(), backup.get());
+
+  StampMain(main.get(), 4096, 0xAA, 256);
+  ASSERT_TRUE(store.ApplyFromMain(4096, 256).ok());
+
+  StampMain(main.get(), 4096, 0xBB, 256);  // "Transaction" modifies main.
+  ASSERT_TRUE(store.RestoreToMain(4096, 256).ok());
+  EXPECT_EQ(static_cast<uint8_t*>(main->At(4096))[0], 0xAA);
+  EXPECT_EQ(static_cast<uint8_t*>(main->At(4096))[255], 0xAA);
+}
+
+TEST(FullBackupStoreTest, ApplyPersistsBackup) {
+  auto main = MakePool(1 << 20);
+  auto backup = MakePool(1 << 20);
+  FullBackupStore store(main.get(), backup.get());
+  StampMain(main.get(), 0, 0x11, 64);
+  ASSERT_TRUE(store.ApplyFromMain(0, 64).ok());
+  ASSERT_TRUE(backup->Crash().ok());
+  EXPECT_EQ(static_cast<uint8_t*>(backup->At(0))[0], 0x11);
+}
+
+TEST(FullBackupStoreTest, EnsureIsFreeAndCountsNothing) {
+  auto main = MakePool(1 << 20);
+  auto backup = MakePool(1 << 20);
+  FullBackupStore store(main.get(), backup.get());
+  EXPECT_TRUE(store.EnsureBackupCopy(0, 64, true).ok());
+  EXPECT_EQ(store.stats().ensure_misses, 0u);
+  EXPECT_EQ(store.backup_bytes(), backup->size());
+}
+
+TEST(FullBackupStoreTest, SyncAllMirrorsEverything) {
+  auto main = MakePool(1 << 20);
+  auto backup = MakePool(1 << 20);
+  FullBackupStore store(main.get(), backup.get());
+  StampMain(main.get(), 1000, 0x77, 128);
+  store.SyncAll();
+  EXPECT_EQ(std::memcmp(backup->At(1000), main->At(1000), 128), 0);
+}
+
+// --- DynamicBackupStore ------------------------------------------------------
+
+class DynamicBackupStoreTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kBuckets = 1 << 10;
+
+  void SetUp() override { Build(8ull << 20); }
+
+  void Build(uint64_t budget) {
+    main_ = MakePool(64ull << 20);
+    backup_ = MakePool(DynamicBackupStore::RequiredPoolSize(budget, kBuckets));
+    DynamicBackupOptions opts;
+    opts.lookup_buckets = kBuckets;
+    opts.budget_bytes = budget;
+    store_ = std::move(DynamicBackupStore::Create(main_.get(), backup_.get(), opts).value());
+  }
+
+  std::unique_ptr<nvm::Pool> main_;
+  std::unique_ptr<nvm::Pool> backup_;
+  std::unique_ptr<DynamicBackupStore> store_;
+};
+
+TEST_F(DynamicBackupStoreTest, MissThenHit) {
+  StampMain(main_.get(), 4096, 0xAA, 1024);
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 1024).ok());
+  EXPECT_EQ(store_->stats().ensure_misses, 1u);
+  EXPECT_TRUE(store_->HasCopy(4096));
+
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 1024).ok());
+  EXPECT_EQ(store_->stats().ensure_hits, 1u);
+  EXPECT_EQ(store_->stats().ensure_misses, 1u);
+}
+
+TEST_F(DynamicBackupStoreTest, RestoreReturnsPreTxValue) {
+  StampMain(main_.get(), 4096, 0xAA, 1024);
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 1024).ok());
+  StampMain(main_.get(), 4096, 0xBB, 1024);  // In-place edit.
+  ASSERT_TRUE(store_->RestoreToMain(4096, 1024).ok());
+  EXPECT_EQ(static_cast<uint8_t*>(main_->At(4096))[500], 0xAA);
+}
+
+TEST_F(DynamicBackupStoreTest, RestoreWithoutCopyIsCorruption) {
+  EXPECT_EQ(store_->RestoreToMain(4096, 64).code(), StatusCode::kCorruption);
+}
+
+TEST_F(DynamicBackupStoreTest, ApplyCreatesCopyOnMiss) {
+  StampMain(main_.get(), 8192, 0x42, 128);
+  ASSERT_TRUE(store_->ApplyFromMain(8192, 128).ok());
+  EXPECT_TRUE(store_->HasCopy(8192));
+  StampMain(main_.get(), 8192, 0x43, 128);
+  ASSERT_TRUE(store_->RestoreToMain(8192, 128).ok());
+  EXPECT_EQ(static_cast<uint8_t*>(main_->At(8192))[0], 0x42);
+}
+
+TEST_F(DynamicBackupStoreTest, InvalidateForgetsCopy) {
+  StampMain(main_.get(), 4096, 0xAA, 64);
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 64).ok());
+  store_->Invalidate(4096);
+  EXPECT_FALSE(store_->HasCopy(4096));
+  EXPECT_EQ(store_->RestoreToMain(4096, 64).code(), StatusCode::kCorruption);
+}
+
+TEST_F(DynamicBackupStoreTest, EvictsLruWhenFull) {
+  Build(2ull << 20);  // Small budget: ~2 MiB of copies.
+  // Insert 64 KiB objects until evictions kick in.
+  const uint64_t kObj = 64 * 1024;
+  for (uint64_t i = 0; i < 64; ++i) {
+    const uint64_t off = 1 * (1ull << 20) + i * kObj;
+    StampMain(main_.get(), off, static_cast<uint8_t>(i + 1), kObj);
+    ASSERT_TRUE(store_->EnsureBackupCopy(off, kObj).ok()) << i;
+  }
+  EXPECT_GT(store_->stats().evictions, 0u);
+  // The oldest entries were evicted; the newest survive.
+  EXPECT_FALSE(store_->HasCopy(1ull << 20));
+  EXPECT_TRUE(store_->HasCopy((1ull << 20) + 63 * kObj));
+}
+
+TEST_F(DynamicBackupStoreTest, PinnedEntriesSurviveEvictionPressure) {
+  Build(2ull << 20);
+  const uint64_t kObj = 64 * 1024;
+  const uint64_t pinned_off = 1ull << 20;
+  StampMain(main_.get(), pinned_off, 0x99, kObj);
+  ASSERT_TRUE(store_->EnsureBackupCopy(pinned_off, kObj, /*pin=*/true).ok());
+  for (uint64_t i = 1; i < 64; ++i) {
+    const uint64_t off = (1ull << 20) + i * kObj;
+    StampMain(main_.get(), off, static_cast<uint8_t>(i), kObj);
+    ASSERT_TRUE(store_->EnsureBackupCopy(off, kObj).ok());
+  }
+  EXPECT_TRUE(store_->HasCopy(pinned_off));
+  store_->Unpin(pinned_off);
+}
+
+TEST_F(DynamicBackupStoreTest, AllPinnedReportsOutOfMemory) {
+  Build(2ull << 20);
+  const uint64_t kObj = 64 * 1024;
+  uint64_t i = 0;
+  Status st = Status::Ok();
+  for (; i < 256; ++i) {
+    const uint64_t off = (1ull << 20) + i * kObj;
+    StampMain(main_.get(), off, 1, kObj);
+    st = store_->EnsureBackupCopy(off, kObj, /*pin=*/true);
+    if (!st.ok()) {
+      break;
+    }
+  }
+  EXPECT_EQ(st.code(), StatusCode::kOutOfMemory);
+  for (uint64_t j = 0; j < i; ++j) {
+    store_->Unpin((1ull << 20) + j * kObj);
+  }
+}
+
+TEST_F(DynamicBackupStoreTest, LruOrderRespectsTouches) {
+  Build(2ull << 20);
+  const uint64_t kObj = 64 * 1024;
+  const uint64_t first = 1ull << 20;
+  StampMain(main_.get(), first, 1, kObj);
+  ASSERT_TRUE(store_->EnsureBackupCopy(first, kObj).ok());
+  // Fill close to budget, touching `first` after every insert.
+  for (uint64_t i = 1; i < 40; ++i) {
+    const uint64_t off = first + i * kObj;
+    StampMain(main_.get(), off, static_cast<uint8_t>(i), kObj);
+    ASSERT_TRUE(store_->EnsureBackupCopy(off, kObj).ok());
+    ASSERT_TRUE(store_->EnsureBackupCopy(first, kObj).ok());  // Touch.
+  }
+  EXPECT_TRUE(store_->HasCopy(first)) << "frequently-touched copy was evicted";
+}
+
+TEST_F(DynamicBackupStoreTest, SurvivesCrashAndReopen) {
+  StampMain(main_.get(), 4096, 0xAA, 1024);
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 1024).ok());
+  StampMain(main_.get(), 4096, 0xBB, 1024);  // Uncommitted in-place edit.
+
+  store_.reset();
+  ASSERT_TRUE(backup_->Crash().ok());
+  store_ = std::move(DynamicBackupStore::Open(main_.get(), backup_.get()).value());
+
+  EXPECT_TRUE(store_->HasCopy(4096));
+  ASSERT_TRUE(store_->RestoreToMain(4096, 1024).ok());
+  EXPECT_EQ(static_cast<uint8_t*>(main_->At(4096))[0], 0xAA);
+}
+
+TEST_F(DynamicBackupStoreTest, ReopenDropsTornEntries) {
+  // Write an entry, then crash with eviction randomness so the entry line
+  // itself may be torn relative to the slot content. Open() must either see
+  // a valid entry or drop it — never corruption.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    auto main = MakePool(8ull << 20);
+    auto backup = MakePool(DynamicBackupStore::RequiredPoolSize(2ull << 20, 1 << 10));
+    DynamicBackupOptions opts;
+    opts.lookup_buckets = 1 << 10;
+    auto store = std::move(DynamicBackupStore::Create(main.get(), backup.get(), opts).value());
+    StampMain(main.get(), 4096, 0x12, 256);
+    ASSERT_TRUE(store->EnsureBackupCopy(4096, 256).ok());
+    store.reset();
+    ASSERT_TRUE(backup->Crash(nvm::CrashMode::kEvictRandomly, seed, 0.5).ok());
+    auto reopened = DynamicBackupStore::Open(main.get(), backup.get());
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+  }
+}
+
+TEST_F(DynamicBackupStoreTest, GrowingRangeReplacesCopy) {
+  StampMain(main_.get(), 4096, 0xAA, 64);
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 64).ok());
+  StampMain(main_.get(), 4096, 0xCC, 256);
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 256).ok());  // Larger range.
+  StampMain(main_.get(), 4096, 0xDD, 256);
+  ASSERT_TRUE(store_->RestoreToMain(4096, 256).ok());
+  EXPECT_EQ(static_cast<uint8_t*>(main_->At(4096))[200], 0xCC);
+}
+
+TEST_F(DynamicBackupStoreTest, ResidentCountTracksInsertsAndInvalidates) {
+  EXPECT_EQ(store_->resident_copies(), 0u);
+  StampMain(main_.get(), 4096, 1, 64);
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 64).ok());
+  StampMain(main_.get(), 8192, 1, 64);
+  ASSERT_TRUE(store_->EnsureBackupCopy(8192, 64).ok());
+  EXPECT_EQ(store_->resident_copies(), 2u);
+  store_->Invalidate(4096);
+  EXPECT_EQ(store_->resident_copies(), 1u);
+}
+
+}  // namespace
+}  // namespace kamino::txn
+
+namespace kamino::txn {
+namespace {
+
+// (Appended coverage: post-recovery compaction of orphaned backup slots.)
+TEST_F(DynamicBackupStoreTest, CompactAfterRecoveryReclaimsOrphans) {
+  StampMain(main_.get(), 4096, 0x11, 512);
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 512).ok());
+  // Simulate a crash window: the slot allocator holds an allocation that no
+  // valid lookup-table entry references (tombstone persisted, replacement
+  // entry lost).
+  const uint64_t live_before = store_->slot_bytes_allocated();
+  store_->Invalidate(4096);  // Entry gone...
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 512).ok());
+  const uint64_t live_mid = store_->slot_bytes_allocated();
+  EXPECT_EQ(live_mid, live_before);  // Slot was recycled, sanity.
+
+  // Manufacture an orphan directly in the slot allocator via a second copy
+  // whose entry we then tombstone by hand through Invalidate + re-ensure of
+  // a DIFFERENT key reusing nothing.
+  StampMain(main_.get(), 8192, 0x22, 512);
+  ASSERT_TRUE(store_->EnsureBackupCopy(8192, 512).ok());
+  store_.reset();
+  ASSERT_TRUE(backup_->Crash().ok());
+  store_ = std::move(DynamicBackupStore::Open(main_.get(), backup_.get()).value());
+  // Whatever survived, compaction must leave exactly the referenced bytes.
+  store_->CompactAfterRecovery();
+  uint64_t referenced = 0;
+  if (store_->HasCopy(4096)) {
+    referenced += 512;
+  }
+  if (store_->HasCopy(8192)) {
+    referenced += 512;
+  }
+  EXPECT_EQ(store_->slot_bytes_allocated(), referenced);
+}
+
+}  // namespace
+}  // namespace kamino::txn

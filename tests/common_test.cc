@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/cacheline.h"
+#include "src/common/checksum.h"
+#include "src/common/random.h"
+#include "src/common/spinlock.h"
+#include "src/common/status.h"
+
+namespace kamino {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: key 42");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (uint8_t c = 0; c <= static_cast<uint8_t>(StatusCode::kNotSupported); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfMemory("x"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    KAMINO_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(CachelineTest, FloorCeil) {
+  EXPECT_EQ(CacheLineFloor(0), 0u);
+  EXPECT_EQ(CacheLineFloor(63), 0u);
+  EXPECT_EQ(CacheLineFloor(64), 64u);
+  EXPECT_EQ(CacheLineCeil(1), 64u);
+  EXPECT_EQ(CacheLineCeil(64), 64u);
+  EXPECT_EQ(CacheLineCeil(65), 128u);
+}
+
+TEST(CachelineTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 4096), 0u);
+  EXPECT_EQ(AlignUp(1, 4096), 4096u);
+  EXPECT_EQ(AlignUp(4096, 4096), 4096u);
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(96));
+}
+
+TEST(ChecksumTest, Crc32cKnownVector) {
+  // "123456789" -> 0xE3069283 is the standard CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(ChecksumTest, Crc64Properties) {
+  const char a[] = "kamino";
+  const char b[] = "kaminO";
+  EXPECT_NE(Crc64(a, sizeof(a)), Crc64(b, sizeof(b)));
+  EXPECT_EQ(Crc64(a, sizeof(a)), Crc64(a, sizeof(a)));
+  EXPECT_EQ(Crc64(nullptr, 0), 0u);
+}
+
+TEST(ChecksumTest, DetectsSingleBitFlip) {
+  std::vector<uint8_t> buf(256);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 31);
+  }
+  const uint64_t base = Crc64(buf.data(), buf.size());
+  for (size_t i = 0; i < buf.size(); i += 17) {
+    buf[i] ^= 1;
+    EXPECT_NE(Crc64(buf.data(), buf.size()), base) << "flip at " << i;
+    buf[i] ^= 1;
+  }
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, BoundedStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) {
+    ++counts[rng.NextBounded(8)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 600);
+  }
+}
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(SpinLockTest, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SharedSpinLockTest, ReadersShareWritersExclude) {
+  SharedSpinLock lock;
+  lock.lock_shared();
+  EXPECT_TRUE(lock.try_lock_shared());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock_shared();
+  lock.unlock_shared();
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock_shared());
+  lock.unlock();
+}
+
+TEST(SharedSpinLockTest, ConcurrentCounter) {
+  SharedSpinLock lock;
+  int64_t counter = 0;
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+        lock.lock_shared();
+        if (counter < 0) {
+          mismatch = true;
+        }
+        lock.unlock_shared();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter, 20000);
+  EXPECT_FALSE(mismatch);
+}
+
+}  // namespace
+}  // namespace kamino

@@ -1,0 +1,162 @@
+// Randomized whole-system crash fuzzer: a tree + map + queue share one heap;
+// random committed operations interleave with leaked (in-flight)
+// transactions and randomized power failures (kEvictRandomly). After every
+// recovery, all structural invariants must hold and all committed data must
+// match a volatile model exactly. Sweeps engines x seeds.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "src/common/random.h"
+#include "src/pds/bplus_tree.h"
+#include "src/pds/hash_map.h"
+#include "src/pds/pqueue.h"
+#include "tests/test_util.h"
+
+namespace kamino {
+namespace {
+
+using test::CrashableSystem;
+
+struct Model {
+  std::map<uint64_t, std::string> tree;
+  std::map<uint64_t, std::string> map;
+  std::deque<std::string> queue;
+};
+
+struct Structures {
+  std::unique_ptr<pds::BPlusTree> tree;
+  std::unique_ptr<pds::HashMap> map;
+  std::unique_ptr<pds::PQueue> queue;
+};
+
+Structures AttachAll(CrashableSystem* sys, uint64_t tree_a, uint64_t map_a, uint64_t q_a) {
+  Structures s;
+  s.tree = std::move(pds::BPlusTree::Attach(sys->mgr.get(), tree_a).value());
+  s.map = std::move(pds::HashMap::Attach(sys->mgr.get(), map_a).value());
+  s.queue = std::move(pds::PQueue::Attach(sys->mgr.get(), q_a).value());
+  return s;
+}
+
+void CheckAgainstModel(const Structures& s, const Model& m) {
+  ASSERT_TRUE(s.tree->Validate().ok());
+  ASSERT_TRUE(s.map->Validate().ok());
+  ASSERT_TRUE(s.queue->Validate().ok());
+  ASSERT_EQ(s.tree->CountSlow(), m.tree.size());
+  for (const auto& [k, v] : m.tree) {
+    ASSERT_EQ(s.tree->Get(k).value(), v) << "tree key " << k;
+  }
+  ASSERT_EQ(s.map->CountSlow(), m.map.size());
+  for (const auto& [k, v] : m.map) {
+    ASSERT_EQ(s.map->Get(k).value(), v) << "map key " << k;
+  }
+  ASSERT_EQ(s.queue->size(), m.queue.size());
+  const auto items = s.queue->Items();
+  for (size_t i = 0; i < items.size(); ++i) {
+    ASSERT_EQ(items[i], m.queue[i]) << "queue item " << i;
+  }
+}
+
+class FuzzCrashTest : public ::testing::TestWithParam<txn::EngineType> {};
+
+TEST_P(FuzzCrashTest, RandomOpsWithRandomCrashes) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    CrashableSystem sys = CrashableSystem::Create(GetParam(), 128ull << 20);
+    Model model;
+    Xoshiro256 rng(seed * 7919);
+
+    uint64_t tree_a, map_a, q_a;
+    {
+      auto tree = pds::BPlusTree::Create(sys.mgr.get()).value();
+      auto map = pds::HashMap::Create(sys.mgr.get(), 128).value();
+      auto queue = pds::PQueue::Create(sys.mgr.get()).value();
+      tree_a = tree->anchor();
+      map_a = map->anchor();
+      q_a = queue->anchor();
+    }
+    Structures s = AttachAll(&sys, tree_a, map_a, q_a);
+
+    for (int round = 0; round < 4; ++round) {
+      // A burst of committed operations, mirrored in the model.
+      for (int op = 0; op < 120; ++op) {
+        const uint64_t key = rng.NextBounded(80);
+        const std::string val =
+            "s" + std::to_string(seed) + "r" + std::to_string(round) + "o" + std::to_string(op);
+        switch (rng.NextBounded(6)) {
+          case 0:
+            ASSERT_TRUE(s.tree->Upsert(key, val).ok());
+            model.tree[key] = val;
+            break;
+          case 1:
+            if (s.tree->Delete(key).ok()) {
+              model.tree.erase(key);
+            }
+            break;
+          case 2:
+            ASSERT_TRUE(s.map->Put(key, val).ok());
+            model.map[key] = val;
+            break;
+          case 3:
+            if (s.map->Erase(key).ok()) {
+              model.map.erase(key);
+            }
+            break;
+          case 4:
+            ASSERT_TRUE(s.queue->PushBack(val).ok());
+            model.queue.push_back(val);
+            break;
+          case 5:
+            if (s.queue->PopFront().ok()) {
+              model.queue.pop_front();
+            }
+            break;
+        }
+      }
+      sys.mgr->WaitIdle();
+
+      // One in-flight transaction that dies with the machine (sometimes).
+      if (rng.NextDouble() < 0.7) {
+        Result<txn::Tx> tx = sys.mgr->Begin();
+        ASSERT_TRUE(tx.ok());
+        auto guard = s.tree->LockExclusive();
+        (void)s.tree->UpsertInTx(*tx, 999, "doomed");
+        tx->LeakForCrashTest();
+      }
+
+      // Power failure with a random eviction outcome, then recovery.
+      s = Structures{};  // Handles die with the "process".
+      sys.CrashAndRecover(nvm::CrashMode::kEvictRandomly, seed * 100 + round);
+      s = AttachAll(&sys, tree_a, map_a, q_a);
+      CheckAgainstModel(s, model);
+      ASSERT_EQ(s.tree->Get(999).status().code(), StatusCode::kNotFound)
+          << "in-flight write leaked into recovered state";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, FuzzCrashTest,
+                         ::testing::Values(txn::EngineType::kKaminoSimple,
+                                           txn::EngineType::kKaminoDynamic,
+                                           txn::EngineType::kUndoLog, txn::EngineType::kCow,
+                                           txn::EngineType::kRedoLog),
+                         [](const ::testing::TestParamInfo<txn::EngineType>& info) {
+                           switch (info.param) {
+                             case txn::EngineType::kKaminoSimple:
+                               return "KaminoSimple";
+                             case txn::EngineType::kKaminoDynamic:
+                               return "KaminoDynamic";
+                             case txn::EngineType::kUndoLog:
+                               return "UndoLog";
+                             case txn::EngineType::kCow:
+                               return "Cow";
+                             case txn::EngineType::kRedoLog:
+                               return "RedoLog";
+                             default:
+                               return "Unknown";
+                           }
+                         });
+
+}  // namespace
+}  // namespace kamino

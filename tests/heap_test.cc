@@ -1,0 +1,101 @@
+#include "src/heap/heap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace kamino::heap {
+namespace {
+
+struct Node {
+  uint64_t value;
+  PPtr<Node> next;
+};
+
+TEST(HeapTest, CreateAndAllocate) {
+  HeapOptions opts;
+  opts.pool_size = 64ull << 20;
+  auto heap = Heap::Create(opts).value();
+  uint64_t off = heap->allocator()->AllocRaw(sizeof(Node)).value();
+  EXPECT_GT(off, heap->log_region_offset() + heap->log_region_size());
+  EXPECT_EQ(heap->ObjectSize(off), 64u);
+}
+
+TEST(HeapTest, PoolTooSmallRejected) {
+  HeapOptions opts;
+  opts.pool_size = 1 << 20;
+  opts.log_region_size = 16ull << 20;  // Log alone exceeds the pool.
+  EXPECT_FALSE(Heap::Create(opts).ok());
+}
+
+TEST(HeapTest, RootRoundTrip) {
+  HeapOptions opts;
+  opts.pool_size = 64ull << 20;
+  auto heap = Heap::Create(opts).value();
+  EXPECT_EQ(heap->root(), 0u);
+  heap->set_root(4242);
+  EXPECT_EQ(heap->root(), 4242u);
+}
+
+TEST(HeapTest, PPtrDeref) {
+  HeapOptions opts;
+  opts.pool_size = 64ull << 20;
+  auto heap = Heap::Create(opts).value();
+  uint64_t off = heap->allocator()->AllocRaw(sizeof(Node)).value();
+  PPtr<Node> p(off);
+  Node* n = p.get(*heap);
+  n->value = 99;
+  n->next = PPtr<Node>::Null();
+  EXPECT_EQ(heap->Deref(p)->value, 99u);
+  EXPECT_TRUE(n->next.IsNull());
+  EXPECT_FALSE(p.IsNull());
+  EXPECT_EQ(heap->OffsetOf(n), off);
+}
+
+TEST(HeapTest, NullPPtrDerefsToNullptr) {
+  HeapOptions opts;
+  opts.pool_size = 64ull << 20;
+  auto heap = Heap::Create(opts).value();
+  PPtr<Node> null;
+  EXPECT_EQ(heap->Deref(null), nullptr);
+  EXPECT_FALSE(static_cast<bool>(null));
+}
+
+TEST(HeapTest, AttachRecoversStructure) {
+  nvm::PoolOptions popts;
+  popts.size = 64ull << 20;
+  popts.crash_sim = true;
+  auto pool = std::move(nvm::Pool::Create(popts).value());
+
+  uint64_t off;
+  {
+    auto heap = Heap::CreateOn(pool.get(), 8ull << 20).value();
+    off = heap->allocator()->AllocRaw(sizeof(Node)).value();
+    auto* n = static_cast<Node*>(pool->At(off));
+    n->value = 1234;
+    pool->Persist(n, sizeof(Node));
+    heap->set_root(off);
+  }
+  ASSERT_TRUE(pool->Crash().ok());
+
+  auto heap = Heap::Attach(pool.get()).value();
+  EXPECT_EQ(heap->root(), off);
+  EXPECT_TRUE(heap->allocator()->IsAllocated(off));
+  EXPECT_EQ(static_cast<Node*>(pool->At(off))->value, 1234u);
+}
+
+TEST(HeapTest, AttachRejectsUnformattedPool) {
+  nvm::PoolOptions popts;
+  popts.size = 8ull << 20;
+  auto pool = std::move(nvm::Pool::Create(popts).value());
+  EXPECT_EQ(Heap::Attach(pool.get()).status().code(), StatusCode::kCorruption);
+}
+
+TEST(HeapTest, PPtrComparisons) {
+  PPtr<Node> a(64), b(64), c(128);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace kamino::heap

@@ -1,0 +1,181 @@
+#include "src/txn/log_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace kamino::txn {
+namespace {
+
+class LogManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nvm::PoolOptions popts;
+    popts.size = 32ull << 20;
+    popts.crash_sim = true;
+    pool_ = std::move(nvm::Pool::Create(popts).value());
+    LogOptions lopts;
+    lopts.num_slots = 8;
+    lopts.slot_size = 16 * 1024;
+    lopts.max_records = 32;
+    log_ = std::move(LogManager::Create(pool_.get(), 0, pool_->size(), lopts).value());
+  }
+
+  std::unique_ptr<nvm::Pool> pool_;
+  std::unique_ptr<LogManager> log_;
+};
+
+TEST_F(LogManagerTest, AcquireAppendRelease) {
+  SlotHandle s = log_->AcquireSlot(1).value();
+  ASSERT_TRUE(log_->AppendRecord(s, IntentKind::kWrite, 1000, 64).ok());
+  ASSERT_TRUE(log_->AppendRecord(s, IntentKind::kAlloc, 2000, 128).ok());
+  EXPECT_EQ(s.num_records, 2u);
+  log_->SetState(s, TxState::kCommitted);
+  log_->ReleaseSlot(s);
+  EXPECT_FALSE(s.valid());
+}
+
+TEST_F(LogManagerTest, RecordCapacityEnforced) {
+  SlotHandle s = log_->AcquireSlot(1).value();
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(log_->AppendRecord(s, IntentKind::kWrite, 64u * i, 64).ok());
+  }
+  EXPECT_EQ(log_->AppendRecord(s, IntentKind::kWrite, 9999, 64).code(),
+            StatusCode::kOutOfMemory);
+  log_->ReleaseSlot(s);
+}
+
+TEST_F(LogManagerTest, PayloadReservation) {
+  SlotHandle s = log_->AcquireSlot(1).value();
+  uint64_t p1 = log_->ReservePayload(s, 100).value();
+  uint64_t p2 = log_->ReservePayload(s, 100).value();
+  EXPECT_GE(p2, p1 + 100);
+  EXPECT_EQ(p1 % 64, 0u);  // Cache-line aligned.
+  // Exhaust the payload area.
+  Result<uint64_t> big = log_->ReservePayload(s, 1 << 20);
+  EXPECT_EQ(big.status().code(), StatusCode::kOutOfMemory);
+  log_->ReleaseSlot(s);
+}
+
+TEST_F(LogManagerTest, ScanRecoversCommittedAndRunning) {
+  SlotHandle a = log_->AcquireSlot(10).value();
+  ASSERT_TRUE(log_->AppendRecord(a, IntentKind::kWrite, 111, 64).ok());
+  log_->SetState(a, TxState::kCommitted);
+
+  SlotHandle b = log_->AcquireSlot(11).value();
+  ASSERT_TRUE(log_->AppendRecord(b, IntentKind::kWrite, 222, 64, 777).ok());
+  ASSERT_TRUE(log_->AppendRecord(b, IntentKind::kFree, 333, 128).ok());
+
+  auto txs = log_->ScanForRecovery();
+  ASSERT_EQ(txs.size(), 2u);
+  EXPECT_EQ(txs[0].txid, 10u);
+  EXPECT_EQ(txs[0].state, TxState::kCommitted);
+  ASSERT_EQ(txs[0].intents.size(), 1u);
+  EXPECT_EQ(txs[0].intents[0].offset, 111u);
+
+  EXPECT_EQ(txs[1].txid, 11u);
+  EXPECT_EQ(txs[1].state, TxState::kRunning);
+  ASSERT_EQ(txs[1].intents.size(), 2u);
+  EXPECT_EQ(txs[1].intents[0].aux, 777u);
+  EXPECT_EQ(txs[1].intents[1].kind, IntentKind::kFree);
+  log_->ReleaseSlot(a);
+  log_->ReleaseSlot(b);
+}
+
+TEST_F(LogManagerTest, StaleRecordsFromPreviousOccupantIgnored) {
+  SlotHandle a = log_->AcquireSlot(1).value();
+  const uint64_t slot_index = a.slot_index;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log_->AppendRecord(a, IntentKind::kWrite, 64u * i, 64).ok());
+  }
+  log_->ReleaseSlot(a);
+
+  // Free list is LIFO: the next acquire reuses the same slot.
+  SlotHandle b = log_->AcquireSlot(2).value();
+  ASSERT_EQ(b.slot_index, slot_index);
+  ASSERT_TRUE(log_->AppendRecord(b, IntentKind::kWrite, 5000, 64).ok());
+
+  auto txs = log_->ScanForRecovery();
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0].intents.size(), 1u) << "old records must not be visible";
+  EXPECT_EQ(txs[0].intents[0].offset, 5000u);
+  log_->ReleaseSlot(b);
+}
+
+TEST_F(LogManagerTest, SurvivesCrashAndReopen) {
+  SlotHandle a = log_->AcquireSlot(42).value();
+  ASSERT_TRUE(log_->AppendRecord(a, IntentKind::kWrite, 4096, 256).ok());
+  log_->SetState(a, TxState::kCommitted);
+
+  ASSERT_TRUE(pool_->Crash().ok());
+  log_ = std::move(LogManager::Open(pool_.get(), 0).value());
+  EXPECT_EQ(log_->max_recovered_txid(), 42u);
+
+  auto txs = log_->ScanForRecovery();
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0].txid, 42u);
+  EXPECT_EQ(txs[0].state, TxState::kCommitted);
+  ASSERT_EQ(txs[0].intents.size(), 1u);
+  EXPECT_EQ(txs[0].intents[0].offset, 4096u);
+  EXPECT_EQ(txs[0].intents[0].size, 256u);
+}
+
+TEST_F(LogManagerTest, UnpersistedRecordDroppedByCrash) {
+  SlotHandle a = log_->AcquireSlot(7).value();
+  ASSERT_TRUE(log_->AppendRecord(a, IntentKind::kWrite, 100, 64).ok());
+  // Append a record but crash before its drain: use drain=false.
+  ASSERT_TRUE(log_->AppendRecord(a, IntentKind::kWrite, 200, 64, 0, /*drain=*/false).ok());
+
+  ASSERT_TRUE(pool_->Crash().ok());
+  log_ = std::move(LogManager::Open(pool_.get(), 0).value());
+  auto txs = log_->ScanForRecovery();
+  ASSERT_EQ(txs.size(), 1u);
+  ASSERT_EQ(txs[0].intents.size(), 1u);
+  EXPECT_EQ(txs[0].intents[0].offset, 100u);
+}
+
+TEST_F(LogManagerTest, SlotsBlockWhenExhaustedAndWake) {
+  std::vector<SlotHandle> held;
+  for (int i = 0; i < 8; ++i) {
+    held.push_back(log_->AcquireSlot(100 + static_cast<uint64_t>(i)).value());
+  }
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    SlotHandle s = log_->AcquireSlot(999).value();
+    acquired = true;
+    log_->ReleaseSlot(s);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired);
+  log_->ReleaseSlot(held[0]);
+  waiter.join();
+  EXPECT_TRUE(acquired);
+  for (size_t i = 1; i < held.size(); ++i) {
+    log_->ReleaseSlot(held[i]);
+  }
+}
+
+TEST_F(LogManagerTest, OpenRejectsGarbage) {
+  nvm::PoolOptions popts;
+  popts.size = 1 << 20;
+  auto pool = std::move(nvm::Pool::Create(popts).value());
+  EXPECT_EQ(LogManager::Open(pool.get(), 0).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(LogManagerTest, RejectsBadGeometry) {
+  nvm::PoolOptions popts;
+  popts.size = 1 << 20;
+  auto pool = std::move(nvm::Pool::Create(popts).value());
+  LogOptions lopts;
+  lopts.num_slots = 1000;
+  lopts.slot_size = 64 * 1024;  // 64 MB needed, 1 MB available.
+  EXPECT_FALSE(LogManager::Create(pool.get(), 0, pool->size(), lopts).ok());
+
+  lopts.num_slots = 1;
+  lopts.slot_size = 128;  // Too small for 32 records.
+  lopts.max_records = 32;
+  EXPECT_FALSE(LogManager::Create(pool.get(), 0, pool->size(), lopts).ok());
+}
+
+}  // namespace
+}  // namespace kamino::txn

@@ -1,0 +1,63 @@
+#include "src/chain/membership.h"
+
+#include <gtest/gtest.h>
+
+namespace kamino::chain {
+namespace {
+
+TEST(MembershipTest, InitialView) {
+  MembershipManager mm({1, 2, 3});
+  View v = mm.current();
+  EXPECT_EQ(v.view_id, 1u);
+  EXPECT_EQ(v.head(), 1u);
+  EXPECT_EQ(v.tail(), 3u);
+  EXPECT_TRUE(v.Contains(2));
+  EXPECT_FALSE(v.Contains(4));
+}
+
+TEST(MembershipTest, NeighbourLookup) {
+  MembershipManager mm({1, 2, 3});
+  View v = mm.current();
+  EXPECT_EQ(v.PredecessorOf(1), 0u);
+  EXPECT_EQ(v.PredecessorOf(2), 1u);
+  EXPECT_EQ(v.SuccessorOf(2), 3u);
+  EXPECT_EQ(v.SuccessorOf(3), 0u);
+  EXPECT_EQ(v.PredecessorOf(99), 0u);
+}
+
+TEST(MembershipTest, FailureBumpsView) {
+  MembershipManager mm({1, 2, 3});
+  View v = mm.ReportFailure(2);
+  EXPECT_EQ(v.view_id, 2u);
+  EXPECT_EQ(v.nodes, (std::vector<uint64_t>{1, 3}));
+  EXPECT_EQ(v.SuccessorOf(1), 3u);
+  // Unknown node: view unchanged.
+  View same = mm.ReportFailure(42);
+  EXPECT_EQ(same.view_id, 2u);
+}
+
+TEST(MembershipTest, HeadFailurePromotesSecond) {
+  MembershipManager mm({1, 2, 3});
+  View v = mm.ReportFailure(1);
+  EXPECT_EQ(v.head(), 2u);
+}
+
+TEST(MembershipTest, AddTail) {
+  MembershipManager mm({1, 2});
+  View v = mm.AddTail(9);
+  EXPECT_EQ(v.view_id, 2u);
+  EXPECT_EQ(v.tail(), 9u);
+  // Idempotent.
+  View same = mm.AddTail(9);
+  EXPECT_EQ(same.view_id, 2u);
+}
+
+TEST(MembershipTest, RejoinOnlyForMembers) {
+  MembershipManager mm({1, 2, 3});
+  mm.ReportFailure(2);
+  EXPECT_TRUE(mm.RequestRejoin(3, 1).ok());
+  EXPECT_EQ(mm.RequestRejoin(2, 1).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace kamino::chain

@@ -1,0 +1,135 @@
+#include "src/net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace kamino::net {
+namespace {
+
+TEST(NetworkTest, SendReceiveRoundTrip) {
+  Network net;
+  Endpoint* a = net.CreateEndpoint(1);
+  Endpoint* b = net.CreateEndpoint(2);
+  Message msg;
+  msg.type = 7;
+  msg.payload = {1, 2, 3};
+  ASSERT_TRUE(a->Send(2, std::move(msg)).ok());
+  auto got = b->Receive(1000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, 7u);
+  EXPECT_EQ(got->src, 1u);
+  EXPECT_EQ(got->dst, 2u);
+  EXPECT_EQ(got->payload, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(NetworkTest, FifoPerSender) {
+  Network net;
+  Endpoint* a = net.CreateEndpoint(1);
+  Endpoint* b = net.CreateEndpoint(2);
+  for (uint64_t i = 0; i < 100; ++i) {
+    Message m;
+    m.type = i;
+    ASSERT_TRUE(a->Send(2, std::move(m)).ok());
+  }
+  for (uint64_t i = 0; i < 100; ++i) {
+    auto got = b->Receive(1000);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->type, i);
+  }
+}
+
+TEST(NetworkTest, UnknownDestinationFails) {
+  Network net;
+  Endpoint* a = net.CreateEndpoint(1);
+  Message m;
+  EXPECT_EQ(a->Send(99, std::move(m)).code(), StatusCode::kNotFound);
+}
+
+TEST(NetworkTest, ReceiveTimesOut) {
+  Network net;
+  Endpoint* a = net.CreateEndpoint(1);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(a->Receive(50).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(45));
+}
+
+TEST(NetworkTest, LatencyIsApplied) {
+  NetworkOptions opts;
+  opts.one_way_latency_us = 20'000;  // 20 ms, measurable.
+  Network net(opts);
+  Endpoint* a = net.CreateEndpoint(1);
+  Endpoint* b = net.CreateEndpoint(2);
+  const auto start = std::chrono::steady_clock::now();
+  Message m;
+  ASSERT_TRUE(a->Send(2, std::move(m)).ok());
+  auto got = b->Receive(1000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(18));
+}
+
+TEST(NetworkTest, DownNodeDropsTraffic) {
+  Network net;
+  Endpoint* a = net.CreateEndpoint(1);
+  Endpoint* b = net.CreateEndpoint(2);
+  net.SetNodeDown(2, true);
+  Message m;
+  ASSERT_TRUE(a->Send(2, std::move(m)).ok());  // Silently dropped.
+  EXPECT_FALSE(b->Receive(50).has_value());
+  net.SetNodeDown(2, false);
+  Message m2;
+  m2.type = 5;
+  ASSERT_TRUE(a->Send(2, std::move(m2)).ok());
+  auto got = b->Receive(1000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, 5u);
+}
+
+TEST(NetworkTest, CutLinkDropsBothDirections) {
+  Network net;
+  Endpoint* a = net.CreateEndpoint(1);
+  Endpoint* b = net.CreateEndpoint(2);
+  net.CutLink(1, 2, true);
+  Message m;
+  ASSERT_TRUE(a->Send(2, std::move(m)).ok());
+  EXPECT_FALSE(b->Receive(50).has_value());
+  Message m2;
+  ASSERT_TRUE(b->Send(1, std::move(m2)).ok());
+  EXPECT_FALSE(a->Receive(50).has_value());
+  net.CutLink(1, 2, false);
+  Message m3;
+  ASSERT_TRUE(a->Send(2, std::move(m3)).ok());
+  EXPECT_TRUE(b->Receive(1000).has_value());
+}
+
+TEST(NetworkTest, ManySendersOneReceiver) {
+  Network net;
+  Endpoint* sink = net.CreateEndpoint(100);
+  std::vector<std::thread> threads;
+  for (uint64_t s = 1; s <= 8; ++s) {
+    net.CreateEndpoint(s);
+  }
+  for (uint64_t s = 1; s <= 8; ++s) {
+    threads.emplace_back([&net, s] {
+      Endpoint* ep = net.CreateEndpoint(s);
+      for (int i = 0; i < 100; ++i) {
+        Message m;
+        m.type = s;
+        ASSERT_TRUE(ep->Send(100, std::move(m)).ok());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  int got = 0;
+  while (got < 800) {
+    auto m = sink->Receive(1000);
+    ASSERT_TRUE(m.has_value());
+    ++got;
+  }
+  EXPECT_EQ(sink->messages_received(), 800u);
+}
+
+}  // namespace
+}  // namespace kamino::net

@@ -1,0 +1,137 @@
+// kamino_inspect — offline inspector for file-backed Kamino-Tx heaps.
+//
+// Dumps the heap superblock, allocator occupancy, intent-log state (slot
+// states + intent records, i.e. what recovery would see), and — when the
+// heap root anchors a KV store — the B+Tree's shape. Intended for debugging
+// pools left behind by crashed processes:
+//
+//   ./build/tools/kamino_inspect /path/to/heap.pool [--verify]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "src/kv/kv_store.h"
+#include "src/nvm/pool.h"
+#include "src/txn/tx_manager.h"
+
+using namespace kamino;
+
+namespace {
+
+const char* StateName(txn::TxState s) {
+  switch (s) {
+    case txn::TxState::kFree:
+      return "FREE";
+    case txn::TxState::kRunning:
+      return "RUNNING";
+    case txn::TxState::kCommitted:
+      return "COMMITTED";
+    case txn::TxState::kAborted:
+      return "ABORTED";
+  }
+  return "?";
+}
+
+const char* KindName(txn::IntentKind k) {
+  switch (k) {
+    case txn::IntentKind::kWrite:
+      return "write";
+    case txn::IntentKind::kAlloc:
+      return "alloc";
+    case txn::IntentKind::kFree:
+      return "free";
+    case txn::IntentKind::kCowWrite:
+      return "cow-shadow";
+    case txn::IntentKind::kRedoWrite:
+      return "redo-staging";
+    default:
+      return "?";
+  }
+}
+
+int Run(const char* path, bool verify) {
+  nvm::PoolOptions popts;
+  popts.path = path;
+  Result<std::unique_ptr<nvm::Pool>> pool = nvm::Pool::OpenFile(popts);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "cannot open pool: %s\n", pool.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pool: %s (%" PRIu64 " MiB)\n", path, (*pool)->size() >> 20);
+
+  Result<std::unique_ptr<heap::Heap>> heap = heap::Heap::Attach(pool->get());
+  if (!heap.ok()) {
+    std::fprintf(stderr, "not a Kamino-Tx heap: %s\n", heap.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("heap: log region @%" PRIu64 " (%" PRIu64 " MiB), root=%" PRIu64 "\n",
+              (*heap)->log_region_offset(), (*heap)->log_region_size() >> 20,
+              (*heap)->root());
+
+  const alloc::AllocatorStats as = (*heap)->allocator()->stats();
+  std::printf("allocator: %.1f MiB live / %.1f MiB reserved / %.1f MiB capacity "
+              "(%" PRIu64 " allocs, %" PRIu64 " frees)\n",
+              static_cast<double>(as.bytes_allocated) / (1 << 20),
+              static_cast<double>(as.bytes_reserved) / (1 << 20),
+              static_cast<double>(as.capacity) / (1 << 20), as.alloc_calls, as.free_calls);
+
+  Result<std::unique_ptr<txn::LogManager>> log =
+      txn::LogManager::Open(pool->get(), (*heap)->log_region_offset());
+  if (!log.ok()) {
+    std::fprintf(stderr, "log region unreadable: %s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("intent log: %" PRIu64 " slots x %" PRIu64 " KiB, max txid %" PRIu64 "\n",
+              (*log)->num_slots(), (*log)->slot_size() >> 10, (*log)->max_recovered_txid());
+  const auto txs = (*log)->ScanForRecovery();
+  if (txs.empty()) {
+    std::printf("  all slots free — clean shutdown, nothing for recovery to do\n");
+  }
+  for (const txn::RecoveredTx& tx : txs) {
+    std::printf("  slot %" PRIu64 ": txid=%" PRIu64 " state=%s, %zu intent(s)%s\n",
+                tx.slot_index, tx.txid, StateName(tx.state), tx.intents.size(),
+                tx.state == txn::TxState::kCommitted ? "  [recovery: roll forward]"
+                                                     : "  [recovery: roll back]");
+    for (const txn::Intent& in : tx.intents) {
+      std::printf("    %-12s off=%-12" PRIu64 " size=%-8" PRIu64 " aux=%" PRIu64 "\n",
+                  KindName(in.kind), in.offset, in.size, in.aux);
+    }
+  }
+
+  if (verify && (*heap)->root() != 0) {
+    // Heuristic: the root may anchor a KV store's B+Tree. Attach read-only
+    // machinery (no recovery — we are inspecting, not repairing).
+    txn::TxManagerOptions mopts;
+    mopts.engine = txn::EngineType::kNoLogging;
+    mopts.skip_recovery = true;
+    Result<std::unique_ptr<txn::TxManager>> mgr = txn::TxManager::Open(heap->get(), mopts);
+    if (mgr.ok()) {
+      Result<std::unique_ptr<pds::BPlusTree>> tree =
+          pds::BPlusTree::Attach(mgr->get(), (*heap)->root());
+      if (tree.ok()) {
+        const Status v = (*tree)->Validate();
+        const pds::BPlusTree::TreeStats ts = (*tree)->Stats();
+        std::printf("b+tree @root: %" PRIu64 " keys, height %" PRIu64 ", %" PRIu64
+                    " inner + %" PRIu64 " leaf nodes, %.0f%% leaf fill, invariants: %s\n",
+                    ts.keys, ts.height, ts.inner_nodes, ts.leaf_nodes,
+                    ts.avg_leaf_fill * 100.0, v.ToString().c_str());
+      } else {
+        std::printf("root does not anchor a B+Tree (%s)\n",
+                    tree.status().ToString().c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <pool-file> [--verify]\n", argv[0]);
+    return 2;
+  }
+  const bool verify = argc > 2 && std::strcmp(argv[2], "--verify") == 0;
+  return Run(argv[1], verify);
+}

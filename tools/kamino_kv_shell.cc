@@ -1,0 +1,167 @@
+// kamino_kv_shell — an interactive shell over a file-backed, durable KV
+// store. Data written here survives process restarts: re-run the shell on
+// the same file and the store re-opens through the recovery path.
+//
+//   ./build/tools/kamino_kv_shell /tmp/demo.pool [engine]
+//
+//   > put 1 hello         engine: kamino | dynamic | undo | cow | redo
+//   > get 1
+//   > del 1
+//   > scan 0 10
+//   > stats
+//   > quit
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "src/kv/kv_store.h"
+#include "src/nvm/pool.h"
+
+using namespace kamino;
+
+namespace {
+
+txn::EngineType ParseEngine(const char* name) {
+  if (std::strcmp(name, "undo") == 0) {
+    return txn::EngineType::kUndoLog;
+  }
+  if (std::strcmp(name, "cow") == 0) {
+    return txn::EngineType::kCow;
+  }
+  if (std::strcmp(name, "redo") == 0) {
+    return txn::EngineType::kRedoLog;
+  }
+  if (std::strcmp(name, "dynamic") == 0) {
+    return txn::EngineType::kKaminoDynamic;
+  }
+  return txn::EngineType::kKaminoSimple;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <pool-file> [kamino|dynamic|undo|cow|redo]\n", argv[0]);
+    return 2;
+  }
+  const char* path = argv[1];
+  txn::EngineType engine = argc > 2 ? ParseEngine(argv[2]) : txn::EngineType::kKaminoSimple;
+
+  // Open the pool if it exists, create it otherwise.
+  std::unique_ptr<nvm::Pool> pool;
+  std::unique_ptr<heap::Heap> heap;
+  std::unique_ptr<txn::TxManager> mgr;
+  std::unique_ptr<kv::KvStore> store;
+
+  nvm::PoolOptions popts;
+  popts.path = path;
+  Result<std::unique_ptr<nvm::Pool>> existing = nvm::Pool::OpenFile(popts);
+  txn::TxManagerOptions mopts;
+  mopts.engine = engine;
+  mopts.backup_path = std::string(path) + ".backup";
+
+  if (existing.ok()) {
+    pool = std::move(*existing);
+    heap = std::move(heap::Heap::Attach(pool.get()).value());
+    if (engine == txn::EngineType::kKaminoSimple ||
+        engine == txn::EngineType::kKaminoDynamic) {
+      nvm::PoolOptions bopts;
+      bopts.path = mopts.backup_path;
+      Result<std::unique_ptr<nvm::Pool>> backup = nvm::Pool::OpenFile(bopts);
+      if (!backup.ok()) {
+        std::fprintf(stderr, "backup pool missing: %s\n",
+                     backup.status().ToString().c_str());
+        return 1;
+      }
+      mopts.external_backup_pool = backup->get();
+      // Keep the backup alive for the session.
+      static std::unique_ptr<nvm::Pool> backup_keeper;
+      backup_keeper = std::move(*backup);
+      mopts.external_backup_pool = backup_keeper.get();
+    }
+    Result<std::unique_ptr<txn::TxManager>> m = txn::TxManager::Open(heap.get(), mopts);
+    if (!m.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    mgr = std::move(*m);
+    const txn::EngineStats es = mgr->engine()->stats();
+    std::printf("reopened %s (recovery: %" PRIu64 " forward, %" PRIu64 " back)\n", path,
+                es.recovered_forward, es.recovered_back);
+    store = std::move(kv::KvStore::Open(mgr.get()).value());
+  } else {
+    popts.size = 256ull << 20;
+    pool = std::move(nvm::Pool::Create(popts).value());
+    heap = std::move(heap::Heap::CreateOn(pool.get(), 16ull << 20).value());
+    Result<std::unique_ptr<txn::TxManager>> m = txn::TxManager::Create(heap.get(), mopts);
+    if (!m.ok()) {
+      std::fprintf(stderr, "create failed: %s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    mgr = std::move(*m);
+    store = std::move(kv::KvStore::Create(mgr.get()).value());
+    std::printf("created %s (256 MiB, engine %s)\n", path, txn::EngineTypeName(engine));
+  }
+
+  std::string line;
+  std::printf("> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "put") {
+      uint64_t key = 0;
+      std::string value;
+      in >> key;
+      std::getline(in, value);
+      if (!value.empty() && value.front() == ' ') {
+        value.erase(0, 1);
+      }
+      std::printf("%s\n", store->Upsert(key, value).ToString().c_str());
+    } else if (cmd == "get") {
+      uint64_t key = 0;
+      in >> key;
+      Result<std::string> v = store->Read(key);
+      std::printf("%s\n", v.ok() ? v->c_str() : v.status().ToString().c_str());
+    } else if (cmd == "del") {
+      uint64_t key = 0;
+      in >> key;
+      std::printf("%s\n", store->Delete(key).ToString().c_str());
+    } else if (cmd == "scan") {
+      uint64_t start = 0, n = 10;
+      in >> start >> n;
+      Result<std::vector<std::pair<uint64_t, std::string>>> rows =
+          store->Scan(start, static_cast<size_t>(n));
+      if (!rows.ok()) {
+        std::printf("%s\n", rows.status().ToString().c_str());
+      } else {
+        for (const auto& [k, v] : *rows) {
+          std::printf("  %" PRIu64 " -> %s\n", k, v.c_str());
+        }
+        std::printf("(%zu rows)\n", rows->size());
+      }
+    } else if (cmd == "stats") {
+      mgr->WaitIdle();
+      const txn::EngineStats es = mgr->engine()->stats();
+      const auto fp = mgr->footprint();
+      std::printf("engine=%s committed=%" PRIu64 " aborted=%" PRIu64 " applied=%" PRIu64
+                  " keys=%" PRIu64 " main=%" PRIu64 "MiB backup=%" PRIu64 "MiB\n",
+                  txn::EngineTypeName(engine), es.committed, es.aborted, es.applied,
+                  store->tree()->CountSlow(), fp.main_bytes >> 20, fp.backup_bytes >> 20);
+    } else if (!cmd.empty()) {
+      std::printf("commands: put <k> <v> | get <k> | del <k> | scan <start> <n> | "
+                  "stats | quit\n");
+    }
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  mgr->WaitIdle();
+  std::printf("bye\n");
+  return 0;
+}
