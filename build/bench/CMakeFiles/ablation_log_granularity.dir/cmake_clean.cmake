@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_log_granularity.dir/ablation_log_granularity.cc.o"
+  "CMakeFiles/ablation_log_granularity.dir/ablation_log_granularity.cc.o.d"
+  "ablation_log_granularity"
+  "ablation_log_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_log_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nvm_latency.dir/ablation_nvm_latency.cc.o"
+  "CMakeFiles/ablation_nvm_latency.dir/ablation_nvm_latency.cc.o.d"
+  "ablation_nvm_latency"
+  "ablation_nvm_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nvm_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

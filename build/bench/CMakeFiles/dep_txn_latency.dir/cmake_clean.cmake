@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_txn_latency.dir/dep_txn_latency.cc.o"
+  "CMakeFiles/dep_txn_latency.dir/dep_txn_latency.cc.o.d"
+  "dep_txn_latency"
+  "dep_txn_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_txn_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

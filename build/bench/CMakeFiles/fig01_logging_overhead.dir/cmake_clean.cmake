@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_logging_overhead.dir/fig01_logging_overhead.cc.o"
+  "CMakeFiles/fig01_logging_overhead.dir/fig01_logging_overhead.cc.o.d"
+  "fig01_logging_overhead"
+  "fig01_logging_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_logging_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

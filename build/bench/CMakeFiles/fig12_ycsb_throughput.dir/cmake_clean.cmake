@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ycsb_throughput.dir/fig12_ycsb_throughput.cc.o"
+  "CMakeFiles/fig12_ycsb_throughput.dir/fig12_ycsb_throughput.cc.o.d"
+  "fig12_ycsb_throughput"
+  "fig12_ycsb_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ycsb_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_ycsb_throughput.
+# This may be replaced when dependencies are built.

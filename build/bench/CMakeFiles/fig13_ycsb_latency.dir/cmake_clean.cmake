@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ycsb_latency.dir/fig13_ycsb_latency.cc.o"
+  "CMakeFiles/fig13_ycsb_latency.dir/fig13_ycsb_latency.cc.o.d"
+  "fig13_ycsb_latency"
+  "fig13_ycsb_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ycsb_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dynamic_latency.dir/fig14_dynamic_latency.cc.o"
+  "CMakeFiles/fig14_dynamic_latency.dir/fig14_dynamic_latency.cc.o.d"
+  "fig14_dynamic_latency"
+  "fig14_dynamic_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dynamic_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_dynamic_throughput.dir/fig15_dynamic_throughput.cc.o"
+  "CMakeFiles/fig15_dynamic_throughput.dir/fig15_dynamic_throughput.cc.o.d"
+  "fig15_dynamic_throughput"
+  "fig15_dynamic_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_dynamic_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cost_efficiency.dir/fig16_cost_efficiency.cc.o"
+  "CMakeFiles/fig16_cost_efficiency.dir/fig16_cost_efficiency.cc.o.d"
+  "fig16_cost_efficiency"
+  "fig16_cost_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cost_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_chain_throughput.dir/fig18_chain_throughput.cc.o"
+  "CMakeFiles/fig18_chain_throughput.dir/fig18_chain_throughput.cc.o.d"
+  "fig18_chain_throughput"
+  "fig18_chain_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_chain_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_storage_latency.dir/table1_storage_latency.cc.o"
+  "CMakeFiles/table1_storage_latency.dir/table1_storage_latency.cc.o.d"
+  "table1_storage_latency"
+  "table1_storage_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_storage_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

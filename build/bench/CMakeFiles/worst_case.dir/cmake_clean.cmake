@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worst_case.dir/worst_case.cc.o"
+  "CMakeFiles/worst_case.dir/worst_case.cc.o.d"
+  "worst_case"
+  "worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

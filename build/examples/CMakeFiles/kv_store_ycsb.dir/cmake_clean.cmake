@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_ycsb.dir/kv_store_ycsb.cpp.o"
+  "CMakeFiles/kv_store_ycsb.dir/kv_store_ycsb.cpp.o.d"
+  "kv_store_ycsb"
+  "kv_store_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linked_list.dir/linked_list.cpp.o"
+  "CMakeFiles/linked_list.dir/linked_list.cpp.o.d"
+  "linked_list"
+  "linked_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linked_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

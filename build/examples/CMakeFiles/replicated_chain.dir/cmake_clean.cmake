@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_chain.dir/replicated_chain.cpp.o"
+  "CMakeFiles/replicated_chain.dir/replicated_chain.cpp.o.d"
+  "replicated_chain"
+  "replicated_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

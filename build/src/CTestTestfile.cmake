@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("nvm")
+subdirs("alloc")
+subdirs("heap")
+subdirs("txn")
+subdirs("pds")
+subdirs("kv")
+subdirs("net")
+subdirs("chain")
+subdirs("workload")
+subdirs("stats")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_alloc.dir/allocator.cc.o"
+  "CMakeFiles/kamino_alloc.dir/allocator.cc.o.d"
+  "libkamino_alloc.a"
+  "libkamino_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_chain.dir/chain.cc.o"
+  "CMakeFiles/kamino_chain.dir/chain.cc.o.d"
+  "CMakeFiles/kamino_chain.dir/membership.cc.o"
+  "CMakeFiles/kamino_chain.dir/membership.cc.o.d"
+  "CMakeFiles/kamino_chain.dir/replica.cc.o"
+  "CMakeFiles/kamino_chain.dir/replica.cc.o.d"
+  "libkamino_chain.a"
+  "libkamino_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_common.dir/checksum.cc.o"
+  "CMakeFiles/kamino_common.dir/checksum.cc.o.d"
+  "CMakeFiles/kamino_common.dir/status.cc.o"
+  "CMakeFiles/kamino_common.dir/status.cc.o.d"
+  "libkamino_common.a"
+  "libkamino_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_heap.dir/heap.cc.o"
+  "CMakeFiles/kamino_heap.dir/heap.cc.o.d"
+  "libkamino_heap.a"
+  "libkamino_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_kv.dir/kv_store.cc.o"
+  "CMakeFiles/kamino_kv.dir/kv_store.cc.o.d"
+  "libkamino_kv.a"
+  "libkamino_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

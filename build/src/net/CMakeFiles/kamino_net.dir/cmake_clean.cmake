@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_net.dir/network.cc.o"
+  "CMakeFiles/kamino_net.dir/network.cc.o.d"
+  "libkamino_net.a"
+  "libkamino_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_nvm.dir/pool.cc.o"
+  "CMakeFiles/kamino_nvm.dir/pool.cc.o.d"
+  "libkamino_nvm.a"
+  "libkamino_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

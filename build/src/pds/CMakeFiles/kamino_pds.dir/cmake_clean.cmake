@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_pds.dir/bplus_tree.cc.o"
+  "CMakeFiles/kamino_pds.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/kamino_pds.dir/dlist.cc.o"
+  "CMakeFiles/kamino_pds.dir/dlist.cc.o.d"
+  "CMakeFiles/kamino_pds.dir/hash_map.cc.o"
+  "CMakeFiles/kamino_pds.dir/hash_map.cc.o.d"
+  "CMakeFiles/kamino_pds.dir/pqueue.cc.o"
+  "CMakeFiles/kamino_pds.dir/pqueue.cc.o.d"
+  "libkamino_pds.a"
+  "libkamino_pds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_pds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_stats.dir/histogram.cc.o"
+  "CMakeFiles/kamino_stats.dir/histogram.cc.o.d"
+  "libkamino_stats.a"
+  "libkamino_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/backup_store.cc" "src/txn/CMakeFiles/kamino_txn.dir/backup_store.cc.o" "gcc" "src/txn/CMakeFiles/kamino_txn.dir/backup_store.cc.o.d"
+  "/root/repo/src/txn/cow_engine.cc" "src/txn/CMakeFiles/kamino_txn.dir/cow_engine.cc.o" "gcc" "src/txn/CMakeFiles/kamino_txn.dir/cow_engine.cc.o.d"
+  "/root/repo/src/txn/kamino_engine.cc" "src/txn/CMakeFiles/kamino_txn.dir/kamino_engine.cc.o" "gcc" "src/txn/CMakeFiles/kamino_txn.dir/kamino_engine.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/txn/CMakeFiles/kamino_txn.dir/lock_manager.cc.o" "gcc" "src/txn/CMakeFiles/kamino_txn.dir/lock_manager.cc.o.d"
+  "/root/repo/src/txn/log_manager.cc" "src/txn/CMakeFiles/kamino_txn.dir/log_manager.cc.o" "gcc" "src/txn/CMakeFiles/kamino_txn.dir/log_manager.cc.o.d"
+  "/root/repo/src/txn/nolog_engine.cc" "src/txn/CMakeFiles/kamino_txn.dir/nolog_engine.cc.o" "gcc" "src/txn/CMakeFiles/kamino_txn.dir/nolog_engine.cc.o.d"
+  "/root/repo/src/txn/redo_engine.cc" "src/txn/CMakeFiles/kamino_txn.dir/redo_engine.cc.o" "gcc" "src/txn/CMakeFiles/kamino_txn.dir/redo_engine.cc.o.d"
+  "/root/repo/src/txn/tx_manager.cc" "src/txn/CMakeFiles/kamino_txn.dir/tx_manager.cc.o" "gcc" "src/txn/CMakeFiles/kamino_txn.dir/tx_manager.cc.o.d"
+  "/root/repo/src/txn/undo_engine.cc" "src/txn/CMakeFiles/kamino_txn.dir/undo_engine.cc.o" "gcc" "src/txn/CMakeFiles/kamino_txn.dir/undo_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kamino_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/kamino_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/kamino_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/kamino_heap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_txn.dir/backup_store.cc.o"
+  "CMakeFiles/kamino_txn.dir/backup_store.cc.o.d"
+  "CMakeFiles/kamino_txn.dir/cow_engine.cc.o"
+  "CMakeFiles/kamino_txn.dir/cow_engine.cc.o.d"
+  "CMakeFiles/kamino_txn.dir/kamino_engine.cc.o"
+  "CMakeFiles/kamino_txn.dir/kamino_engine.cc.o.d"
+  "CMakeFiles/kamino_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/kamino_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/kamino_txn.dir/log_manager.cc.o"
+  "CMakeFiles/kamino_txn.dir/log_manager.cc.o.d"
+  "CMakeFiles/kamino_txn.dir/nolog_engine.cc.o"
+  "CMakeFiles/kamino_txn.dir/nolog_engine.cc.o.d"
+  "CMakeFiles/kamino_txn.dir/redo_engine.cc.o"
+  "CMakeFiles/kamino_txn.dir/redo_engine.cc.o.d"
+  "CMakeFiles/kamino_txn.dir/tx_manager.cc.o"
+  "CMakeFiles/kamino_txn.dir/tx_manager.cc.o.d"
+  "CMakeFiles/kamino_txn.dir/undo_engine.cc.o"
+  "CMakeFiles/kamino_txn.dir/undo_engine.cc.o.d"
+  "libkamino_txn.a"
+  "libkamino_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_workload.dir/tpcc_lite.cc.o"
+  "CMakeFiles/kamino_workload.dir/tpcc_lite.cc.o.d"
+  "CMakeFiles/kamino_workload.dir/ycsb.cc.o"
+  "CMakeFiles/kamino_workload.dir/ycsb.cc.o.d"
+  "libkamino_workload.a"
+  "libkamino_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

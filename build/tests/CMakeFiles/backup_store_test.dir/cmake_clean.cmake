@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_store_test.dir/backup_store_test.cc.o"
+  "CMakeFiles/backup_store_test.dir/backup_store_test.cc.o.d"
+  "backup_store_test"
+  "backup_store_test.pdb"
+  "backup_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_reboot_test.dir/chain_reboot_test.cc.o"
+  "CMakeFiles/chain_reboot_test.dir/chain_reboot_test.cc.o.d"
+  "chain_reboot_test"
+  "chain_reboot_test.pdb"
+  "chain_reboot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_reboot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

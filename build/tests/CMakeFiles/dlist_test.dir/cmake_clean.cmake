@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlist_test.dir/dlist_test.cc.o"
+  "CMakeFiles/dlist_test.dir/dlist_test.cc.o.d"
+  "dlist_test"
+  "dlist_test.pdb"
+  "dlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability_test.dir/durability_test.cc.o"
+  "CMakeFiles/durability_test.dir/durability_test.cc.o.d"
+  "durability_test"
+  "durability_test.pdb"
+  "durability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_crash_test.dir/fuzz_crash_test.cc.o"
+  "CMakeFiles/fuzz_crash_test.dir/fuzz_crash_test.cc.o.d"
+  "fuzz_crash_test"
+  "fuzz_crash_test.pdb"
+  "fuzz_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_map_test.dir/hash_map_test.cc.o"
+  "CMakeFiles/hash_map_test.dir/hash_map_test.cc.o.d"
+  "hash_map_test"
+  "hash_map_test.pdb"
+  "hash_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

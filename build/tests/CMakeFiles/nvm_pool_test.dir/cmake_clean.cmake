@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_pool_test.dir/nvm_pool_test.cc.o"
+  "CMakeFiles/nvm_pool_test.dir/nvm_pool_test.cc.o.d"
+  "nvm_pool_test"
+  "nvm_pool_test.pdb"
+  "nvm_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqueue_test.dir/pqueue_test.cc.o"
+  "CMakeFiles/pqueue_test.dir/pqueue_test.cc.o.d"
+  "pqueue_test"
+  "pqueue_test.pdb"
+  "pqueue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

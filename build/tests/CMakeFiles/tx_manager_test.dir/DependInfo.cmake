@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tx_manager_test.cc" "tests/CMakeFiles/tx_manager_test.dir/tx_manager_test.cc.o" "gcc" "tests/CMakeFiles/tx_manager_test.dir/tx_manager_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/kamino_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/kamino_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/kamino_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/kamino_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kamino_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

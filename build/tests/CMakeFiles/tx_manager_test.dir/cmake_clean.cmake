@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_manager_test.dir/tx_manager_test.cc.o"
+  "CMakeFiles/tx_manager_test.dir/tx_manager_test.cc.o.d"
+  "tx_manager_test"
+  "tx_manager_test.pdb"
+  "tx_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

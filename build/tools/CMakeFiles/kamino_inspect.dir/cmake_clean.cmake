@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_inspect.dir/kamino_inspect.cc.o"
+  "CMakeFiles/kamino_inspect.dir/kamino_inspect.cc.o.d"
+  "kamino_inspect"
+  "kamino_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamino_kv_shell.dir/kamino_kv_shell.cc.o"
+  "CMakeFiles/kamino_kv_shell.dir/kamino_kv_shell.cc.o.d"
+  "kamino_kv_shell"
+  "kamino_kv_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamino_kv_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
