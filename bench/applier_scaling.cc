@@ -1,0 +1,232 @@
+// Transaction Coordinator scaling sweep (ISSUE 2 acceptance benchmark).
+//
+// Measures commit-to-applied throughput of the sharded applier pipeline on
+// YCSB-A over Kamino-Tx-Simple as the applier thread count grows. The
+// backup pool injects a per-drain latency that *sleeps* instead of spinning
+// (PoolOptions::sleep_latency), so concurrent appliers overlap their
+// persistence stalls even on a single-core host — which is exactly what
+// sharding buys: the bound is N overlapping drains, not one serial stream.
+//
+// Clients outrun the applier by construction (main-pool latency is zero),
+// so the intent log's slot pool applies backpressure and end-to-end
+// throughput is the applier pipeline's. Emits BENCH_applier_scaling.json.
+//
+// Not a google-benchmark binary: the sweep is the product, and we want the
+// JSON schema stable for the acceptance check.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/heap/heap.h"
+#include "src/kv/kv_store.h"
+#include "src/stats/histogram.h"
+#include "src/txn/tx_manager.h"
+#include "src/workload/ycsb.h"
+
+namespace {
+
+using kamino::Status;
+using kamino::StatusCode;
+
+uint64_t EnvOr(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : def;
+}
+
+struct SweepPoint {
+  int applier_threads = 0;
+  double commit_to_applied_ops_per_sec = 0;
+  double elapsed_s = 0;
+  uint64_t applied = 0;
+  double backup_drains_per_txn = 0;
+  uint64_t apply_batches = 0;
+  uint64_t coalesced_ranges = 0;
+  double apply_lag_p50_us = 0;
+  double apply_lag_p99_us = 0;
+  uint64_t max_queue_depth = 0;
+};
+
+SweepPoint RunOnce(int applier_threads, uint64_t nkeys, uint64_t ops_per_thread,
+                   int client_threads, uint64_t value_size, uint32_t backup_drain_ns) {
+  kamino::heap::HeapOptions hopts;
+  hopts.pool_size = nkeys * value_size * 3 + (96ull << 20);
+  hopts.flush_latency_ns = 0;  // Keep the client-side critical path cheap.
+  auto heap = std::move(kamino::heap::Heap::Create(hopts).value());
+
+  kamino::txn::TxManagerOptions mopts;
+  mopts.engine = kamino::txn::EngineType::kKaminoSimple;
+  mopts.applier_threads = applier_threads;
+  mopts.lock.timeout_ms = 30'000;
+  mopts.backup_drain_latency_ns = backup_drain_ns;
+  mopts.backup_sleep_latency = true;  // Overlappable stalls (see header note).
+  auto mgr = std::move(kamino::txn::TxManager::Create(heap.get(), mopts).value());
+  auto store = std::move(kamino::kv::KvStore::Create(mgr.get()).value());
+
+  for (uint64_t k = 0; k < nkeys; ++k) {
+    Status st = store->Upsert(k, kamino::workload::YcsbValue(k, value_size));
+    if (!st.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  mgr->WaitIdle();
+
+  const kamino::txn::EngineStats before = mgr->engine()->stats();
+  const kamino::nvm::PoolStats backup_before = mgr->backup_pool()->stats();
+
+  std::atomic<bool> running{true};
+  std::atomic<uint64_t> max_depth{0};
+  std::thread sampler([&] {
+    while (running.load(std::memory_order_relaxed)) {
+      const uint64_t d = mgr->engine()->stats().applier_queue_depth;
+      uint64_t cur = max_depth.load(std::memory_order_relaxed);
+      while (d > cur && !max_depth.compare_exchange_weak(cur, d)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const uint64_t start_ns = kamino::stats::NowNanos();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(client_threads));
+  std::atomic<uint64_t> key_count{nkeys};
+  for (int t = 0; t < client_threads; ++t) {
+    clients.emplace_back([&, t] {
+      kamino::workload::YcsbGenerator gen(kamino::workload::YcsbWorkload::kA, nkeys,
+                                          &key_count, 0x243F6A88u + static_cast<uint64_t>(t));
+      const std::string value =
+          kamino::workload::YcsbValue(static_cast<uint64_t>(t), value_size);
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        const auto req = gen.Next();
+        Status st;
+        if (req.op == kamino::workload::YcsbOp::kRead) {
+          st = store->Read(req.key).status();
+        } else {
+          st = store->Update(req.key, value);
+        }
+        if (!st.ok() && st.code() != StatusCode::kNotFound) {
+          std::fprintf(stderr, "op failed: %s\n", st.ToString().c_str());
+          std::abort();
+        }
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  // The run is over when every committed transaction is applied — the
+  // number we are scaling is the pipeline's, not the clients'.
+  mgr->WaitIdle();
+  const uint64_t elapsed_ns = kamino::stats::NowNanos() - start_ns;
+  running.store(false, std::memory_order_relaxed);
+  sampler.join();
+
+  const kamino::txn::EngineStats after = mgr->engine()->stats();
+  const kamino::nvm::PoolStats backup_after = mgr->backup_pool()->stats();
+
+  SweepPoint p;
+  p.applier_threads = applier_threads;
+  p.applied = after.applied - before.applied;
+  p.elapsed_s = static_cast<double>(elapsed_ns) / 1e9;
+  p.commit_to_applied_ops_per_sec =
+      p.elapsed_s > 0 ? static_cast<double>(p.applied) / p.elapsed_s : 0;
+  p.backup_drains_per_txn =
+      p.applied > 0 ? static_cast<double>(backup_after.drain_calls - backup_before.drain_calls) /
+                          static_cast<double>(p.applied)
+                    : 0;
+  p.apply_batches = after.apply_batches - before.apply_batches;
+  p.coalesced_ranges = after.coalesced_ranges - before.coalesced_ranges;
+  p.apply_lag_p50_us = static_cast<double>(after.apply_lag_p50_ns) / 1000.0;
+  p.apply_lag_p99_us = static_cast<double>(after.apply_lag_p99_ns) / 1000.0;
+  p.max_queue_depth = max_depth.load();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t nkeys = EnvOr("KAMINO_BENCH_KEYS", 8192);
+  const uint64_t ops_per_thread = EnvOr("KAMINO_BENCH_OPS", 2000);
+  const int client_threads = static_cast<int>(EnvOr("KAMINO_BENCH_CLIENTS", 4));
+  const uint64_t value_size = EnvOr("KAMINO_BENCH_VALUE", 1024);
+  const uint32_t backup_drain_ns =
+      static_cast<uint32_t>(EnvOr("KAMINO_BENCH_BACKUP_DRAIN_NS", 30'000));
+  const char* out_path = std::getenv("KAMINO_BENCH_JSON");
+  if (out_path == nullptr) {
+    out_path = "BENCH_applier_scaling.json";
+  }
+  if (nkeys == 0 || ops_per_thread == 0 || client_threads <= 0 || value_size == 0) {
+    std::fprintf(stderr,
+                 "invalid knobs: KAMINO_BENCH_KEYS/OPS/CLIENTS/VALUE must be "
+                 "positive integers (unparsable values read as 0)\n");
+    return 2;
+  }
+
+  const int sweep[] = {1, 2, 4, 8};
+  std::vector<SweepPoint> points;
+  for (int n : sweep) {
+    std::fprintf(stderr, "applier_threads=%d ...\n", n);
+    points.push_back(
+        RunOnce(n, nkeys, ops_per_thread, client_threads, value_size, backup_drain_ns));
+    const SweepPoint& p = points.back();
+    std::fprintf(stderr,
+                 "  %.0f applied/s  (%llu applied, %.2fs, %.2f drains/txn, "
+                 "lag p50 %.0fus p99 %.0fus, max depth %llu)\n",
+                 p.commit_to_applied_ops_per_sec,
+                 static_cast<unsigned long long>(p.applied), p.elapsed_s,
+                 p.backup_drains_per_txn, p.apply_lag_p50_us, p.apply_lag_p99_us,
+                 static_cast<unsigned long long>(p.max_queue_depth));
+  }
+
+  double base = points.front().commit_to_applied_ops_per_sec;
+  double at4 = 0;
+  for (const SweepPoint& p : points) {
+    if (p.applier_threads == 4) {
+      at4 = p.commit_to_applied_ops_per_sec;
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"applier_scaling\",\n");
+  std::fprintf(f, "  \"workload\": \"ycsb-a\",\n");
+  std::fprintf(f, "  \"engine\": \"kamino-simple\",\n");
+  std::fprintf(f, "  \"keys\": %llu,\n", static_cast<unsigned long long>(nkeys));
+  std::fprintf(f, "  \"ops_per_client\": %llu,\n",
+               static_cast<unsigned long long>(ops_per_thread));
+  std::fprintf(f, "  \"client_threads\": %d,\n", client_threads);
+  std::fprintf(f, "  \"value_size\": %llu,\n", static_cast<unsigned long long>(value_size));
+  std::fprintf(f, "  \"backup_drain_ns\": %u,\n", backup_drain_ns);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"applier_threads\": %d, \"commit_to_applied_ops_per_sec\": %.1f, "
+                 "\"applied\": %llu, \"elapsed_s\": %.3f, \"backup_drains_per_txn\": %.3f, "
+                 "\"apply_batches\": %llu, \"coalesced_ranges\": %llu, "
+                 "\"apply_lag_p50_us\": %.1f, \"apply_lag_p99_us\": %.1f, "
+                 "\"max_queue_depth\": %llu}%s\n",
+                 p.applier_threads, p.commit_to_applied_ops_per_sec,
+                 static_cast<unsigned long long>(p.applied), p.elapsed_s,
+                 p.backup_drains_per_txn, static_cast<unsigned long long>(p.apply_batches),
+                 static_cast<unsigned long long>(p.coalesced_ranges), p.apply_lag_p50_us,
+                 p.apply_lag_p99_us, static_cast<unsigned long long>(p.max_queue_depth),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_1_to_4\": %.2f\n", base > 0 ? at4 / base : 0);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (speedup 1->4: %.2fx)\n", out_path,
+               base > 0 ? at4 / base : 0);
+  return 0;
+}

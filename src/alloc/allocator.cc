@@ -693,6 +693,8 @@ uint64_t Allocator::UsableSize(uint64_t offset) const {
       if (slot >= SlotsPerChunk(cls)) {
         return 0;
       }
+      // The bitmap word is shared with concurrent frees of sibling slots.
+      std::lock_guard<std::mutex> guard(class_mu_[cls]);
       if ((h->bitmap[slot / 64] & (1ull << (slot % 64))) == 0) {
         return 0;
       }

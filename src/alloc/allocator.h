@@ -200,11 +200,11 @@ class Allocator {
 
   // Per-class lists of chunk indexes with at least one free slot.
   std::array<std::vector<uint64_t>, kNumSizeClasses> partial_chunks_;
-  std::array<std::mutex, kNumSizeClasses> class_mu_;
+  mutable std::array<std::mutex, kNumSizeClasses> class_mu_;
 
   // Free-chunk bookkeeping (indexes of kFree chunks), kept sorted.
   std::vector<uint64_t> free_chunks_;
-  std::mutex chunks_mu_;
+  mutable std::mutex chunks_mu_;
 
   std::atomic<uint64_t> bytes_allocated_{0};
   std::atomic<uint64_t> bytes_reserved_{0};

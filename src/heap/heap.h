@@ -61,6 +61,8 @@ struct HeapOptions {
   bool crash_sim = false;
   uint32_t flush_latency_ns = 0;
   uint32_t drain_latency_ns = 0;
+  bool track_stats = true;
+  bool sleep_latency = false;
 
   // Intent-log region size (shared by all engines' log managers).
   uint64_t log_region_size = 16ull << 20;

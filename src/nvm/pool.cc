@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "src/common/random.h"
 
@@ -32,6 +33,8 @@ Result<std::unique_ptr<Pool>> Pool::OpenFile(const PoolOptions& options) {
   pool->crash_sim_ = false;  // Shadow-image state cannot outlive a process.
   pool->flush_latency_ns_ = options.flush_latency_ns;
   pool->drain_latency_ns_ = options.drain_latency_ns;
+  pool->track_stats_ = options.track_stats;
+  pool->sleep_latency_ = options.sleep_latency;
 
   pool->fd_ = ::open(options.path.c_str(), O_RDWR);
   if (pool->fd_ < 0) {
@@ -57,6 +60,8 @@ Status Pool::Init(const PoolOptions& options) {
   crash_sim_ = options.crash_sim;
   flush_latency_ns_ = options.flush_latency_ns;
   drain_latency_ns_ = options.drain_latency_ns;
+  track_stats_ = options.track_stats;
+  sleep_latency_ = options.sleep_latency;
 
   if (!options.path.empty()) {
     fd_ = ::open(options.path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
@@ -105,6 +110,10 @@ void Pool::SpinFor(uint32_t ns) const {
   if (ns == 0) {
     return;
   }
+  if (sleep_latency_) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    return;
+  }
   auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
   while (std::chrono::steady_clock::now() < deadline) {
     // Busy wait: models the synchronous stall of a slow NVM write-back.
@@ -119,8 +128,10 @@ void Pool::Flush(const void* addr, uint64_t len) {
   const uint64_t end = CacheLineCeil(OffsetOf(addr) + len);
   const uint64_t lines = (end - start) / kCacheLineSize;
 
-  flush_calls_.fetch_add(1, std::memory_order_relaxed);
-  lines_flushed_.fetch_add(lines, std::memory_order_relaxed);
+  if (track_stats_) {
+    flush_calls_.fetch_add(1, std::memory_order_relaxed);
+    lines_flushed_.fetch_add(lines, std::memory_order_relaxed);
+  }
 
   if (crash_sim_) {
     std::lock_guard<std::mutex> guard(mu_);
@@ -133,12 +144,16 @@ void Pool::Flush(const void* addr, uint64_t len) {
 }
 
 void Pool::Drain() {
-  drain_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (track_stats_) {
+    drain_calls_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (crash_sim_) {
     std::lock_guard<std::mutex> guard(mu_);
     for (const auto& [off, snapshot] : staged_) {
       std::memcpy(persistent_.get() + off, snapshot.data(), kCacheLineSize);
-      bytes_persisted_.fetch_add(kCacheLineSize, std::memory_order_relaxed);
+      if (track_stats_) {
+        bytes_persisted_.fetch_add(kCacheLineSize, std::memory_order_relaxed);
+      }
     }
     staged_.clear();
   }

@@ -52,6 +52,20 @@ struct PoolOptions {
   // drain (fence). Zero disables injection.
   uint32_t flush_latency_ns = 0;
   uint32_t drain_latency_ns = 0;
+
+  // When false, Flush/Drain skip the stats atomics entirely so benchmarks
+  // measure the engine rather than the emulator's bookkeeping. Crash-sim
+  // pools keep their correctness machinery regardless; only counters are
+  // affected.
+  bool track_stats = true;
+
+  // When true, injected latency yields the CPU (sleep) instead of spinning.
+  // A spinning emulated NVM stall occupies a core, which makes applier
+  // scaling unmeasurable on hosts with fewer cores than threads; sleeping
+  // models a stalled-but-idle memory-controller wait instead. Spin remains
+  // the default because it preserves cache/TLB behaviour for latency
+  // microbenchmarks.
+  bool sleep_latency = false;
 };
 
 // How Crash() treats dirty lines that were never flushed.
@@ -157,6 +171,8 @@ class Pool {
   bool crash_sim_ = false;
   uint32_t flush_latency_ns_ = 0;
   uint32_t drain_latency_ns_ = 0;
+  bool track_stats_ = true;
+  bool sleep_latency_ = false;
 
   // Crash-sim state. `persistent_` mirrors `base_`; `staged_` holds snapshots
   // of flushed-but-not-fenced lines keyed by line offset. Guarded by `mu_`

@@ -1,11 +1,25 @@
 #include "src/txn/backup_store.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/cacheline.h"
 #include "src/common/checksum.h"
 
 namespace kamino::txn {
+
+// --- BackupStore (default batched apply) -------------------------------------
+
+Status BackupStore::ApplyBatchFromMain(const std::vector<ApplyRange>& ranges,
+                                       uint64_t* coalesced_out) {
+  if (coalesced_out != nullptr) {
+    *coalesced_out = 0;
+  }
+  for (const ApplyRange& r : ranges) {
+    KAMINO_RETURN_IF_ERROR(ApplyFromMain(r.offset, r.size));
+  }
+  return Status::Ok();
+}
 
 // --- FullBackupStore ---------------------------------------------------------
 
@@ -30,6 +44,45 @@ Status FullBackupStore::ApplyFromMain(uint64_t offset, uint64_t size) {
   return Status::Ok();
 }
 
+Status FullBackupStore::ApplyBatchFromMain(const std::vector<ApplyRange>& ranges,
+                                           uint64_t* coalesced_out) {
+  if (coalesced_out != nullptr) {
+    *coalesced_out = 0;
+  }
+  if (ranges.empty()) {
+    return Status::Ok();
+  }
+  batch_applies_.fetch_add(1, std::memory_order_relaxed);
+  applies_.fetch_add(ranges.size(), std::memory_order_relaxed);
+
+  // Offsets in the mirror are shared with the main heap, so adjacent and
+  // overlapping ranges can be merged into one copy+flush each.
+  std::vector<ApplyRange> merged(ranges);
+  std::sort(merged.begin(), merged.end(),
+            [](const ApplyRange& a, const ApplyRange& b) { return a.offset < b.offset; });
+  size_t out = 0;
+  for (size_t i = 1; i < merged.size(); ++i) {
+    ApplyRange& prev = merged[out];
+    const ApplyRange& cur = merged[i];
+    if (cur.offset <= prev.offset + prev.size) {
+      prev.size = std::max(prev.offset + prev.size, cur.offset + cur.size) - prev.offset;
+    } else {
+      merged[++out] = cur;
+    }
+  }
+  merged.resize(out + 1);
+  if (coalesced_out != nullptr) {
+    *coalesced_out = ranges.size() - merged.size();
+  }
+
+  for (const ApplyRange& r : merged) {
+    std::memcpy(static_cast<uint8_t*>(backup_->At(r.offset)), main_->At(r.offset), r.size);
+    backup_->Flush(backup_->At(r.offset), r.size);
+  }
+  backup_->Drain();
+  return Status::Ok();
+}
+
 Status FullBackupStore::RestoreToMain(uint64_t offset, uint64_t size) {
   std::memcpy(static_cast<uint8_t*>(main_->At(offset)), backup_->At(offset), size);
   main_->Persist(main_->At(offset), size);
@@ -45,6 +98,7 @@ BackupStats FullBackupStore::stats() const {
   BackupStats s;
   s.applies = applies_.load(std::memory_order_relaxed);
   s.restores = restores_.load(std::memory_order_relaxed);
+  s.batch_applies = batch_applies_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -75,6 +129,9 @@ Result<std::unique_ptr<DynamicBackupStore>> DynamicBackupStore::Create(
   }
   if (!IsPowerOfTwo(options.lookup_buckets)) {
     return Status::InvalidArgument("lookup_buckets must be a power of two");
+  }
+  if (options.lookup_buckets < kStripes) {
+    return Status::InvalidArgument("lookup_buckets must be >= the stripe count");
   }
   auto store = std::unique_ptr<DynamicBackupStore>(new DynamicBackupStore(main, backup));
   Status st = store->Format(options);
@@ -140,6 +197,9 @@ Status DynamicBackupStore::Attach() {
   lookup_buckets_ = sb->lookup_buckets;
   table_offset_ = sb->table_offset;
   budget_bytes_ = sb->budget_bytes;
+  if (lookup_buckets_ < kStripes) {
+    return Status::Corruption("dynamic backup table smaller than the stripe count");
+  }
 
   Result<std::unique_ptr<alloc::Allocator>> a =
       alloc::Allocator::Open(backup_, sb->alloc_offset);
@@ -149,7 +209,7 @@ Status DynamicBackupStore::Attach() {
   slot_alloc_ = std::move(*a);
 
   // Rebuild the volatile index + LRU (arbitrary recency order — the copies
-  // are all equally "cold" after a restart).
+  // are all equally "cold" after a restart). Single-threaded; no locks yet.
   for (uint64_t b = 0; b < lookup_buckets_; ++b) {
     Entry* e = EntryAt(b);
     if (e->state != 1) {
@@ -166,8 +226,8 @@ Status DynamicBackupStore::Attach() {
     ve.bucket = b;
     ve.lru_it = lru_.begin();
     ve.in_lru = true;
-    index_.emplace(e->key, ve);
-    resident_bytes_ += e->size;
+    stripes_[StripeFor(e->key)].index.emplace(e->key, ve);
+    resident_bytes_.fetch_add(e->size, std::memory_order_relaxed);
   }
   return Status::Ok();
 }
@@ -182,36 +242,56 @@ uint64_t DynamicBackupStore::HashKey(uint64_t key) {
 }
 
 Result<uint64_t> DynamicBackupStore::FindInsertBucketLocked(uint64_t key) {
-  const uint64_t mask = lookup_buckets_ - 1;
-  uint64_t b = HashKey(key) & mask;
-  for (uint64_t probe = 0; probe < lookup_buckets_; ++probe, b = (b + 1) & mask) {
-    const Entry* e = EntryAt(b);
+  // Probe only within the owning stripe's bucket region so concurrent
+  // inserts on different stripes never race on a table Entry.
+  const uint64_t per_stripe = lookup_buckets_ / kStripes;
+  const uint64_t base = StripeFor(key) * per_stripe;
+  uint64_t b = (HashKey(key) / kStripes) & (per_stripe - 1);
+  for (uint64_t probe = 0; probe < per_stripe; ++probe, b = (b + 1) & (per_stripe - 1)) {
+    const Entry* e = EntryAt(base + b);
     if (e->state != 1) {
-      return b;  // Free or tombstone.
+      return base + b;  // Free or tombstone.
     }
   }
-  return Status::OutOfMemory("dynamic backup lookup table full");
+  return Status::OutOfMemory("dynamic backup lookup table stripe full");
 }
 
 void DynamicBackupStore::RemoveEntryLocked(uint64_t key, VolatileEntry& ve) {
   Entry* e = EntryAt(ve.bucket);
   const uint64_t slot_off = e->backup_off;
-  resident_bytes_ -= e->size;
+  resident_bytes_.fetch_sub(e->size, std::memory_order_relaxed);
   e->state = 2;  // Tombstone; 8-byte store is failure-atomic.
   backup_->PersistU64(&e->state);
   (void)slot_alloc_->FreeRaw(slot_off);
   if (ve.in_lru) {
+    std::lock_guard<std::mutex> lru_guard(lru_mu_);
     lru_.erase(ve.lru_it);
   }
-  index_.erase(key);
+  stripes_[StripeFor(key)].index.erase(key);
 }
 
-bool DynamicBackupStore::EvictOneLocked() {
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    const uint64_t key = *it;
-    auto idx = index_.find(key);
-    if (idx == index_.end()) {
-      continue;
+bool DynamicBackupStore::EvictOneLocked(uint64_t held_stripe) {
+  // Snapshot the LRU oldest-first, then chase candidates stripe by stripe.
+  // Victims in other stripes are only try_lock'ed (see the lock-order note in
+  // the header); a candidate whose stripe is busy is simply skipped — under
+  // contention this approximates LRU, single-threaded it is exact.
+  std::vector<uint64_t> candidates;
+  {
+    std::lock_guard<std::mutex> lru_guard(lru_mu_);
+    candidates.assign(lru_.rbegin(), lru_.rend());
+  }
+  for (uint64_t key : candidates) {
+    const uint64_t s = StripeFor(key);
+    std::unique_lock<std::mutex> lk;
+    if (s != held_stripe) {
+      lk = std::unique_lock<std::mutex>(stripes_[s].mu, std::try_to_lock);
+      if (!lk.owns_lock()) {
+        continue;
+      }
+    }
+    auto idx = stripes_[s].index.find(key);
+    if (idx == stripes_[s].index.end()) {
+      continue;  // Raced with a concurrent remove.
     }
     if (idx->second.pins != 0) {
       continue;  // Pending objects are never eviction candidates (paper §6.4).
@@ -224,18 +304,19 @@ bool DynamicBackupStore::EvictOneLocked() {
 }
 
 Status DynamicBackupStore::InsertCopyLocked(uint64_t key, uint64_t size) {
+  const uint64_t held = StripeFor(key);
   // Enforce the α budget first, then allocate a slot (evicting cold copies
   // if the pool itself is the binding constraint).
   if (budget_bytes_ != 0) {
-    while (resident_bytes_ + size > budget_bytes_) {
-      if (!EvictOneLocked()) {
+    while (resident_bytes_.load(std::memory_order_relaxed) + size > budget_bytes_) {
+      if (!EvictOneLocked(held)) {
         return Status::OutOfMemory("dynamic backup full of pinned copies");
       }
     }
   }
   Result<uint64_t> slot = slot_alloc_->AllocRaw(size);
   while (!slot.ok()) {
-    if (!EvictOneLocked()) {
+    if (!EvictOneLocked(held)) {
       return Status::OutOfMemory("dynamic backup full of pinned copies");
     }
     slot = slot_alloc_->AllocRaw(size);
@@ -259,24 +340,31 @@ Status DynamicBackupStore::InsertCopyLocked(uint64_t key, uint64_t size) {
   e->crc = EntryCrc(*e);
   backup_->Persist(e, sizeof(Entry));
 
-  lru_.push_front(key);
   VolatileEntry ve;
   ve.bucket = *bucket;
-  ve.lru_it = lru_.begin();
+  {
+    std::lock_guard<std::mutex> lru_guard(lru_mu_);
+    lru_.push_front(key);
+    ve.lru_it = lru_.begin();
+  }
   ve.in_lru = true;
-  index_.emplace(key, ve);
-  resident_bytes_ += size;
+  stripes_[held].index.emplace(key, ve);
+  resident_bytes_.fetch_add(size, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status DynamicBackupStore::EnsureBackupCopy(uint64_t offset, uint64_t size, bool pin) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = index_.find(offset);
-  if (it != index_.end()) {
+  Stripe& stripe = stripes_[StripeFor(offset)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.index.find(offset);
+  if (it != stripe.index.end()) {
     Entry* e = EntryAt(it->second.bucket);
     if (e->size >= size) {
       ensure_hits_.fetch_add(1, std::memory_order_relaxed);
-      lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // Touch.
+      {
+        std::lock_guard<std::mutex> lru_guard(lru_mu_);
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // Touch.
+      }
       if (pin) {
         ++it->second.pins;
       }
@@ -291,37 +379,78 @@ Status DynamicBackupStore::EnsureBackupCopy(uint64_t offset, uint64_t size, bool
     return st;
   }
   if (pin) {
-    auto inserted = index_.find(offset);
+    auto inserted = stripe.index.find(offset);
     ++inserted->second.pins;
   }
   return Status::Ok();
 }
 
-Status DynamicBackupStore::ApplyFromMain(uint64_t offset, uint64_t size) {
-  std::lock_guard<std::mutex> guard(mu_);
-  applies_.fetch_add(1, std::memory_order_relaxed);
-  auto it = index_.find(offset);
-  if (it == index_.end()) {
+Status DynamicBackupStore::ApplyRangeLocked(uint64_t key, uint64_t size, bool* flushed) {
+  Stripe& stripe = stripes_[StripeFor(key)];
+  auto it = stripe.index.find(key);
+  if (it == stripe.index.end()) {
     // Freshly allocated object being rolled forward: create its copy now,
-    // off the critical path.
-    return InsertCopyLocked(offset, size);
+    // off the critical path. The insert persists internally.
+    return InsertCopyLocked(key, size);
   }
   Entry* e = EntryAt(it->second.bucket);
   if (e->size < size) {
-    RemoveEntryLocked(offset, it->second);
-    return InsertCopyLocked(offset, size);
+    RemoveEntryLocked(key, it->second);
+    return InsertCopyLocked(key, size);
   }
-  std::memcpy(static_cast<uint8_t*>(backup_->At(e->backup_off)), main_->At(offset), size);
-  backup_->Persist(backup_->At(e->backup_off), size);
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  std::memcpy(static_cast<uint8_t*>(backup_->At(e->backup_off)), main_->At(key), size);
+  backup_->Flush(backup_->At(e->backup_off), size);
+  *flushed = true;
+  {
+    std::lock_guard<std::mutex> lru_guard(lru_mu_);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  }
+  return Status::Ok();
+}
+
+Status DynamicBackupStore::ApplyFromMain(uint64_t offset, uint64_t size) {
+  Stripe& stripe = stripes_[StripeFor(offset)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  applies_.fetch_add(1, std::memory_order_relaxed);
+  bool flushed = false;
+  KAMINO_RETURN_IF_ERROR(ApplyRangeLocked(offset, size, &flushed));
+  if (flushed) {
+    backup_->Drain();
+  }
+  return Status::Ok();
+}
+
+Status DynamicBackupStore::ApplyBatchFromMain(const std::vector<ApplyRange>& ranges,
+                                              uint64_t* coalesced_out) {
+  // Copies are keyed by object offset, so ranges arrive per-object (the
+  // engine must not merge across object boundaries). The batching win here
+  // is the single drain for the whole transaction.
+  if (coalesced_out != nullptr) {
+    *coalesced_out = 0;
+  }
+  if (ranges.empty()) {
+    return Status::Ok();
+  }
+  batch_applies_.fetch_add(1, std::memory_order_relaxed);
+  bool flushed = false;
+  for (const ApplyRange& r : ranges) {
+    Stripe& stripe = stripes_[StripeFor(r.offset)];
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    applies_.fetch_add(1, std::memory_order_relaxed);
+    KAMINO_RETURN_IF_ERROR(ApplyRangeLocked(r.offset, r.size, &flushed));
+  }
+  if (flushed) {
+    backup_->Drain();
+  }
   return Status::Ok();
 }
 
 Status DynamicBackupStore::RestoreToMain(uint64_t offset, uint64_t size) {
-  std::lock_guard<std::mutex> guard(mu_);
+  Stripe& stripe = stripes_[StripeFor(offset)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
   restores_.fetch_add(1, std::memory_order_relaxed);
-  auto it = index_.find(offset);
-  if (it == index_.end()) {
+  auto it = stripe.index.find(offset);
+  if (it == stripe.index.end()) {
     return Status::Corruption("no backup copy for pending object");
   }
   const Entry* e = EntryAt(it->second.bucket);
@@ -334,26 +463,29 @@ Status DynamicBackupStore::RestoreToMain(uint64_t offset, uint64_t size) {
 }
 
 void DynamicBackupStore::Invalidate(uint64_t offset) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = index_.find(offset);
-  if (it == index_.end()) {
+  Stripe& stripe = stripes_[StripeFor(offset)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.index.find(offset);
+  if (it == stripe.index.end()) {
     return;
   }
   RemoveEntryLocked(offset, it->second);
 }
 
 void DynamicBackupStore::Pin(uint64_t offset) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = index_.find(offset);
-  if (it != index_.end()) {
+  Stripe& stripe = stripes_[StripeFor(offset)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.index.find(offset);
+  if (it != stripe.index.end()) {
     ++it->second.pins;
   }
 }
 
 void DynamicBackupStore::Unpin(uint64_t offset) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = index_.find(offset);
-  if (it != index_.end() && it->second.pins > 0) {
+  Stripe& stripe = stripes_[StripeFor(offset)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.index.find(offset);
+  if (it != stripe.index.end() && it->second.pins > 0) {
     --it->second.pins;
   }
 }
@@ -367,16 +499,26 @@ BackupStats DynamicBackupStore::stats() const {
   s.applies = applies_.load(std::memory_order_relaxed);
   s.restores = restores_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.batch_applies = batch_applies_.load(std::memory_order_relaxed);
   return s;
 }
 
 void DynamicBackupStore::CompactAfterRecovery() {
-  std::lock_guard<std::mutex> guard(mu_);
+  // Post-recovery, single-writer context; take every stripe in index order
+  // (nothing else blocks on a second stripe, so the order is safe).
+  std::vector<std::unique_lock<std::mutex>> guards;
+  guards.reserve(kStripes);
+  for (Stripe& s : stripes_) {
+    guards.emplace_back(s.mu);
+  }
   // Slots referenced by valid lookup-table entries are live; anything else
   // in the slot allocator was orphaned by a crash mid-eviction/insert.
   std::unordered_map<uint64_t, bool> referenced;
-  for (const auto& [key, ve] : index_) {
-    referenced.emplace(EntryAt(ve.bucket)->backup_off, true);
+  for (const Stripe& s : stripes_) {
+    for (const auto& [key, ve] : s.index) {
+      (void)key;
+      referenced.emplace(EntryAt(ve.bucket)->backup_off, true);
+    }
   }
   std::vector<uint64_t> orphans;
   slot_alloc_->ForEachAllocation([&](uint64_t off, uint64_t size) {
@@ -391,13 +533,25 @@ void DynamicBackupStore::CompactAfterRecovery() {
 }
 
 bool DynamicBackupStore::HasCopy(uint64_t offset) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return index_.count(offset) != 0;
+  const Stripe& stripe = stripes_[StripeFor(offset)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  return stripe.index.count(offset) != 0;
 }
 
 uint64_t DynamicBackupStore::resident_copies() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return index_.size();
+  uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> guard(s.mu);
+    total += s.index.size();
+  }
+  return total;
+}
+
+uint32_t DynamicBackupStore::PinCount(uint64_t offset) const {
+  const Stripe& stripe = stripes_[StripeFor(offset)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.index.find(offset);
+  return it == stripe.index.end() ? 0 : it->second.pins;
 }
 
 }  // namespace kamino::txn

@@ -23,11 +23,13 @@
 #ifndef SRC_TXN_BACKUP_STORE_H_
 #define SRC_TXN_BACKUP_STORE_H_
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "src/alloc/allocator.h"
 #include "src/common/status.h"
@@ -41,6 +43,13 @@ struct BackupStats {
   uint64_t applies = 0;
   uint64_t restores = 0;
   uint64_t evictions = 0;
+  uint64_t batch_applies = 0;  // ApplyBatchFromMain calls.
+};
+
+// One main-heap range the applier wants rolled forward into the backup.
+struct ApplyRange {
+  uint64_t offset = 0;
+  uint64_t size = 0;
 };
 
 class BackupStore {
@@ -55,6 +64,18 @@ class BackupStore {
 
   // Copies main -> backup for the range; creates the copy if absent.
   virtual Status ApplyFromMain(uint64_t offset, uint64_t size) = 0;
+
+  // Rolls a whole transaction's write set forward with batched persistence:
+  // implementations flush each range and pay at most one drain for the whole
+  // batch (the Marathe-style flush-coalescing discipline), instead of one
+  // Persist per object. `coalesced_out`, when non-null, receives the number
+  // of input ranges merged away by adjacent/overlap coalescing (0 if the
+  // store cannot merge). The default implementation is the unbatched loop.
+  //
+  // Durability contract: the batch is only guaranteed durable once the call
+  // returns; callers must not release the intent-log slot before that.
+  virtual Status ApplyBatchFromMain(const std::vector<ApplyRange>& ranges,
+                                    uint64_t* coalesced_out = nullptr);
 
   // Copies backup -> main for the range. Fails with kCorruption if no copy
   // exists (the engine's invariants guarantee one does).
@@ -87,6 +108,10 @@ class FullBackupStore : public BackupStore {
 
   Status EnsureBackupCopy(uint64_t offset, uint64_t size, bool pin = false) override;
   Status ApplyFromMain(uint64_t offset, uint64_t size) override;
+  // Coalesces adjacent/overlapping ranges, flushes each merged range, drains
+  // once — O(1) drains per transaction regardless of write-set size.
+  Status ApplyBatchFromMain(const std::vector<ApplyRange>& ranges,
+                            uint64_t* coalesced_out = nullptr) override;
   Status RestoreToMain(uint64_t offset, uint64_t size) override;
   void Invalidate(uint64_t offset) override;
   uint64_t backup_bytes() const override;
@@ -101,6 +126,7 @@ class FullBackupStore : public BackupStore {
   nvm::Pool* backup_;
   std::atomic<uint64_t> applies_{0};
   std::atomic<uint64_t> restores_{0};
+  std::atomic<uint64_t> batch_applies_{0};
 };
 
 // --- Kamino-Tx-Chain replica: no local backup --------------------------------
@@ -150,6 +176,12 @@ class DynamicBackupStore : public BackupStore {
 
   Status EnsureBackupCopy(uint64_t offset, uint64_t size, bool pin = false) override;
   Status ApplyFromMain(uint64_t offset, uint64_t size) override;
+  // Per-object ranges only (the caller must NOT merge ranges across object
+  // boundaries — copies are keyed by object offset). Resident copies are
+  // flushed without draining and a single drain finishes the batch; misses
+  // (fresh allocations) fall back to the insert path.
+  Status ApplyBatchFromMain(const std::vector<ApplyRange>& ranges,
+                            uint64_t* coalesced_out = nullptr) override;
   Status RestoreToMain(uint64_t offset, uint64_t size) override;
   void Invalidate(uint64_t offset) override;
   void Pin(uint64_t offset) override;
@@ -162,6 +194,9 @@ class DynamicBackupStore : public BackupStore {
   // True iff a copy of the object at `offset` is resident (test hook).
   bool HasCopy(uint64_t offset) const;
   uint64_t resident_copies() const;
+  // Outstanding pin count on the copy at `offset`, 0 if absent (test hook —
+  // lets tests assert that abort/error paths released their pins).
+  uint32_t PinCount(uint64_t offset) const;
   // Live bytes in the slot allocator (test hook; includes leaked slots until
   // CompactAfterRecovery runs).
   uint64_t slot_bytes_allocated() const { return slot_alloc_->stats().bytes_allocated; }
@@ -197,6 +232,24 @@ class DynamicBackupStore : public BackupStore {
     bool in_lru = false;
   };
 
+  // --- Lock striping ---------------------------------------------------------
+  // The volatile index and the persistent lookup table are partitioned into
+  // kStripes independent stripes by key hash, each under its own mutex, so a
+  // foreground EnsureBackupCopy runs concurrently with background applies on
+  // other objects. The LRU stays global (eviction quality) under its own
+  // lock. Lock order: stripe -> lru_mu_; a second stripe (an eviction
+  // victim's) is only ever try_lock'ed, so the order cannot deadlock. The
+  // persistent table is split into per-stripe bucket regions: insert probing
+  // never leaves the owning stripe's region, so no two stripes touch the same
+  // Entry. Budget accounting is a global atomic; concurrent inserts may
+  // overshoot it transiently by at most one object per stripe.
+  static constexpr uint64_t kStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, VolatileEntry> index;
+  };
+
   DynamicBackupStore(nvm::Pool* main, nvm::Pool* backup);
 
   Status Format(const DynamicBackupOptions& options);
@@ -208,27 +261,37 @@ class DynamicBackupStore : public BackupStore {
   }
   static uint64_t EntryCrc(const Entry& e);
   static uint64_t HashKey(uint64_t key);
+  uint64_t StripeFor(uint64_t key) const { return HashKey(key) & (kStripes - 1); }
 
-  // All helpers below require mu_ held.
+  // All helpers below require the stripe lock for `key` held.
   // Inserts a copy of main [key, key+size) — allocates a slot (evicting as
   // needed), copies, persists, and publishes the table entry.
   Status InsertCopyLocked(uint64_t key, uint64_t size);
-  // Evicts the least-recently-used unpinned copy; false if none evictable.
-  bool EvictOneLocked();
+  // Evicts the least-recently-used unpinned copy anywhere in the store.
+  // `held_stripe` is the stripe the caller already holds (victims there are
+  // removed under the held lock; other stripes are try_lock'ed). False if
+  // nothing was evictable.
+  bool EvictOneLocked(uint64_t held_stripe);
+  // Requires the victim's stripe lock held (== stripe of `key`).
   void RemoveEntryLocked(uint64_t key, VolatileEntry& ve);
-  // Finds a free-or-tombstone bucket for `key` by linear probing.
+  // Finds a free-or-tombstone bucket for `key` by linear probing inside the
+  // owning stripe's bucket region.
   Result<uint64_t> FindInsertBucketLocked(uint64_t key);
+  // Flush-only roll-forward of one range under its stripe lock; sets
+  // `*flushed` when the caller owes a drain. Insert paths persist internally.
+  Status ApplyRangeLocked(uint64_t key, uint64_t size, bool* flushed);
 
   nvm::Pool* main_;
   nvm::Pool* backup_;
-  std::unique_ptr<alloc::Allocator> slot_alloc_;
+  std::unique_ptr<alloc::Allocator> slot_alloc_;  // Internally synchronized.
   uint64_t lookup_buckets_ = 0;
   uint64_t table_offset_ = 0;
   uint64_t budget_bytes_ = 0;
-  uint64_t resident_bytes_ = 0;  // Guarded by mu_.
+  std::atomic<uint64_t> resident_bytes_{0};
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, VolatileEntry> index_;
+  std::array<Stripe, kStripes> stripes_;
+
+  mutable std::mutex lru_mu_;
   std::list<uint64_t> lru_;  // Front = most recently used. Values are keys.
 
   std::atomic<uint64_t> ensure_hits_{0};
@@ -236,6 +299,7 @@ class DynamicBackupStore : public BackupStore {
   std::atomic<uint64_t> applies_{0};
   std::atomic<uint64_t> restores_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> batch_applies_{0};
 };
 
 }  // namespace kamino::txn

@@ -48,6 +48,14 @@ struct EngineStats {
   uint64_t applied = 0;        // Transactions fully synced to the backup.
   uint64_t recovered_forward = 0;
   uint64_t recovered_back = 0;
+
+  // Transaction Coordinator pipeline (Kamino engines only; zero elsewhere).
+  uint64_t applier_queue_depth = 0;  // Committed but not yet applied, now.
+  uint64_t apply_batches = 0;        // Batched backup applies issued.
+  uint64_t coalesced_ranges = 0;     // Ranges merged away inside batches.
+  uint64_t apply_lag_p50_ns = 0;     // Commit-enqueue -> fully-applied lag.
+  uint64_t apply_lag_p99_ns = 0;
+  uint64_t apply_lag_max_ns = 0;
 };
 
 class AtomicityEngine {

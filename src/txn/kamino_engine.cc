@@ -10,18 +10,24 @@ KaminoEngine::KaminoEngine(heap::Heap* heap, LogManager* log, LockManager* locks
   if (applier_threads < 1) {
     applier_threads = 1;
   }
+  shards_.reserve(static_cast<size_t>(applier_threads));
   appliers_.reserve(static_cast<size_t>(applier_threads));
   for (int i = 0; i < applier_threads; ++i) {
-    appliers_.emplace_back([this] { ApplierLoop(); });
+    shards_.push_back(std::make_unique<ApplierShard>());
+  }
+  for (int i = 0; i < applier_threads; ++i) {
+    appliers_.emplace_back([this, i] { ApplierLoop(static_cast<size_t>(i)); });
   }
 }
 
 KaminoEngine::~KaminoEngine() {
-  {
-    std::lock_guard<std::mutex> lk(queue_mu_);
-    stop_ = true;
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
   }
-  queue_cv_.notify_all();
+  for (auto& shard : shards_) {
+    shard->cv.notify_all();
+  }
   for (auto& t : appliers_) {
     t.join();
   }
@@ -54,8 +60,13 @@ Result<void*> KaminoEngine::OpenWrite(TxContext* ctx, uint64_t offset, uint64_t 
   // store. Free for the full backup; a critical-path copy on a dynamic miss.
   KAMINO_RETURN_IF_ERROR(store_->EnsureBackupCopy(offset, size, /*pin=*/true));
 
-  KAMINO_RETURN_IF_ERROR(
-      log_->AppendRecord(ctx->slot, IntentKind::kWrite, offset, size));
+  Status st = log_->AppendRecord(ctx->slot, IntentKind::kWrite, offset, size);
+  if (!st.ok()) {
+    // The intent never existed, so Abort will not unpin this range — drop
+    // the pin here or the copy is stuck unevictable forever.
+    store_->Unpin(offset);
+    return st;
+  }
   ctx->open_ranges.emplace(offset, ctx->intents.size());
   ctx->intents.push_back(Intent{IntentKind::kWrite, offset, size, 0});
   return pool()->At(offset);
@@ -112,26 +123,42 @@ Status KaminoEngine::Commit(std::unique_ptr<TxContext> ctx) {
   committed_.fetch_add(1, std::memory_order_relaxed);
   // 3. Hand the context to the asynchronous Transaction Coordinator. The
   //    write locks remain held until the backup is in sync — the transaction
-  //    itself is done: no data was copied on this thread.
-  //
+  //    itself is done: no data was copied on this thread. Round-robin across
+  //    applier shards; the disjoint-write-set invariant makes the resulting
+  //    cross-shard apply order irrelevant.
+  ctx->commit_enqueue_ns = stats::NowNanos();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  ApplierShard& shard =
+      *shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size()];
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
-    queue_.push_back(std::move(ctx));
-    ++in_flight_;
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.queue.push_back(std::move(ctx));
   }
-  queue_cv_.notify_one();
+  shard.cv.notify_one();
   return Status::Ok();
 }
 
 void KaminoEngine::ApplyCommitted(TxContext* ctx) {
+  // Roll the whole write set forward in one batched apply: per-range flushes
+  // and a single drain inside the store, instead of a full Persist per
+  // object.
+  std::vector<ApplyRange> ranges;
+  ranges.reserve(ctx->intents.size());
+  for (const Intent& in : ctx->intents) {
+    if (in.kind == IntentKind::kWrite || in.kind == IntentKind::kAlloc) {
+      ranges.push_back(ApplyRange{in.offset, in.size});
+    }
+  }
+  if (!ranges.empty()) {
+    uint64_t coalesced = 0;
+    (void)store_->ApplyBatchFromMain(ranges, &coalesced);
+    apply_batches_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_ranges_.fetch_add(coalesced, std::memory_order_relaxed);
+  }
   for (const Intent& in : ctx->intents) {
     switch (in.kind) {
       case IntentKind::kWrite:
-        (void)store_->ApplyFromMain(in.offset, in.size);
         store_->Unpin(in.offset);
-        break;
-      case IntentKind::kAlloc:
-        (void)store_->ApplyFromMain(in.offset, in.size);
         break;
       case IntentKind::kFree:
         store_->Invalidate(in.offset);
@@ -141,6 +168,8 @@ void KaminoEngine::ApplyCommitted(TxContext* ctx) {
         break;
     }
   }
+  // The batch apply has returned, so the backup is durable — only now may
+  // the slot go (a crash before this re-rolls the transaction forward).
   log_->ReleaseSlot(ctx->slot);
   // Freed slots become reusable only after the intent log no longer refers
   // to them (a recovered re-free must never hit a re-allocated object).
@@ -151,52 +180,85 @@ void KaminoEngine::ApplyCommitted(TxContext* ctx) {
   }
   ReleaseWriteLocks(ctx);
   applied_.fetch_add(1, std::memory_order_relaxed);
+  if (ctx->commit_enqueue_ns != 0) {
+    apply_lag_.Record(stats::NowNanos() - ctx->commit_enqueue_ns);
+  }
 }
 
-void KaminoEngine::ApplierLoop() {
+void KaminoEngine::ApplierLoop(size_t shard_index) {
+  ApplierShard& shard = *shards_[shard_index];
   for (;;) {
     std::unique_ptr<TxContext> ctx;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [&] { return stop_ || (!paused_ && !queue_.empty()); });
+      std::unique_lock<std::mutex> lk(shard.mu);
+      shard.cv.wait(lk, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               (!paused_.load(std::memory_order_relaxed) && !shard.queue.empty());
+      });
       // Drain remaining work on shutdown unless a crash test froze the
       // applier with PauseApplier.
-      if (queue_.empty() || paused_) {
-        if (stop_) {
+      if (shard.queue.empty() || paused_.load(std::memory_order_relaxed)) {
+        if (stop_.load(std::memory_order_relaxed)) {
           return;
         }
         continue;
       }
-      ctx = std::move(queue_.front());
-      queue_.pop_front();
+      ctx = std::move(shard.queue.front());
+      shard.queue.pop_front();
     }
     ApplyCommitted(ctx.get());
-    {
-      std::lock_guard<std::mutex> lk(queue_mu_);
-      --in_flight_;
-    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    // Empty critical section pairs with the WaitIdle predicate check: the
+    // waiter either sees the decrement or gets this notification.
+    { std::lock_guard<std::mutex> lk(idle_mu_); }
     idle_cv_.notify_all();
   }
 }
 
 void KaminoEngine::WaitIdle() {
-  std::unique_lock<std::mutex> lk(queue_mu_);
-  idle_cv_.wait(lk, [&] { return paused_ || (in_flight_ == 0 && queue_.empty()); });
+  std::unique_lock<std::mutex> lk(idle_mu_);
+  idle_cv_.wait(lk, [&] {
+    return paused_.load(std::memory_order_relaxed) ||
+           in_flight_.load(std::memory_order_relaxed) == 0;
+  });
 }
 
 void KaminoEngine::PauseApplier(bool paused) {
-  {
-    std::lock_guard<std::mutex> lk(queue_mu_);
-    paused_ = paused;
+  paused_.store(paused, std::memory_order_seq_cst);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
   }
-  queue_cv_.notify_all();
+  for (auto& shard : shards_) {
+    shard->cv.notify_all();
+  }
+  { std::lock_guard<std::mutex> lk(idle_mu_); }
   idle_cv_.notify_all();
 }
 
 void KaminoEngine::DiscardPendingForCrashTest() {
-  std::lock_guard<std::mutex> lk(queue_mu_);
-  in_flight_ -= queue_.size();
-  queue_.clear();
+  uint64_t discarded = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    discarded += shard->queue.size();
+    shard->queue.clear();
+  }
+  in_flight_.fetch_sub(discarded, std::memory_order_relaxed);
+  // A WaitIdle caller may be blocked on exactly the work just discarded.
+  { std::lock_guard<std::mutex> lk(idle_mu_); }
+  idle_cv_.notify_all();
+}
+
+EngineStats KaminoEngine::stats() const {
+  EngineStats s = EngineBase::stats();
+  s.applier_queue_depth = in_flight_.load(std::memory_order_relaxed);
+  s.apply_batches = apply_batches_.load(std::memory_order_relaxed);
+  s.coalesced_ranges = coalesced_ranges_.load(std::memory_order_relaxed);
+  if (apply_lag_.count() > 0) {
+    s.apply_lag_p50_ns = apply_lag_.PercentileNs(50.0);
+    s.apply_lag_p99_ns = apply_lag_.PercentileNs(99.0);
+    s.apply_lag_max_ns = apply_lag_.MaxNs();
+  }
+  return s;
 }
 
 Status KaminoEngine::Abort(TxContext* ctx) {
@@ -206,20 +268,29 @@ Status KaminoEngine::Abort(TxContext* ctx) {
     return Status::Ok();
   }
   log_->SetState(ctx->slot, TxState::kAborted);
-  // Roll the main version back from the backup, newest intent first.
+  // Roll the main version back from the backup, newest intent first. A
+  // failed restore must not short-circuit the loop: the remaining intents
+  // still need their rollback/unpin, and the slot and write locks must be
+  // released regardless (an early return here used to leak both, wedging
+  // every dependent transaction). Best effort; first error wins.
+  Status result = Status::Ok();
   for (auto it = ctx->intents.rbegin(); it != ctx->intents.rend(); ++it) {
     switch (it->kind) {
       case IntentKind::kWrite: {
         Status st = store_->RestoreToMain(it->offset, it->size);
         store_->Unpin(it->offset);
-        if (!st.ok()) {
-          return st;
+        if (!st.ok() && result.ok()) {
+          result = st;
         }
         break;
       }
-      case IntentKind::kAlloc:
-        KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(it->offset));
+      case IntentKind::kAlloc: {
+        Status st = heap_->allocator()->FreeRaw(it->offset);
+        if (!st.ok() && result.ok()) {
+          result = st;
+        }
         break;
+      }
       case IntentKind::kFree:
         break;  // Deferred; nothing happened.
       default:
@@ -229,7 +300,7 @@ Status KaminoEngine::Abort(TxContext* ctx) {
   log_->ReleaseSlot(ctx->slot);
   ReleaseWriteLocks(ctx);
   aborted_.fetch_add(1, std::memory_order_relaxed);
-  return Status::Ok();
+  return result;
 }
 
 Status KaminoEngine::Recover() {
@@ -238,7 +309,9 @@ Status KaminoEngine::Recover() {
     SlotHandle handle = log_->HandleForRecovered(tx);
     if (tx.state == TxState::kCommitted) {
       // Roll forward: the main version carries the committed data; bring the
-      // backup (and deferred frees) up to date.
+      // backup (and deferred frees) up to date. Single-range applies — the
+      // batched path is a throughput optimisation for the hot applier loop,
+      // and recovery is cold.
       for (const Intent& in : tx.intents) {
         switch (in.kind) {
           case IntentKind::kWrite:

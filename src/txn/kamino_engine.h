@@ -4,10 +4,17 @@
 // persistence work is the intent log (object addresses — one cache line per
 // object) and the final flush of the modified ranges. After the commit
 // record is durable the transaction returns; a background Transaction
-// Coordinator thread then copies the modified objects to the backup version
-// and only afterwards releases the objects' write locks. Dependent
+// Coordinator then copies the modified objects to the backup version and
+// only afterwards releases the objects' write locks. Dependent
 // transactions — whose read/write set intersects a pending write set — block
 // on those locks until main and backup agree (paper's Safety 1 & 2).
+//
+// The coordinator is sharded: each applier thread owns a private queue
+// (mutex + cv) and Commit round-robins committed contexts across them.
+// This is safe because write locks are held until apply completes, so any
+// two queued transactions have disjoint write sets and their backup applies
+// commute — order across shards is irrelevant. See DESIGN.md, "Transaction
+// Coordinator pipeline".
 //
 // Aborts copy the untouched backup values over the main version in the
 // aborting thread (aborts are rare; Figure 6). Recovery treats incomplete
@@ -28,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/stats/histogram.h"
 #include "src/txn/backup_store.h"
 #include "src/txn/engine_base.h"
 
@@ -55,6 +63,10 @@ class KaminoEngine : public EngineBase {
   void WaitIdle() override;
   uint64_t backup_bytes() const override { return store_->backup_bytes(); }
 
+  // Adds the coordinator-pipeline counters (queue depth, commit->applied lag
+  // percentiles, batch/coalescing totals) to the base engine stats.
+  EngineStats stats() const override;
+
   BackupStore* store() { return store_; }
 
   // --- Crash-test hooks -------------------------------------------------
@@ -68,21 +80,41 @@ class KaminoEngine : public EngineBase {
   void DiscardPendingForCrashTest();
 
  private:
-  void ApplierLoop();
-  // Rolls a committed transaction forward into the backup and releases its
-  // locks. Runs on an applier thread (or inline during recovery).
+  // One applier thread's private work queue. Sharding removes the single
+  // dispatch mutex from the commit path and lets appliers drain
+  // independently; correctness rests on the disjoint-write-set invariant
+  // noted above.
+  struct ApplierShard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::unique_ptr<TxContext>> queue;
+  };
+
+  void ApplierLoop(size_t shard_index);
+  // Rolls a committed transaction forward into the backup (one batched
+  // apply, at most one drain) and releases its locks. Runs on an applier
+  // thread.
   void ApplyCommitted(TxContext* ctx);
 
   BackupStore* store_;
   bool dynamic_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
+  std::vector<std::unique_ptr<ApplierShard>> shards_;
+  std::atomic<uint64_t> next_shard_{0};
+  // Committed-but-not-yet-applied transactions (queued + being applied).
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> paused_{false};
+
+  // WaitIdle blocks here; appliers notify after every completed apply.
+  std::mutex idle_mu_;
   std::condition_variable idle_cv_;
-  std::deque<std::unique_ptr<TxContext>> queue_;
-  uint64_t in_flight_ = 0;
-  bool stop_ = false;
-  bool paused_ = false;
+
+  // Coordinator observability.
+  std::atomic<uint64_t> apply_batches_{0};
+  std::atomic<uint64_t> coalesced_ranges_{0};
+  stats::LatencyHistogram apply_lag_;  // Commit-enqueue -> fully applied.
+
   std::vector<std::thread> appliers_;
 };
 

@@ -32,6 +32,10 @@ struct TxContext {
   // detecting writes to objects allocated in this transaction.
   std::unordered_map<uint64_t, size_t> open_ranges;
 
+  // Set at commit when the context is handed to the Transaction Coordinator;
+  // the applier records now - this into the commit->applied lag histogram.
+  uint64_t commit_enqueue_ns = 0;
+
   bool active = true;
 };
 

@@ -216,6 +216,8 @@ Status TxManager::Init(bool attach_existing) {
       popts.crash_sim = options_.backup_crash_sim;
       popts.flush_latency_ns = options_.backup_flush_latency_ns;
       popts.drain_latency_ns = options_.backup_drain_latency_ns;
+      popts.track_stats = options_.backup_track_stats;
+      popts.sleep_latency = options_.backup_sleep_latency;
       if (options_.engine == EngineType::kKaminoSimple) {
         popts.size = heap_->pool()->size();
       } else {

@@ -59,6 +59,11 @@ struct TxManagerOptions {
   bool backup_crash_sim = false;
   uint32_t backup_flush_latency_ns = 0;
   uint32_t backup_drain_latency_ns = 0;
+  // Forwarded to the backup pool: disable stats atomics in benchmark pools,
+  // make injected latency sleep (overlappable) instead of spin. See
+  // nvm::PoolOptions.
+  bool backup_track_stats = true;
+  bool backup_sleep_latency = false;
 
   // Open() only: attach without running engine recovery. Used by chain
   // replicas, whose recovery needs a neighbour's state (paper §5.3) and is

@@ -181,5 +181,21 @@ TEST(PoolTest, SizeRoundedToCacheLine) {
   EXPECT_GE(pool->size(), 100u);
 }
 
+TEST(PoolTest, TrackStatsOffSkipsAccounting) {
+  PoolOptions o;
+  o.size = 1 << 20;
+  o.track_stats = false;
+  auto pool = Pool::Create(o).value();
+  auto* x = static_cast<uint64_t*>(pool->At(0));
+  *x = 7;
+  pool->Persist(x, 8);
+  pool->Flush(x, 8);
+  pool->Drain();
+  const PoolStats s = pool->stats();
+  EXPECT_EQ(s.flush_calls, 0u);
+  EXPECT_EQ(s.lines_flushed, 0u);
+  EXPECT_EQ(s.drain_calls, 0u);
+}
+
 }  // namespace
 }  // namespace kamino::nvm

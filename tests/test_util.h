@@ -31,7 +31,7 @@ struct CrashableSystem {
   txn::TxManagerOptions options;
 
   static CrashableSystem Create(txn::EngineType engine, uint64_t pool_size = 64ull << 20,
-                                double alpha = 0.25) {
+                                double alpha = 0.25, int applier_threads = 1) {
     CrashableSystem sys;
     nvm::PoolOptions popts;
     popts.size = pool_size;
@@ -41,6 +41,7 @@ struct CrashableSystem {
     sys.options.engine = engine;
     sys.options.alpha = alpha;
     sys.options.lock.timeout_ms = 2000;
+    sys.options.applier_threads = applier_threads;
 
     sys.heap = std::move(heap::Heap::CreateOn(sys.main_pool.get(), 16ull << 20).value());
 
