@@ -783,6 +783,7 @@ Result<std::vector<std::pair<uint64_t, std::string>>> Replica::FetchRanges(
 }
 
 Status Replica::ResolveIncompleteFromNeighbour(uint64_t neighbour, bool roll_forward) {
+  nvm::PersistSiteScope site("chain/neighbour-repair");
   std::vector<txn::RecoveredTx> txs = mgr_->log()->ScanForRecovery();
   for (const txn::RecoveredTx& tx : txs) {
     txn::SlotHandle handle = mgr_->log()->HandleForRecovered(tx);
@@ -1070,6 +1071,7 @@ Status Replica::JoinAsTail() {
     if (reply->payload.size() != pool_->size()) {
       return Status::Corruption("state transfer size mismatch");
     }
+    nvm::PersistSiteScope site("chain/state-transfer");
     std::memcpy(pool_->base(), reply->payload.data(), reply->payload.size());
     pool_->Persist(pool_->base(), pool_->size());
     got = true;

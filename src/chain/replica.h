@@ -109,6 +109,10 @@ class Replica {
   uint64_t nvm_bytes() const;
   txn::TxManager* manager() { return mgr_.get(); }
   pds::BPlusTree* tree() { return tree_.get(); }
+  // Test hooks: the replica's persistent pools, for installing persistence
+  // observers (crash-point enumeration). Null before Init().
+  nvm::Pool* pool() { return pool_.get(); }
+  nvm::Pool* backup_pool() { return backup_pool_.get(); }
   // Ops forwarded but not yet cleaned up.
   size_t in_flight_size() const;
 

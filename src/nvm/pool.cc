@@ -124,6 +124,17 @@ void Pool::Flush(const void* addr, uint64_t len) {
   if (len == 0) {
     return;
   }
+  if (PersistenceObserver* obs = observer_.load(std::memory_order_acquire)) {
+    PersistEvent ev;
+    ev.kind = PersistEventKind::kFlush;
+    ev.site = CurrentPersistSite();
+    ev.offset = OffsetOf(addr);
+    ev.len = len;
+    ev.pool = this;
+    if (!obs->OnPersistEvent(ev)) {
+      return;  // Vetoed: nothing staged, as if power failed before the CLWB.
+    }
+  }
   const uint64_t start = CacheLineFloor(OffsetOf(addr));
   const uint64_t end = CacheLineCeil(OffsetOf(addr) + len);
   const uint64_t lines = (end - start) / kCacheLineSize;
@@ -144,6 +155,15 @@ void Pool::Flush(const void* addr, uint64_t len) {
 }
 
 void Pool::Drain() {
+  if (PersistenceObserver* obs = observer_.load(std::memory_order_acquire)) {
+    PersistEvent ev;
+    ev.kind = PersistEventKind::kDrain;
+    ev.site = CurrentPersistSite();
+    ev.pool = this;
+    if (!obs->OnPersistEvent(ev)) {
+      return;  // Vetoed: staged lines stay undurable, as if the fence never ran.
+    }
+  }
   if (track_stats_) {
     drain_calls_.fetch_add(1, std::memory_order_relaxed);
   }

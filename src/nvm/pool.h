@@ -35,6 +35,7 @@
 
 #include "src/common/cacheline.h"
 #include "src/common/status.h"
+#include "src/nvm/persist_hook.h"
 
 namespace kamino::nvm {
 
@@ -120,6 +121,19 @@ class Pool {
     return addr >= lo && addr < lo + size_;
   }
 
+  // Installs (or, with nullptr, removes) the persistence-event observer.
+  // Every subsequent Flush/Drain first consults the observer, which may veto
+  // the event's durability effect (see persist_hook.h). The observer must
+  // outlive its installation. Install/remove while no other thread is
+  // flushing: the pointer itself is atomic, but observers usually expect to
+  // see a complete event stream.
+  void SetPersistenceObserver(PersistenceObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+  PersistenceObserver* persistence_observer() const {
+    return observer_.load(std::memory_order_acquire);
+  }
+
   // Persistence primitives.
   void Flush(const void* addr, uint64_t len);
   void Drain();
@@ -185,6 +199,8 @@ class Pool {
   std::atomic<uint64_t> lines_flushed_{0};
   std::atomic<uint64_t> drain_calls_{0};
   std::atomic<uint64_t> bytes_persisted_{0};
+
+  std::atomic<PersistenceObserver*> observer_{nullptr};
 };
 
 }  // namespace kamino::nvm

@@ -38,6 +38,7 @@ Status FullBackupStore::EnsureBackupCopy(uint64_t offset, uint64_t size, bool pi
 }
 
 Status FullBackupStore::ApplyFromMain(uint64_t offset, uint64_t size) {
+  nvm::PersistSiteScope site("backup/apply");
   std::memcpy(static_cast<uint8_t*>(backup_->At(offset)), main_->At(offset), size);
   backup_->Persist(backup_->At(offset), size);
   applies_.fetch_add(1, std::memory_order_relaxed);
@@ -75,6 +76,7 @@ Status FullBackupStore::ApplyBatchFromMain(const std::vector<ApplyRange>& ranges
     *coalesced_out = ranges.size() - merged.size();
   }
 
+  nvm::PersistSiteScope site("backup/apply");
   for (const ApplyRange& r : merged) {
     std::memcpy(static_cast<uint8_t*>(backup_->At(r.offset)), main_->At(r.offset), r.size);
     backup_->Flush(backup_->At(r.offset), r.size);
@@ -84,6 +86,7 @@ Status FullBackupStore::ApplyBatchFromMain(const std::vector<ApplyRange>& ranges
 }
 
 Status FullBackupStore::RestoreToMain(uint64_t offset, uint64_t size) {
+  nvm::PersistSiteScope site("backup/restore");
   std::memcpy(static_cast<uint8_t*>(main_->At(offset)), backup_->At(offset), size);
   main_->Persist(main_->At(offset), size);
   restores_.fetch_add(1, std::memory_order_relaxed);
@@ -103,6 +106,7 @@ BackupStats FullBackupStore::stats() const {
 }
 
 void FullBackupStore::SyncAll() {
+  nvm::PersistSiteScope site("backup/sync-all");
   std::memcpy(backup_->base(), main_->base(), main_->size());
   backup_->Persist(backup_->base(), main_->size());
 }
@@ -155,6 +159,7 @@ Result<std::unique_ptr<DynamicBackupStore>> DynamicBackupStore::Open(nvm::Pool* 
 }
 
 Status DynamicBackupStore::Format(const DynamicBackupOptions& options) {
+  nvm::PersistSiteScope site("backup/format");
   lookup_buckets_ = options.lookup_buckets;
   budget_bytes_ = options.budget_bytes;
   table_offset_ = 4096;
@@ -217,6 +222,7 @@ Status DynamicBackupStore::Attach() {
     }
     if (e->crc != EntryCrc(*e)) {
       // Torn entry write: the insert never completed; treat as free.
+      nvm::PersistSiteScope site("backup/attach-repair");
       e->state = 0;
       backup_->PersistU64(&e->state);
       continue;
@@ -261,7 +267,10 @@ void DynamicBackupStore::RemoveEntryLocked(uint64_t key, VolatileEntry& ve) {
   const uint64_t slot_off = e->backup_off;
   resident_bytes_.fetch_sub(e->size, std::memory_order_relaxed);
   e->state = 2;  // Tombstone; 8-byte store is failure-atomic.
-  backup_->PersistU64(&e->state);
+  {
+    nvm::PersistSiteScope site("backup/tombstone-entry");
+    backup_->PersistU64(&e->state);
+  }
   (void)slot_alloc_->FreeRaw(slot_off);
   if (ve.in_lru) {
     std::lock_guard<std::mutex> lru_guard(lru_mu_);
@@ -329,8 +338,11 @@ Status DynamicBackupStore::InsertCopyLocked(uint64_t key, uint64_t size) {
 
   // Content first, then the table entry: a valid entry must never point at a
   // slot whose copy is not durable.
-  std::memcpy(static_cast<uint8_t*>(backup_->At(*slot)), main_->At(key), size);
-  backup_->Persist(backup_->At(*slot), size);
+  {
+    nvm::PersistSiteScope site("backup/insert-copy");
+    std::memcpy(static_cast<uint8_t*>(backup_->At(*slot)), main_->At(key), size);
+    backup_->Persist(backup_->At(*slot), size);
+  }
 
   Entry* e = EntryAt(*bucket);
   e->key = key;
@@ -338,7 +350,10 @@ Status DynamicBackupStore::InsertCopyLocked(uint64_t key, uint64_t size) {
   e->size = size;
   e->state = 1;
   e->crc = EntryCrc(*e);
-  backup_->Persist(e, sizeof(Entry));
+  {
+    nvm::PersistSiteScope site("backup/insert-entry");
+    backup_->Persist(e, sizeof(Entry));
+  }
 
   VolatileEntry ve;
   ve.bucket = *bucket;
@@ -399,7 +414,10 @@ Status DynamicBackupStore::ApplyRangeLocked(uint64_t key, uint64_t size, bool* f
     return InsertCopyLocked(key, size);
   }
   std::memcpy(static_cast<uint8_t*>(backup_->At(e->backup_off)), main_->At(key), size);
-  backup_->Flush(backup_->At(e->backup_off), size);
+  {
+    nvm::PersistSiteScope site("backup/apply");
+    backup_->Flush(backup_->At(e->backup_off), size);
+  }
   *flushed = true;
   {
     std::lock_guard<std::mutex> lru_guard(lru_mu_);
@@ -415,6 +433,7 @@ Status DynamicBackupStore::ApplyFromMain(uint64_t offset, uint64_t size) {
   bool flushed = false;
   KAMINO_RETURN_IF_ERROR(ApplyRangeLocked(offset, size, &flushed));
   if (flushed) {
+    nvm::PersistSiteScope site("backup/apply");
     backup_->Drain();
   }
   return Status::Ok();
@@ -440,6 +459,7 @@ Status DynamicBackupStore::ApplyBatchFromMain(const std::vector<ApplyRange>& ran
     KAMINO_RETURN_IF_ERROR(ApplyRangeLocked(r.offset, r.size, &flushed));
   }
   if (flushed) {
+    nvm::PersistSiteScope site("backup/apply");
     backup_->Drain();
   }
   return Status::Ok();
@@ -457,6 +477,7 @@ Status DynamicBackupStore::RestoreToMain(uint64_t offset, uint64_t size) {
   if (e->size < size) {
     return Status::Corruption("backup copy smaller than restore range");
   }
+  nvm::PersistSiteScope site("backup/restore");
   std::memcpy(static_cast<uint8_t*>(main_->At(offset)), backup_->At(e->backup_off), size);
   main_->Persist(main_->At(offset), size);
   return Status::Ok();

@@ -87,33 +87,39 @@ Status CowEngine::Commit(std::unique_ptr<TxContext> ctx) {
     return Status::Ok();
   }
   // 1. Persist the shadows and any objects allocated in this transaction.
-  bool flushed = false;
-  for (const Intent& in : ctx->intents) {
-    if (in.kind == IntentKind::kCowWrite) {
-      pool()->Flush(pool()->At(in.aux), in.size);
-      flushed = true;
-    } else if (in.kind == IntentKind::kAlloc) {
-      pool()->Flush(pool()->At(in.offset), in.size);
-      flushed = true;
+  {
+    nvm::PersistSiteScope site("cow/persist-shadows");
+    bool flushed = false;
+    for (const Intent& in : ctx->intents) {
+      if (in.kind == IntentKind::kCowWrite) {
+        pool()->Flush(pool()->At(in.aux), in.size);
+        flushed = true;
+      } else if (in.kind == IntentKind::kAlloc) {
+        pool()->Flush(pool()->At(in.offset), in.size);
+        flushed = true;
+      }
     }
-  }
-  if (flushed) {
-    pool()->Drain();
+    if (flushed) {
+      pool()->Drain();
+    }
   }
   // 2. Durable commit point.
   log_->SetState(ctx->slot, TxState::kCommitted);
   // 3. Install shadows over the originals (redo; replayed by recovery if we
   //    crash mid-install).
-  bool installed = false;
-  for (const Intent& in : ctx->intents) {
-    if (in.kind == IntentKind::kCowWrite) {
-      std::memcpy(pool()->At(in.offset), pool()->At(in.aux), in.size);
-      pool()->Flush(pool()->At(in.offset), in.size);
-      installed = true;
+  {
+    nvm::PersistSiteScope site("cow/install");
+    bool installed = false;
+    for (const Intent& in : ctx->intents) {
+      if (in.kind == IntentKind::kCowWrite) {
+        std::memcpy(pool()->At(in.offset), pool()->At(in.aux), in.size);
+        pool()->Flush(pool()->At(in.offset), in.size);
+        installed = true;
+      }
     }
-  }
-  if (installed) {
-    pool()->Drain();
+    if (installed) {
+      pool()->Drain();
+    }
   }
   // 4. Cleanup: delete shadows, execute deferred frees, release.
   for (const Intent& in : ctx->intents) {
@@ -162,6 +168,7 @@ Status CowEngine::Abort(TxContext* ctx) {
 }
 
 Status CowEngine::Recover() {
+  nvm::PersistSiteScope site("engine/recover");
   std::vector<RecoveredTx> txs = log_->ScanForRecovery();
   for (const RecoveredTx& tx : txs) {
     SlotHandle handle = log_->HandleForRecovered(tx);

@@ -78,6 +78,7 @@ class EngineBase : public AtomicityEngine {
   // Flushes every kWrite/kAlloc range in the write set, then drains once.
   // This is the only data-persistence work common to all engines' commits.
   void FlushWriteRanges(TxContext* ctx) {
+    nvm::PersistSiteScope site("engine/flush-write-set");
     bool flushed = false;
     for (const Intent& in : ctx->intents) {
       if (in.kind == IntentKind::kWrite || in.kind == IntentKind::kAlloc) {

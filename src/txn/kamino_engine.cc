@@ -142,6 +142,7 @@ void KaminoEngine::ApplyCommitted(TxContext* ctx) {
   // Roll the whole write set forward in one batched apply: per-range flushes
   // and a single drain inside the store, instead of a full Persist per
   // object.
+  nvm::PersistSiteScope site("applier/roll-forward");
   std::vector<ApplyRange> ranges;
   ranges.reserve(ctx->intents.size());
   for (const Intent& in : ctx->intents) {
@@ -268,6 +269,7 @@ Status KaminoEngine::Abort(TxContext* ctx) {
     return Status::Ok();
   }
   log_->SetState(ctx->slot, TxState::kAborted);
+  nvm::PersistSiteScope site("engine/abort-rollback");
   // Roll the main version back from the backup, newest intent first. A
   // failed restore must not short-circuit the loop: the remaining intents
   // still need their rollback/unpin, and the slot and write locks must be
@@ -304,6 +306,7 @@ Status KaminoEngine::Abort(TxContext* ctx) {
 }
 
 Status KaminoEngine::Recover() {
+  nvm::PersistSiteScope site("engine/recover");
   std::vector<RecoveredTx> txs = log_->ScanForRecovery();
   for (const RecoveredTx& tx : txs) {
     SlotHandle handle = log_->HandleForRecovered(tx);

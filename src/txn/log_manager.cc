@@ -53,6 +53,7 @@ Status LogManager::Format(uint64_t region_size, const LogOptions& options) {
   slot_size_ = options.slot_size;
   max_records_ = options.max_records;
 
+  nvm::PersistSiteScope site("log/format");
   for (uint64_t i = 0; i < num_slots_; ++i) {
     SlotHeader* h = SlotHeaderAt(i);
     h->state = static_cast<uint64_t>(TxState::kFree);
@@ -110,7 +111,10 @@ Result<SlotHandle> LogManager::AcquireSlot(uint64_t txid) {
   // occupant (their txid_tag no longer matches).
   h->txid = txid;
   h->state = static_cast<uint64_t>(TxState::kRunning);
-  pool_->Persist(h, sizeof(SlotHeader));
+  {
+    nvm::PersistSiteScope site("log/acquire-slot");
+    pool_->Persist(h, sizeof(SlotHeader));
+  }
 
   SlotHandle s;
   s.slot_index = index;
@@ -146,9 +150,12 @@ Status LogManager::AppendRecord(SlotHandle& slot, IntentKind kind, uint64_t offs
   r->aux = aux;
   r->txid_tag = slot.txid;
   r->crc = RecordCrc(*r);
-  pool_->Flush(r, kRecordSize);
-  if (drain) {
-    pool_->Drain();
+  {
+    nvm::PersistSiteScope site("log/append-intent");
+    pool_->Flush(r, kRecordSize);
+    if (drain) {
+      pool_->Drain();
+    }
   }
   ++slot.num_records;
   return Status::Ok();
@@ -167,6 +174,8 @@ Result<uint64_t> LogManager::ReservePayload(SlotHandle& slot, uint64_t size) {
 void LogManager::SetState(const SlotHandle& slot, TxState state) {
   SlotHeader* h = SlotHeaderAt(slot.slot_index);
   h->state = static_cast<uint64_t>(state);
+  nvm::PersistSiteScope site(state == TxState::kCommitted ? "log/commit-record"
+                                                          : "log/abort-record");
   pool_->PersistU64(&h->state);
 }
 
@@ -176,7 +185,10 @@ void LogManager::ReleaseSlot(SlotHandle& slot) {
   }
   SlotHeader* h = SlotHeaderAt(slot.slot_index);
   h->state = static_cast<uint64_t>(TxState::kFree);
-  pool_->PersistU64(&h->state);
+  {
+    nvm::PersistSiteScope site("log/release-slot");
+    pool_->PersistU64(&h->state);
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     free_slots_.push_back(slot.slot_index);

@@ -83,33 +83,39 @@ Status RedoLogEngine::Commit(std::unique_ptr<TxContext> ctx) {
     return Status::Ok();
   }
   // 1. Persist the staged new values + objects allocated in this txn.
-  bool flushed = false;
-  for (const Intent& in : ctx->intents) {
-    if (in.kind == IntentKind::kRedoWrite) {
-      pool()->Flush(pool()->At(in.aux), in.size);
-      flushed = true;
-    } else if (in.kind == IntentKind::kAlloc) {
-      pool()->Flush(pool()->At(in.offset), in.size);
-      flushed = true;
+  {
+    nvm::PersistSiteScope site("redo/stage-commit");
+    bool flushed = false;
+    for (const Intent& in : ctx->intents) {
+      if (in.kind == IntentKind::kRedoWrite) {
+        pool()->Flush(pool()->At(in.aux), in.size);
+        flushed = true;
+      } else if (in.kind == IntentKind::kAlloc) {
+        pool()->Flush(pool()->At(in.offset), in.size);
+        flushed = true;
+      }
     }
-  }
-  if (flushed) {
-    pool()->Drain();
+    if (flushed) {
+      pool()->Drain();
+    }
   }
   // 2. Durable commit point.
   log_->SetState(ctx->slot, TxState::kCommitted);
   // 3. Redo: install the staged values over the originals (replayed by
   //    recovery if we crash mid-install).
-  bool installed = false;
-  for (const Intent& in : ctx->intents) {
-    if (in.kind == IntentKind::kRedoWrite) {
-      std::memcpy(pool()->At(in.offset), pool()->At(in.aux), in.size);
-      pool()->Flush(pool()->At(in.offset), in.size);
-      installed = true;
+  {
+    nvm::PersistSiteScope site("redo/install");
+    bool installed = false;
+    for (const Intent& in : ctx->intents) {
+      if (in.kind == IntentKind::kRedoWrite) {
+        std::memcpy(pool()->At(in.offset), pool()->At(in.aux), in.size);
+        pool()->Flush(pool()->At(in.offset), in.size);
+        installed = true;
+      }
     }
-  }
-  if (installed) {
-    pool()->Drain();
+    if (installed) {
+      pool()->Drain();
+    }
   }
   // 4. Deferred frees, then release.
   for (const Intent& in : ctx->intents) {
@@ -148,6 +154,7 @@ Status RedoLogEngine::Abort(TxContext* ctx) {
 }
 
 Status RedoLogEngine::Recover() {
+  nvm::PersistSiteScope site("engine/recover");
   std::vector<RecoveredTx> txs = log_->ScanForRecovery();
   for (const RecoveredTx& tx : txs) {
     SlotHandle handle = log_->HandleForRecovered(tx);

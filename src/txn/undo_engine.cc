@@ -30,7 +30,10 @@ Result<void*> UndoLogEngine::OpenWrite(TxContext* ctx, uint64_t offset, uint64_t
     return payload.status();
   }
   std::memcpy(pool()->At(*payload), pool()->At(offset), size);
-  pool()->Flush(pool()->At(*payload), size);
+  {
+    nvm::PersistSiteScope site("undo/snapshot");
+    pool()->Flush(pool()->At(*payload), size);
+  }
   // Record + snapshot become durable together on this record's drain.
   KAMINO_RETURN_IF_ERROR(
       log_->AppendRecord(ctx->slot, IntentKind::kWrite, offset, size, *payload));
@@ -107,6 +110,7 @@ Status UndoLogEngine::Abort(TxContext* ctx) {
     return Status::Ok();
   }
   log_->SetState(ctx->slot, TxState::kAborted);
+  nvm::PersistSiteScope site("engine/abort-rollback");
   for (auto it = ctx->intents.rbegin(); it != ctx->intents.rend(); ++it) {
     switch (it->kind) {
       case IntentKind::kWrite:
@@ -129,6 +133,7 @@ Status UndoLogEngine::Abort(TxContext* ctx) {
 }
 
 Status UndoLogEngine::Recover() {
+  nvm::PersistSiteScope site("engine/recover");
   std::vector<RecoveredTx> txs = log_->ScanForRecovery();
   for (const RecoveredTx& tx : txs) {
     SlotHandle handle = log_->HandleForRecovered(tx);

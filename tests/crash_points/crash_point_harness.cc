@@ -1,0 +1,388 @@
+#include "tests/crash_points/crash_point_harness.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "src/pds/bplus_tree.h"
+#include "tests/test_util.h"
+
+namespace kamino::testing {
+namespace {
+
+// The marker lives far above every workload key so sweeps never collide.
+constexpr uint64_t kProgressKey = 1'000'000;
+
+using Model = std::map<uint64_t, std::string>;
+
+struct WorkloadOp {
+  bool is_delete = false;
+  uint64_t key = 0;
+  std::string value;
+};
+
+// The fixed, deterministic workload: upserts over a 10-key space with a
+// delete every fourth op (when the victim exists). Values are padded past a
+// cache line so the write set spans several flush events.
+std::vector<WorkloadOp> BuildWorkload(uint64_t num_ops) {
+  std::vector<WorkloadOp> ops;
+  ops.reserve(num_ops);
+  Model scratch;
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    WorkloadOp op;
+    op.key = 1 + (i * 7) % 10;
+    if (i % 4 == 3 && scratch.count(op.key) != 0) {
+      op.is_delete = true;
+      scratch.erase(op.key);
+    } else {
+      op.value = "v" + std::to_string(i) +
+                 std::string(72, static_cast<char>('a' + static_cast<char>(i % 26)));
+      scratch[op.key] = op.value;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+// models[j] is the expected tree content after the first j ops committed
+// (progress marker included).
+std::vector<Model> BuildModels(const std::vector<WorkloadOp>& ops) {
+  std::vector<Model> models;
+  models.reserve(ops.size() + 1);
+  models.emplace_back();
+  Model cur;
+  for (uint64_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].is_delete) {
+      cur.erase(ops[i].key);
+    } else {
+      cur[ops[i].key] = ops[i].value;
+    }
+    cur[kProgressKey] = std::to_string(i + 1);
+    models.push_back(cur);
+  }
+  return models;
+}
+
+struct LiveSystem {
+  test::CrashableSystem sys;
+  std::unique_ptr<pds::BPlusTree> tree;
+  uint64_t anchor = 0;
+};
+
+Result<LiveSystem> StartSystem(const CrashPointOptions& options) {
+  LiveSystem live;
+  live.sys = test::CrashableSystem::Create(options.engine, options.pool_size,
+                                           /*alpha=*/0.25, options.applier_threads);
+  Result<std::unique_ptr<pds::BPlusTree>> tree = pds::BPlusTree::Create(live.sys.mgr.get());
+  if (!tree.ok()) {
+    return tree.status();
+  }
+  live.tree = std::move(*tree);
+  live.anchor = live.tree->anchor();
+  live.sys.mgr->WaitIdle();
+  return live;
+}
+
+void InstallObserver(LiveSystem& live, CrashScheduler* scheduler) {
+  live.sys.main_pool->SetPersistenceObserver(scheduler);
+  if (live.sys.backup_pool != nullptr) {
+    live.sys.backup_pool->SetPersistenceObserver(scheduler);
+  }
+}
+
+void UninstallObserver(LiveSystem& live) {
+  live.sys.main_pool->SetPersistenceObserver(nullptr);
+  if (live.sys.backup_pool != nullptr) {
+    live.sys.backup_pool->SetPersistenceObserver(nullptr);
+  }
+}
+
+// Executes ops in order, one transaction each (op + progress marker),
+// waiting for the applier after every op so the event stream is serial.
+// Stops at the first op boundary after the scheduler's crash point fires.
+// Returns the per-op event-count boundaries: boundaries[i] = events observed
+// once op i-1 is fully durable (boundaries[0] = 0).
+Result<std::vector<uint64_t>> RunOps(LiveSystem& live, const std::vector<WorkloadOp>& ops,
+                                     CrashScheduler* scheduler) {
+  std::vector<uint64_t> boundaries;
+  boundaries.push_back(0);
+  for (uint64_t i = 0; i < ops.size(); ++i) {
+    const WorkloadOp& op = ops[i];
+    auto guard = live.tree->LockExclusive();
+    Status st = live.sys.mgr->Run([&](txn::Tx& tx) -> Status {
+      if (op.is_delete) {
+        KAMINO_RETURN_IF_ERROR(live.tree->DeleteInTx(tx, op.key));
+      } else {
+        KAMINO_RETURN_IF_ERROR(live.tree->UpsertInTx(tx, op.key, op.value));
+      }
+      return live.tree->UpsertInTx(tx, kProgressKey, std::to_string(i + 1));
+    });
+    if (!st.ok()) {
+      return st;
+    }
+    live.sys.mgr->WaitIdle();
+    boundaries.push_back(scheduler->event_count());
+    if (scheduler->crashed()) {
+      break;  // The machine is dead; stop at the op boundary.
+    }
+  }
+  return boundaries;
+}
+
+// "Power-cycles" the machine: volatile state dies, both pools lose unflushed
+// lines, then heap + manager reattach through the recovery path. The
+// scheduler is disarmed first so recovery's own persistence takes effect.
+Status CrashAndRecover(LiveSystem& live, CrashScheduler* scheduler) {
+  live.tree.reset();
+  live.sys.mgr.reset();  // Appliers drain; their persists are still vetoed.
+  live.sys.heap.reset();
+  scheduler->Disarm();
+  UninstallObserver(live);
+  KAMINO_RETURN_IF_ERROR(live.sys.main_pool->Crash(nvm::CrashMode::kDropUnflushed));
+  if (live.sys.backup_pool != nullptr) {
+    KAMINO_RETURN_IF_ERROR(live.sys.backup_pool->Crash(nvm::CrashMode::kDropUnflushed));
+  }
+  Result<std::unique_ptr<heap::Heap>> h = heap::Heap::Attach(live.sys.main_pool.get());
+  if (!h.ok()) {
+    return h.status();
+  }
+  live.sys.heap = std::move(*h);
+  Result<std::unique_ptr<txn::TxManager>> m =
+      txn::TxManager::Open(live.sys.heap.get(), live.sys.options);
+  if (!m.ok()) {
+    return m.status();
+  }
+  live.sys.mgr = std::move(*m);
+  return Status::Ok();
+}
+
+std::string ReplayHint(const CrashPointOptions& options, uint64_t k) {
+  std::ostringstream os;
+  os << " [replay: engine=" << EngineName(options.engine) << " num_ops=" << options.num_ops
+     << " pool_mb=" << (options.pool_size >> 20) << " crash_ordinal=" << k;
+  if (!options.suppress_site.empty()) {
+    os << " suppress_site=" << options.suppress_site
+       << " suppress_kind=" << nvm::PersistEventKindName(options.suppress_kind);
+  }
+  os << "]";
+  return os.str();
+}
+
+// Runs one injection at crash point k and appends any failure to `report`.
+void RunInjection(const CrashPointOptions& options, uint64_t k,
+                  const std::vector<WorkloadOp>& ops, const std::vector<Model>& models,
+                  const std::vector<CrashScheduler::EventRecord>& count_trace,
+                  const std::vector<uint64_t>& count_boundaries, CrashPointReport* report) {
+  const std::string fatal_site =
+      k >= 1 && k <= count_trace.size() ? count_trace[k - 1].site : "unknown";
+  auto fail = [&](const std::string& what) {
+    CrashPointFailure f;
+    f.crash_ordinal = k;
+    f.site = fatal_site;
+    f.message = what + ReplayHint(options, k);
+    report->failures.push_back(std::move(f));
+  };
+
+  Result<LiveSystem> started = StartSystem(options);
+  if (!started.ok()) {
+    fail("system setup failed: " + started.status().ToString());
+    return;
+  }
+  LiveSystem live = std::move(*started);
+  CrashScheduler scheduler;
+  InstallObserver(live, &scheduler);
+  scheduler.ArmInjection(k);
+  if (!options.suppress_site.empty()) {
+    scheduler.SuppressSite(options.suppress_site, options.suppress_kind);
+  }
+  Result<std::vector<uint64_t>> run = RunOps(live, ops, &scheduler);
+  if (!run.ok()) {
+    scheduler.Disarm();
+    UninstallObserver(live);
+    fail("workload op failed before the crash point: " + run.status().ToString());
+    return;
+  }
+
+  const std::vector<CrashScheduler::EventRecord> inj_trace = scheduler.trace();
+  Status rec = CrashAndRecover(live, &scheduler);
+  if (!rec.ok()) {
+    fail("recovery failed: " + rec.ToString());
+    return;
+  }
+
+  // Determinism: the pre-crash prefix must replay the count pass exactly.
+  const size_t prefix = std::min<size_t>(k - 1, std::min(inj_trace.size(), count_trace.size()));
+  for (size_t i = 0; i < prefix; ++i) {
+    if (inj_trace[i].kind != count_trace[i].kind || inj_trace[i].site != count_trace[i].site) {
+      std::ostringstream os;
+      os << "nondeterministic event stream: event " << (i + 1) << " was "
+         << nvm::PersistEventKindName(count_trace[i].kind) << "@" << count_trace[i].site
+         << " in the count pass but " << nvm::PersistEventKindName(inj_trace[i].kind) << "@"
+         << inj_trace[i].site << " in the injection run";
+      fail(os.str());
+      return;
+    }
+  }
+
+  if (!options.check_data) {
+    return;  // Weak tier: recovery + determinism only.
+  }
+
+  Result<std::unique_ptr<pds::BPlusTree>> attached =
+      pds::BPlusTree::Attach(live.sys.mgr.get(), live.anchor);
+  if (!attached.ok()) {
+    fail("tree attach failed after recovery: " + attached.status().ToString());
+    return;
+  }
+  std::unique_ptr<pds::BPlusTree> tree = std::move(*attached);
+  Status valid = tree->Validate();
+  if (!valid.ok()) {
+    fail("tree invariants violated after recovery: " + valid.ToString());
+    return;
+  }
+
+  // The progress marker names the committed prefix j.
+  uint64_t j = 0;
+  Result<std::string> marker = tree->Get(kProgressKey);
+  if (marker.ok()) {
+    for (char c : *marker) {
+      if (c < '0' || c > '9') {
+        fail("progress marker is not a number: \"" + *marker + "\"");
+        return;
+      }
+      j = j * 10 + static_cast<uint64_t>(c - '0');
+    }
+  } else if (marker.status().code() != StatusCode::kNotFound) {
+    fail("progress marker read failed: " + marker.status().ToString());
+    return;
+  }
+  if (j > ops.size()) {
+    fail("progress marker " + std::to_string(j) + " exceeds workload size");
+    return;
+  }
+
+  // Durability: every op whose final persistence event precedes k survived.
+  uint64_t ops_durable = 0;
+  while (ops_durable + 1 < count_boundaries.size() && count_boundaries[ops_durable + 1] <= k - 1) {
+    ++ops_durable;
+  }
+  if (j < ops_durable) {
+    std::ostringstream os;
+    os << "durability lost: op " << ops_durable << " finished persisting before the crash"
+       << " but recovery reports only " << j << " ops committed";
+    fail(os.str());
+    return;
+  }
+
+  // Atomicity: recovered contents equal the model after op j exactly.
+  const Model& expect = models[j];
+  const uint64_t count = tree->CountSlow();
+  if (count != expect.size()) {
+    std::ostringstream os;
+    os << "committed prefix mismatch: recovered tree has " << count << " keys but model after op "
+       << j << " has " << expect.size();
+    fail(os.str());
+    return;
+  }
+  for (const auto& [key, value] : expect) {
+    Result<std::string> got = tree->Get(key);
+    if (!got.ok() || *got != value) {
+      std::ostringstream os;
+      os << "committed data mismatch at key " << key << " after op " << j << ": expected \""
+         << value.substr(0, 16) << "...\" got "
+         << (got.ok() ? "\"" + got->substr(0, 16) + "...\"" : got.status().ToString());
+      fail(os.str());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const char* EngineName(txn::EngineType engine) {
+  switch (engine) {
+    case txn::EngineType::kKaminoSimple:
+      return "kamino-simple";
+    case txn::EngineType::kKaminoDynamic:
+      return "kamino-dynamic";
+    case txn::EngineType::kUndoLog:
+      return "undo";
+    case txn::EngineType::kCow:
+      return "cow";
+    case txn::EngineType::kRedoLog:
+      return "redo";
+    case txn::EngineType::kNoLogging:
+      return "nolog";
+    case txn::EngineType::kChainReplica:
+      return "chain-replica";
+  }
+  return "unknown";
+}
+
+std::string CrashPointReport::Summary() const {
+  std::ostringstream os;
+  os << "crash-point sweep: " << points_tested << "/" << total_events << " points tested, "
+     << failures.size() << " failure(s)";
+  for (const CrashPointFailure& f : failures) {
+    os << "\n  ordinal " << f.crash_ordinal << " (" << f.site << "): " << f.message;
+  }
+  return os.str();
+}
+
+CrashPointReport EnumerateCrashPoints(const CrashPointOptions& options) {
+  CrashPointReport report;
+  const std::vector<WorkloadOp> ops = BuildWorkload(options.num_ops);
+  const std::vector<Model> models = BuildModels(ops);
+
+  // --- Count pass: discover the event space and the per-op boundaries. ------
+  std::vector<CrashScheduler::EventRecord> count_trace;
+  std::vector<uint64_t> count_boundaries;
+  {
+    Result<LiveSystem> started = StartSystem(options);
+    if (!started.ok()) {
+      CrashPointFailure f;
+      f.message = "count pass setup failed: " + started.status().ToString();
+      report.failures.push_back(std::move(f));
+      return report;
+    }
+    LiveSystem live = std::move(*started);
+    CrashScheduler scheduler;
+    InstallObserver(live, &scheduler);
+    scheduler.ArmCounting();
+    if (!options.suppress_site.empty()) {
+      scheduler.SuppressSite(options.suppress_site, options.suppress_kind);
+    }
+    Result<std::vector<uint64_t>> boundaries = RunOps(live, ops, &scheduler);
+    scheduler.Disarm();
+    UninstallObserver(live);
+    if (!boundaries.ok()) {
+      CrashPointFailure f;
+      f.message = "count pass workload failed: " + boundaries.status().ToString();
+      report.failures.push_back(std::move(f));
+      return report;
+    }
+    count_boundaries = std::move(*boundaries);
+    count_trace = scheduler.trace();
+    report.total_events = scheduler.event_count();
+  }
+  if (report.total_events == 0) {
+    CrashPointFailure f;
+    f.message = "count pass observed no persistence events; hook not wired?";
+    report.failures.push_back(std::move(f));
+    return report;
+  }
+
+  // --- Injection sweep. -----------------------------------------------------
+  for (uint64_t k = options.start; k <= report.total_events; k += options.stride) {
+    if (options.max_points != 0 && report.points_tested >= options.max_points) {
+      break;
+    }
+    ++report.points_tested;
+    RunInjection(options, k, ops, models, count_trace, count_boundaries, &report);
+  }
+  return report;
+}
+
+}  // namespace kamino::testing

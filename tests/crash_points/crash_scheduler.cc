@@ -1,0 +1,79 @@
+#include "tests/crash_points/crash_scheduler.h"
+
+namespace kamino::testing {
+
+void CrashScheduler::ArmCounting() {
+  std::lock_guard<std::mutex> lk(mu_);
+  mode_ = Mode::kCounting;
+  next_ordinal_ = 0;
+  crash_at_ = 0;
+  crashed_ = false;
+  suppress_enabled_ = false;
+  trace_.clear();
+}
+
+void CrashScheduler::ArmInjection(uint64_t crash_at) {
+  std::lock_guard<std::mutex> lk(mu_);
+  mode_ = Mode::kInjection;
+  next_ordinal_ = 0;
+  crash_at_ = crash_at;
+  crashed_ = false;
+  suppress_enabled_ = false;
+  trace_.clear();
+}
+
+void CrashScheduler::SuppressSite(std::string site, nvm::PersistEventKind kind) {
+  std::lock_guard<std::mutex> lk(mu_);
+  suppress_site_ = std::move(site);
+  suppress_kind_ = kind;
+  suppress_enabled_ = true;
+}
+
+void CrashScheduler::Disarm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  mode_ = Mode::kDisarmed;
+  crash_at_ = 0;
+  suppress_enabled_ = false;
+}
+
+bool CrashScheduler::OnPersistEvent(const nvm::PersistEvent& event) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (mode_ == Mode::kDisarmed) {
+    return true;
+  }
+  const uint64_t ordinal = ++next_ordinal_;
+  EventRecord rec;
+  rec.kind = event.kind;
+  rec.site = event.site;
+
+  bool allow = true;
+  if (mode_ == Mode::kInjection && crash_at_ != 0 && ordinal >= crash_at_) {
+    // The machine lost power at event crash_at_; nothing after it persists.
+    crashed_ = true;
+    allow = false;
+  }
+  if (allow && suppress_enabled_ && event.kind == suppress_kind_ &&
+      suppress_site_ == event.site) {
+    allow = false;
+  }
+  rec.suppressed = !allow;
+  trace_.push_back(std::move(rec));
+  return allow;
+}
+
+uint64_t CrashScheduler::event_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_ordinal_;
+}
+
+bool CrashScheduler::crashed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return crashed_;
+}
+
+std::vector<CrashScheduler::EventRecord> CrashScheduler::trace() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return trace_;
+}
+
+}  // namespace kamino::testing

@@ -1,0 +1,97 @@
+// Deterministic crash-point scheduler: a PersistenceObserver that numbers
+// every flush/drain across one or more pools and can simulate a whole-machine
+// power failure at an exact persistence event.
+//
+// Modes (composable):
+//   - Counting: record every event (ordinal, kind, site) and let it through.
+//     A first "count pass" over a workload discovers the event space.
+//   - Injection (`crash_at` = k): events 1..k-1 pass; event k and everything
+//     after it is vetoed. A veto suppresses the durability effect only — the
+//     workload keeps executing on the working image, exactly as a CPU keeps
+//     running on cached data after its NVDIMM stops accepting write-backs.
+//     The harness stops at the next operation boundary and power-cycles the
+//     pools, so the persistent image is precisely "all durability up to
+//     event k-1".
+//   - Site suppression: veto every event whose site tag matches. Models an
+//     engine that forgot a persistence barrier at that boundary (the
+//     deliberately-broken-variant tests), without touching production code.
+//
+// One scheduler is installed on *all* of a machine's pools (main + backup):
+// a power failure takes the machine down as a whole, so the ordinal stream is
+// global across pools. Vetoed events still receive ordinals — suppression
+// does not change control flow, so the event stream is identical with and
+// without it, which keeps count-pass ordinals valid for injection runs.
+//
+// Thread safety: OnPersistEvent takes an internal mutex; concurrent flushes
+// from applier threads serialize through it. Determinism of the *order* is
+// the harness's job (single mutator + WaitIdle at every op boundary).
+
+#ifndef TESTS_CRASH_POINTS_CRASH_SCHEDULER_H_
+#define TESTS_CRASH_POINTS_CRASH_SCHEDULER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/nvm/persist_hook.h"
+
+namespace kamino::testing {
+
+class CrashScheduler : public nvm::PersistenceObserver {
+ public:
+  struct EventRecord {
+    nvm::PersistEventKind kind;
+    std::string site;
+    bool suppressed = false;  // Vetoed by injection or site suppression.
+  };
+
+  CrashScheduler() = default;
+  CrashScheduler(const CrashScheduler&) = delete;
+  CrashScheduler& operator=(const CrashScheduler&) = delete;
+
+  // Record events and let them through (count pass). Resets all state.
+  void ArmCounting();
+
+  // Crash at persistence event `crash_at` (1-based): that event and every
+  // later one is vetoed. Resets all state; site suppression survives only if
+  // re-set afterwards.
+  void ArmInjection(uint64_t crash_at);
+
+  // Additionally veto every event of `kind` whose site tag equals `site`.
+  // Composes with either mode; set after Arm*().
+  void SuppressSite(std::string site, nvm::PersistEventKind kind);
+
+  // Stop vetoing and stop recording; subsequent events pass untouched.
+  // Must be called before recovery so recovery's persists take effect.
+  void Disarm();
+
+  bool OnPersistEvent(const nvm::PersistEvent& event) override;
+
+  // Total events observed since the last Arm*() (including vetoed ones).
+  uint64_t event_count() const;
+
+  // True once the injection point has fired.
+  bool crashed() const;
+
+  // Events observed since the last Arm*(), in ordinal order (index 0 is
+  // ordinal 1).
+  std::vector<EventRecord> trace() const;
+
+ private:
+  enum class Mode { kDisarmed, kCounting, kInjection };
+
+  mutable std::mutex mu_;
+  Mode mode_ = Mode::kDisarmed;
+  uint64_t next_ordinal_ = 0;
+  uint64_t crash_at_ = 0;
+  bool crashed_ = false;
+  std::string suppress_site_;
+  nvm::PersistEventKind suppress_kind_ = nvm::PersistEventKind::kFlush;
+  bool suppress_enabled_ = false;
+  std::vector<EventRecord> trace_;
+};
+
+}  // namespace kamino::testing
+
+#endif  // TESTS_CRASH_POINTS_CRASH_SCHEDULER_H_

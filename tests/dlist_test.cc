@@ -136,7 +136,7 @@ TEST_P(DListTest, AbortedSpliceRestoresNeighbours) {
   sys_.mgr->WaitIdle();
   // Mid-list crash-free abort: leak a transaction doing a splice by hand is
   // covered in crash tests; here we verify Erase's rollback via Run.
-  Status st = sys_.mgr->Run([&](txn::Tx& tx) -> Status {
+  Status st = sys_.mgr->Run([&](txn::Tx&) -> Status {
     // Splice 20 out manually (what Erase does), then abort.
     auto items = list_->Items();
     (void)items;
@@ -164,8 +164,9 @@ INSTANTIATE_TEST_SUITE_P(Engines, DListTest,
                                return "Cow";
                              case txn::EngineType::kNoLogging:
                                return "NoLogging";
+                             default:
+                               return "Unknown";
                            }
-                           return "Unknown";
                          });
 
 // Crash: an in-flight insert must not be visible after recovery (paper

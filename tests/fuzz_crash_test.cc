@@ -3,6 +3,11 @@
 // transactions and randomized power failures (kEvictRandomly). After every
 // recovery, all structural invariants must hold and all committed data must
 // match a volatile model exactly. Sweeps engines x seeds.
+//
+// EnumeratedCrashPoints complements the randomness with one systematic pass
+// per engine through the crash-point scheduler (tests/crash_points/): every
+// k-th persistence event of a small deterministic workload, instead of
+// whatever points the random seeds happen to hit.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +18,7 @@
 #include "src/pds/bplus_tree.h"
 #include "src/pds/hash_map.h"
 #include "src/pds/pqueue.h"
+#include "tests/crash_points/crash_point_harness.h"
 #include "tests/test_util.h"
 
 namespace kamino {
@@ -134,6 +140,19 @@ TEST_P(FuzzCrashTest, RandomOpsWithRandomCrashes) {
           << "in-flight write leaked into recovered state";
     }
   }
+}
+
+// One enumerated (non-random) pass per engine: a small workload, every 3rd
+// persistence event injected. Catches ordering bugs the random sweep's
+// eviction model can step over.
+TEST_P(FuzzCrashTest, EnumeratedCrashPoints) {
+  testing::CrashPointOptions options;
+  options.engine = GetParam();
+  options.num_ops = 4;
+  options.stride = 3;
+  testing::CrashPointReport report = testing::EnumerateCrashPoints(options);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_TRUE(report.ok()) << report.Summary();
 }
 
 INSTANTIATE_TEST_SUITE_P(Engines, FuzzCrashTest,

@@ -149,8 +149,9 @@ INSTANTIATE_TEST_SUITE_P(Engines, HashMapTest,
                                return "Cow";
                              case txn::EngineType::kNoLogging:
                                return "NoLogging";
+                             default:
+                               return "Unknown";
                            }
-                           return "Unknown";
                          });
 
 TEST(HashMapCrashTest, InterruptedPutInvisibleAfterRecovery) {

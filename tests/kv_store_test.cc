@@ -120,8 +120,9 @@ INSTANTIATE_TEST_SUITE_P(Engines, KvStoreTest,
                                return "Cow";
                              case txn::EngineType::kNoLogging:
                                return "NoLogging";
+                             default:
+                               return "Unknown";
                            }
-                           return "Unknown";
                          });
 
 // Full-stack crash: the store reopens from the heap root and recovers.

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare an applier_scaling bench run against the committed baseline.
+
+Matches sweep points by applier_threads and fails (exit 1) if any point's
+commit_to_applied_ops_per_sec dropped by more than --threshold (fraction)
+relative to the baseline. Faster-than-baseline is never an error.
+
+The bench is latency-injection bound (the backup drain *sleeps*), so
+commit->applied throughput is mostly machine-independent and a quick-mode run
+(fewer keys/ops) is comparable against the full baseline; the threshold
+absorbs the residual noise.
+
+Usage:
+  tools/check_bench_regression.py --baseline BENCH_applier_scaling.json \
+      --candidate build/bench/BENCH_applier_scaling.json --threshold 0.25
+
+Stdlib only by design: CI runners and the dev container have no pip.
+"""
+
+import argparse
+import json
+import sys
+
+METRIC = "commit_to_applied_ops_per_sec"
+
+
+def load_points(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    points = {}
+    for p in doc.get("results", []):
+        points[int(p["applier_threads"])] = float(p[METRIC])
+    if not points:
+        sys.exit(f"error: {path} has no sweep points under 'results'")
+    return points
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument("--candidate", required=True, help="freshly produced JSON")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max allowed fractional drop per point (default 0.25)")
+    args = ap.parse_args()
+
+    baseline = load_points(args.baseline)
+    candidate = load_points(args.candidate)
+
+    regressions = []
+    print(f"{'appliers':>8} {'baseline':>12} {'candidate':>12} {'ratio':>7}")
+    for threads in sorted(baseline):
+        if threads not in candidate:
+            print(f"{threads:>8} {baseline[threads]:>12.1f} {'missing':>12} {'-':>7}")
+            continue
+        ratio = candidate[threads] / baseline[threads] if baseline[threads] > 0 else 1.0
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            regressions.append((threads, ratio))
+            flag = "  << REGRESSION"
+        print(f"{threads:>8} {baseline[threads]:>12.1f} {candidate[threads]:>12.1f} "
+              f"{ratio:>7.2f}{flag}")
+
+    if regressions:
+        worst = min(regressions, key=lambda r: r[1])
+        print(f"\nFAIL: {len(regressions)} point(s) regressed more than "
+              f"{args.threshold:.0%} (worst: {worst[0]} appliers at "
+              f"{worst[1]:.2f}x baseline)")
+        return 1
+    print(f"\nOK: no point regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
