@@ -49,6 +49,11 @@ struct SweepPoint {
   double apply_lag_p50_us = 0;
   double apply_lag_p99_us = 0;
   uint64_t max_queue_depth = 0;
+  // Intent-log slot backpressure: how often clients blocked waiting for a
+  // free slot, and for how long in total. With clients outrunning the
+  // applier by construction, this is the visible face of the backpressure.
+  uint64_t blocked_acquires = 0;
+  double blocked_wait_ms = 0;
 };
 
 SweepPoint RunOnce(int applier_threads, uint64_t nkeys, uint64_t ops_per_thread,
@@ -144,6 +149,9 @@ SweepPoint RunOnce(int applier_threads, uint64_t nkeys, uint64_t ops_per_thread,
   p.apply_lag_p50_us = static_cast<double>(after.apply_lag_p50_ns) / 1000.0;
   p.apply_lag_p99_us = static_cast<double>(after.apply_lag_p99_ns) / 1000.0;
   p.max_queue_depth = max_depth.load();
+  p.blocked_acquires = after.log_blocked_acquires - before.log_blocked_acquires;
+  p.blocked_wait_ms =
+      static_cast<double>(after.log_blocked_wait_ns - before.log_blocked_wait_ns) / 1e6;
   return p;
 }
 
@@ -176,11 +184,13 @@ int main() {
     const SweepPoint& p = points.back();
     std::fprintf(stderr,
                  "  %.0f applied/s  (%llu applied, %.2fs, %.2f drains/txn, "
-                 "lag p50 %.0fus p99 %.0fus, max depth %llu)\n",
+                 "lag p50 %.0fus p99 %.0fus, max depth %llu, "
+                 "%llu blocked acquires / %.1fms)\n",
                  p.commit_to_applied_ops_per_sec,
                  static_cast<unsigned long long>(p.applied), p.elapsed_s,
                  p.backup_drains_per_txn, p.apply_lag_p50_us, p.apply_lag_p99_us,
-                 static_cast<unsigned long long>(p.max_queue_depth));
+                 static_cast<unsigned long long>(p.max_queue_depth),
+                 static_cast<unsigned long long>(p.blocked_acquires), p.blocked_wait_ms);
   }
 
   double base = points.front().commit_to_applied_ops_per_sec;
@@ -214,12 +224,14 @@ int main() {
                  "\"applied\": %llu, \"elapsed_s\": %.3f, \"backup_drains_per_txn\": %.3f, "
                  "\"apply_batches\": %llu, \"coalesced_ranges\": %llu, "
                  "\"apply_lag_p50_us\": %.1f, \"apply_lag_p99_us\": %.1f, "
-                 "\"max_queue_depth\": %llu}%s\n",
+                 "\"max_queue_depth\": %llu, \"blocked_acquires\": %llu, "
+                 "\"blocked_wait_ms\": %.2f}%s\n",
                  p.applier_threads, p.commit_to_applied_ops_per_sec,
                  static_cast<unsigned long long>(p.applied), p.elapsed_s,
                  p.backup_drains_per_txn, static_cast<unsigned long long>(p.apply_batches),
                  static_cast<unsigned long long>(p.coalesced_ranges), p.apply_lag_p50_us,
                  p.apply_lag_p99_us, static_cast<unsigned long long>(p.max_queue_depth),
+                 static_cast<unsigned long long>(p.blocked_acquires), p.blocked_wait_ms,
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");

@@ -96,6 +96,12 @@ struct YcsbResult {
   double critical_path_lines_per_op = 0;
   double background_lines_per_op = 0;
   double dependent_block_us_per_op = 0;
+  // Fence accounting (DESIGN.md §8): main-pool Flush/Drain calls per
+  // committed transaction. Drains are the ordering points (SFENCE) the
+  // commit critical path actually waits on; this is the number the
+  // fence-elision work drives down.
+  double main_flushes_per_txn = 0;
+  double main_drains_per_txn = 0;
 };
 
 // Runs `ops_per_thread` YCSB requests on each of `threads` client threads.
@@ -168,6 +174,8 @@ inline void SetYcsbCounters(::benchmark::State& state, const YcsbResult& res) {
   state.counters["cp_lines_per_op"] = res.critical_path_lines_per_op;
   state.counters["bg_lines_per_op"] = res.background_lines_per_op;
   state.counters["dep_block_us_per_op"] = res.dependent_block_us_per_op;
+  state.counters["flushes_per_txn"] = res.main_flushes_per_txn;
+  state.counters["drains_per_txn"] = res.main_drains_per_txn;
 }
 
 // RunYcsb plus persistence-work accounting around the run.
@@ -181,6 +189,7 @@ inline YcsbResult RunYcsbOnBundle(KvBundle* bundle, workload::YcsbWorkload workl
     backup_before = bundle->mgr->backup_pool()->stats();
   }
   const txn::LockStats locks_before = bundle->mgr->locks()->stats();
+  const txn::EngineStats engine_before = bundle->mgr->engine()->stats();
 
   YcsbResult res =
       RunYcsb(bundle->store.get(), workload, threads, ops_per_thread, nkeys, value_size);
@@ -200,6 +209,15 @@ inline YcsbResult RunYcsbOnBundle(KvBundle* bundle, workload::YcsbWorkload workl
   res.dependent_block_us_per_op =
       static_cast<double>(locks_after.total_block_ns - locks_before.total_block_ns) / 1000.0 /
       total_ops;
+  const txn::EngineStats engine_after = bundle->mgr->engine()->stats();
+  const double txns =
+      static_cast<double>(engine_after.committed - engine_before.committed);
+  if (txns > 0) {
+    res.main_flushes_per_txn =
+        static_cast<double>(main_after.flush_calls - main_before.flush_calls) / txns;
+    res.main_drains_per_txn =
+        static_cast<double>(main_after.drain_calls - main_before.drain_calls) / txns;
+  }
   return res;
 }
 

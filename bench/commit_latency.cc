@@ -1,0 +1,415 @@
+// Commit critical-path benchmark (ISSUE 4 acceptance benchmark).
+//
+// Measures what a client thread actually waits on between "update issued"
+// and "commit durable": the intent-log fences. After the dataset loads at
+// full speed, the main pool injects a per-drain latency
+// (KAMINO_BENCH_DRAIN_NS) as an overlappable sleep — the same modelling
+// choice as applier_scaling's backup drains: the stall is the device's, not
+// the core's, so concurrent drains overlap and other threads keep running
+// during one. The sweep compares the pre-change fence schedule
+// (LogOptions::legacy_fences, built into the binary precisely so the
+// baseline is measured and not remembered) against the
+// striped/elided/group-committed one across all engines and a client-thread
+// sweep on YCSB-A.
+//
+// Group commit note: with sleeping drains the leader's own drain IS the
+// coalescing window — committers that arrive while the current leader's
+// drain is in flight queue behind it and the next leader covers them all
+// with one drain (pipelined group commit). KAMINO_BENCH_GC_WINDOW_NS
+// therefore defaults to 0; a nonzero value additionally makes the leader
+// wait before draining, which only pays off when drains are cheap relative
+// to the kernel's sleep granularity (~60us on small hosts).
+//
+// Emits BENCH_commit_path.json. The summary block records the acceptance
+// numbers: Kamino drains-per-update-txn at 8 clients, legacy vs new, the
+// relative reduction (gate: >= 0.30), and the update p50s. Read transactions
+// never take a log slot (zero drains), so per-txn accounting divides by the
+// number of UPDATE transactions; both fence schedules are divided the same
+// way, so the reduction is unaffected by the read half of YCSB-A.
+//
+// Not a google-benchmark binary: the sweep is the product, and the JSON
+// schema feeds tools/check_bench_regression.py.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/heap/heap.h"
+#include "src/kv/kv_store.h"
+#include "src/stats/histogram.h"
+#include "src/txn/tx_manager.h"
+#include "src/workload/ycsb.h"
+
+namespace {
+
+using kamino::Result;
+using kamino::Status;
+using kamino::StatusCode;
+
+uint64_t EnvOr(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : def;
+}
+
+struct EngineRow {
+  const char* label;
+  kamino::txn::EngineType engine;
+  bool legacy_fences;
+};
+
+struct RunResult {
+  std::string engine;
+  const char* fences = "new";
+  int clients = 0;
+  double ops_per_sec = 0;
+  uint64_t update_txns = 0;
+  double update_p50_us = 0;
+  double update_p99_us = 0;
+  double flushes_per_txn = 0;
+  double drains_per_txn = 0;
+  uint64_t blocked_acquires = 0;
+  uint64_t group_commit_commits = 0;
+  uint64_t group_commit_leader_drains = 0;
+  // Main-pool drain deltas per PersistSiteScope, per update txn.
+  std::map<std::string, double> site_drains_per_txn;
+};
+
+RunResult RunOnce(const EngineRow& row, int clients, uint64_t nkeys,
+                  uint64_t ops_per_thread, uint64_t value_size, uint32_t drain_ns,
+                  uint64_t gc_window_ns) {
+  kamino::heap::HeapOptions hopts;
+  hopts.pool_size = nkeys * value_size * 3 + (96ull << 20);
+  hopts.flush_latency_ns = 0;  // Isolate the fences: only drains cost time.
+  auto heap = std::move(kamino::heap::Heap::Create(hopts).value());
+
+  kamino::txn::TxManagerOptions mopts;
+  mopts.engine = row.engine;
+  mopts.lock.timeout_ms = 30'000;
+  mopts.log.legacy_fences = row.legacy_fences;
+  mopts.log.group_commit_window_ns = row.legacy_fences ? 0 : gc_window_ns;
+  // A single applier shard so the queue concentrates and the batched slot
+  // release (one fence per apply batch, LogManager::ReleaseSlots) gets
+  // batches bigger than one; the backup drains sleep like the main pool's,
+  // so the pipeline keeps up by batching rather than by parallelism.
+  mopts.applier_threads = 1;
+  mopts.backup_drain_latency_ns = drain_ns;
+  mopts.backup_sleep_latency = true;
+  auto mgr = std::move(kamino::txn::TxManager::Create(heap.get(), mopts).value());
+  auto store = std::move(kamino::kv::KvStore::Create(mgr.get()).value());
+
+  for (uint64_t k = 0; k < nkeys; ++k) {
+    Status st = store->Upsert(k, kamino::workload::YcsbValue(k, value_size));
+    if (!st.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  mgr->WaitIdle();
+  // Load done: from here every drain of the main pool costs `drain_ns`,
+  // overlappable (see file comment).
+  heap->pool()->set_latency(0, drain_ns, /*sleep=*/true);
+
+  const kamino::nvm::PoolStats pool_before = heap->pool()->stats();
+  const std::vector<kamino::nvm::PoolSiteStats> sites_before = heap->pool()->site_stats();
+  const kamino::txn::EngineStats engine_before = mgr->engine()->stats();
+
+  kamino::stats::LatencyHistogram update_hist;
+  std::atomic<uint64_t> update_txns{0};
+  std::atomic<uint64_t> key_count{nkeys};
+
+  const uint64_t start_ns = kamino::stats::NowNanos();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(clients));
+  for (int t = 0; t < clients; ++t) {
+    workers.emplace_back([&, t] {
+      kamino::workload::YcsbGenerator gen(kamino::workload::YcsbWorkload::kA, nkeys,
+                                          &key_count, 0x1F83D9ABu + static_cast<uint64_t>(t));
+      const std::string value =
+          kamino::workload::YcsbValue(static_cast<uint64_t>(t), value_size);
+      uint64_t updates = 0;
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        const auto req = gen.Next();
+        Status st;
+        if (req.op == kamino::workload::YcsbOp::kRead) {
+          st = store->Read(req.key).status();
+        } else {
+          const uint64_t op_start = kamino::stats::NowNanos();
+          st = store->Update(req.key, value);
+          update_hist.Record(kamino::stats::NowNanos() - op_start);
+          ++updates;
+        }
+        if (!st.ok() && st.code() != StatusCode::kNotFound) {
+          std::fprintf(stderr, "op failed: %s\n", st.ToString().c_str());
+          std::abort();
+        }
+      }
+      update_txns.fetch_add(updates, std::memory_order_relaxed);
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  // Per-txn accounting must include the applier's release fence, so wait for
+  // the pipeline before sampling the counters.
+  mgr->WaitIdle();
+  const uint64_t elapsed_ns = kamino::stats::NowNanos() - start_ns;
+
+  const kamino::nvm::PoolStats pool_after = heap->pool()->stats();
+  const std::vector<kamino::nvm::PoolSiteStats> sites_after = heap->pool()->site_stats();
+  const kamino::txn::EngineStats engine_after = mgr->engine()->stats();
+
+  RunResult r;
+  r.engine = row.label;
+  r.fences = row.legacy_fences ? "legacy" : "new";
+  r.clients = clients;
+  const double secs = static_cast<double>(elapsed_ns) / 1e9;
+  r.ops_per_sec =
+      secs > 0 ? static_cast<double>(ops_per_thread) * clients / secs : 0;
+  r.update_txns = update_txns.load();
+  r.update_p50_us = static_cast<double>(update_hist.PercentileNs(50)) / 1000.0;
+  r.update_p99_us = static_cast<double>(update_hist.PercentileNs(99)) / 1000.0;
+  const double txns = static_cast<double>(r.update_txns);
+  if (txns > 0) {
+    r.flushes_per_txn =
+        static_cast<double>(pool_after.flush_calls - pool_before.flush_calls) / txns;
+    r.drains_per_txn =
+        static_cast<double>(pool_after.drain_calls - pool_before.drain_calls) / txns;
+    std::map<std::string, uint64_t> before_by_site;
+    for (const kamino::nvm::PoolSiteStats& s : sites_before) {
+      before_by_site[s.site] = s.drain_calls;
+    }
+    for (const kamino::nvm::PoolSiteStats& s : sites_after) {
+      const uint64_t delta = s.drain_calls - before_by_site[s.site];
+      if (delta > 0) {
+        r.site_drains_per_txn[s.site] = static_cast<double>(delta) / txns;
+      }
+    }
+  }
+  r.blocked_acquires = engine_after.log_blocked_acquires - engine_before.log_blocked_acquires;
+  r.group_commit_commits =
+      engine_after.group_commit_commits - engine_before.group_commit_commits;
+  r.group_commit_leader_drains =
+      engine_after.group_commit_leader_drains - engine_before.group_commit_leader_drains;
+  return r;
+}
+
+// Micro-demonstration of the write-set batch API: opening N objects one by
+// one drains N times; OpenWriteBatch flushes N records and drains once.
+struct BatchMicro {
+  uint64_t spans = 0;
+  uint64_t loop_drains = 0;
+  uint64_t batch_drains = 0;
+};
+
+BatchMicro RunBatchMicro() {
+  constexpr uint64_t kSpans = 8;
+  constexpr uint64_t kObjSize = 256;
+
+  kamino::heap::HeapOptions hopts;
+  hopts.pool_size = 64ull << 20;
+  auto heap = std::move(kamino::heap::Heap::Create(hopts).value());
+  kamino::txn::TxManagerOptions mopts;
+  mopts.engine = kamino::txn::EngineType::kKaminoSimple;
+  auto mgr = std::move(kamino::txn::TxManager::Create(heap.get(), mopts).value());
+
+  uint64_t offs[2][kSpans];
+  Status st = mgr->Run([&](kamino::txn::Tx& tx) -> Status {
+    for (auto& group : offs) {
+      for (uint64_t& off : group) {
+        Result<uint64_t> o = tx.Alloc(kObjSize);
+        if (!o.ok()) {
+          return o.status();
+        }
+        off = *o;
+      }
+    }
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "micro alloc failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  mgr->WaitIdle();
+
+  BatchMicro m;
+  m.spans = kSpans;
+  auto drains = [&] { return heap->pool()->stats().drain_calls; };
+
+  st = mgr->Run([&](kamino::txn::Tx& tx) -> Status {
+    const uint64_t d0 = drains();
+    for (uint64_t off : offs[0]) {
+      Result<void*> p = tx.OpenWrite(off, kObjSize);
+      if (!p.ok()) {
+        return p.status();
+      }
+      std::memset(*p, 0xA5, kObjSize);
+    }
+    m.loop_drains = drains() - d0;
+    return Status::Ok();
+  });
+  if (st.ok()) {
+    st = mgr->Run([&](kamino::txn::Tx& tx) -> Status {
+      kamino::txn::WriteSpan spans[kSpans];
+      void* ptrs[kSpans];
+      for (uint64_t i = 0; i < kSpans; ++i) {
+        spans[i].offset = offs[1][i];
+        spans[i].size = kObjSize;
+      }
+      const uint64_t d0 = drains();
+      Status bst = tx.OpenWriteBatch(spans, kSpans, ptrs);
+      if (!bst.ok()) {
+        return bst;
+      }
+      m.batch_drains = drains() - d0;
+      for (void* p : ptrs) {
+        std::memset(p, 0x5A, kObjSize);
+      }
+      return Status::Ok();
+    });
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "micro txn failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  mgr->WaitIdle();
+  return m;
+}
+
+void PrintRow(std::FILE* f, const RunResult& r, bool last) {
+  std::fprintf(f,
+               "    {\"engine\": \"%s\", \"fences\": \"%s\", \"clients\": %d, "
+               "\"ops_per_sec\": %.1f, \"update_txns\": %llu, "
+               "\"update_p50_us\": %.2f, \"update_p99_us\": %.2f, "
+               "\"flushes_per_txn\": %.3f, \"drains_per_txn\": %.3f, "
+               "\"blocked_acquires\": %llu, \"group_commit_commits\": %llu, "
+               "\"group_commit_leader_drains\": %llu, \"site_drains_per_txn\": {",
+               r.engine.c_str(), r.fences, r.clients, r.ops_per_sec,
+               static_cast<unsigned long long>(r.update_txns), r.update_p50_us,
+               r.update_p99_us, r.flushes_per_txn, r.drains_per_txn,
+               static_cast<unsigned long long>(r.blocked_acquires),
+               static_cast<unsigned long long>(r.group_commit_commits),
+               static_cast<unsigned long long>(r.group_commit_leader_drains));
+  size_t i = 0;
+  for (const auto& [site, per_txn] : r.site_drains_per_txn) {
+    std::fprintf(f, "%s\"%s\": %.3f", i++ > 0 ? ", " : "", site.c_str(), per_txn);
+  }
+  std::fprintf(f, "}}%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t nkeys = EnvOr("KAMINO_BENCH_KEYS", 4096);
+  const uint64_t ops_per_thread = EnvOr("KAMINO_BENCH_OPS", 1200);
+  const uint64_t value_size = EnvOr("KAMINO_BENCH_VALUE", 1024);
+  const uint32_t drain_ns = static_cast<uint32_t>(EnvOr("KAMINO_BENCH_DRAIN_NS", 40'000));
+  const uint64_t gc_window_ns = EnvOr("KAMINO_BENCH_GC_WINDOW_NS", 0);
+  const char* out_path = std::getenv("KAMINO_BENCH_JSON");
+  if (out_path == nullptr) {
+    out_path = "BENCH_commit_path.json";
+  }
+  if (nkeys == 0 || ops_per_thread == 0 || value_size == 0) {
+    std::fprintf(stderr,
+                 "invalid knobs: KAMINO_BENCH_KEYS/OPS/VALUE must be positive "
+                 "integers (unparsable values read as 0)\n");
+    return 2;
+  }
+
+  const EngineRow rows[] = {
+      // The pre-change fence schedule, rebuilt in-binary: the baseline the
+      // acceptance gate compares against.
+      {"kamino-simple", kamino::txn::EngineType::kKaminoSimple, /*legacy=*/true},
+      {"kamino-simple", kamino::txn::EngineType::kKaminoSimple, /*legacy=*/false},
+      {"kamino-dynamic", kamino::txn::EngineType::kKaminoDynamic, /*legacy=*/false},
+      {"undo-logging", kamino::txn::EngineType::kUndoLog, /*legacy=*/false},
+      {"copy-on-write", kamino::txn::EngineType::kCow, /*legacy=*/false},
+      {"redo-logging", kamino::txn::EngineType::kRedoLog, /*legacy=*/false},
+      {"no-logging", kamino::txn::EngineType::kNoLogging, /*legacy=*/false},
+  };
+  const int sweep[] = {1, 2, 4, 8};
+
+  std::vector<RunResult> results;
+  for (const EngineRow& row : rows) {
+    for (int clients : sweep) {
+      std::fprintf(stderr, "%s/%s clients=%d ...\n", row.label,
+                   row.legacy_fences ? "legacy" : "new", clients);
+      results.push_back(
+          RunOnce(row, clients, nkeys, ops_per_thread, value_size, drain_ns, gc_window_ns));
+      const RunResult& r = results.back();
+      std::fprintf(stderr,
+                   "  %.0f ops/s  p50 %.1fus p99 %.1fus  %.2f flushes/txn "
+                   "%.2f drains/txn  (%llu gc commits, %llu leader drains)\n",
+                   r.ops_per_sec, r.update_p50_us, r.update_p99_us, r.flushes_per_txn,
+                   r.drains_per_txn, static_cast<unsigned long long>(r.group_commit_commits),
+                   static_cast<unsigned long long>(r.group_commit_leader_drains));
+    }
+  }
+
+  const BatchMicro micro = RunBatchMicro();
+  std::fprintf(stderr, "batch micro: %llu spans, loop %llu drains vs batch %llu\n",
+               static_cast<unsigned long long>(micro.spans),
+               static_cast<unsigned long long>(micro.loop_drains),
+               static_cast<unsigned long long>(micro.batch_drains));
+
+  // Acceptance numbers: Kamino-Tx-Simple at 8 clients, legacy vs new.
+  const RunResult* legacy8 = nullptr;
+  const RunResult* new8 = nullptr;
+  for (const RunResult& r : results) {
+    if (r.engine == "kamino-simple" && r.clients == 8) {
+      (std::strcmp(r.fences, "legacy") == 0 ? legacy8 : new8) = &r;
+    }
+  }
+  const double reduction =
+      (legacy8 != nullptr && new8 != nullptr && legacy8->drains_per_txn > 0)
+          ? 1.0 - new8->drains_per_txn / legacy8->drains_per_txn
+          : 0;
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"commit_path\",\n");
+  std::fprintf(f, "  \"workload\": \"ycsb-a\",\n");
+  std::fprintf(f, "  \"keys\": %llu,\n", static_cast<unsigned long long>(nkeys));
+  std::fprintf(f, "  \"ops_per_client\": %llu,\n",
+               static_cast<unsigned long long>(ops_per_thread));
+  std::fprintf(f, "  \"value_size\": %llu,\n", static_cast<unsigned long long>(value_size));
+  std::fprintf(f, "  \"drain_latency_ns\": %u,\n", drain_ns);
+  std::fprintf(f, "  \"group_commit_window_ns\": %llu,\n",
+               static_cast<unsigned long long>(gc_window_ns));
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    PrintRow(f, results[i], i + 1 == results.size());
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"batch_open_micro\": {\"spans\": %llu, \"loop_drains\": %llu, "
+               "\"batch_drains\": %llu},\n",
+               static_cast<unsigned long long>(micro.spans),
+               static_cast<unsigned long long>(micro.loop_drains),
+               static_cast<unsigned long long>(micro.batch_drains));
+  std::fprintf(f, "  \"summary\": {\n");
+  std::fprintf(f, "    \"kamino_drains_per_txn_legacy_8c\": %.3f,\n",
+               legacy8 != nullptr ? legacy8->drains_per_txn : 0);
+  std::fprintf(f, "    \"kamino_drains_per_txn_new_8c\": %.3f,\n",
+               new8 != nullptr ? new8->drains_per_txn : 0);
+  std::fprintf(f, "    \"drains_reduction\": %.3f,\n", reduction);
+  std::fprintf(f, "    \"kamino_update_p50_legacy_8c_us\": %.2f,\n",
+               legacy8 != nullptr ? legacy8->update_p50_us : 0);
+  std::fprintf(f, "    \"kamino_update_p50_new_8c_us\": %.2f\n",
+               new8 != nullptr ? new8->update_p50_us : 0);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (drains/txn 8c: legacy %.2f -> new %.2f, -%.0f%%)\n",
+               out_path, legacy8 != nullptr ? legacy8->drains_per_txn : 0,
+               new8 != nullptr ? new8->drains_per_txn : 0, reduction * 100.0);
+  return 0;
+}

@@ -40,6 +40,8 @@ void BM_TpccFig1(::benchmark::State& state, txn::EngineType engine) {
   }
   const uint64_t txns_per_thread = EnvOr("KAMINO_BENCH_TPCC_TXNS", 2'000);
   for (auto _ : state) {
+    const nvm::PoolStats pool_before = bundle->heap->pool()->stats();
+    const txn::EngineStats engine_before = bundle->mgr->engine()->stats();
     const uint64_t start = stats::NowNanos();
     std::vector<std::thread> workers;
     std::atomic<uint64_t> failed{0};
@@ -57,9 +59,21 @@ void BM_TpccFig1(::benchmark::State& state, txn::EngineType engine) {
       w.join();
     }
     const double secs = static_cast<double>(stats::NowNanos() - start) / 1e9;
+    const nvm::PoolStats pool_after = bundle->heap->pool()->stats();
+    const txn::EngineStats engine_after = bundle->mgr->engine()->stats();
+    const double txns =
+        static_cast<double>(engine_after.committed - engine_before.committed);
     state.counters["Ktxn_per_sec"] =
         static_cast<double>(txns_per_thread) * kThreads / secs / 1000.0;
     state.counters["errors"] = static_cast<double>(failed.load());
+    state.counters["flushes_per_txn"] =
+        txns > 0
+            ? static_cast<double>(pool_after.flush_calls - pool_before.flush_calls) / txns
+            : 0;
+    state.counters["drains_per_txn"] =
+        txns > 0
+            ? static_cast<double>(pool_after.drain_calls - pool_before.drain_calls) / txns
+            : 0;
   }
 }
 

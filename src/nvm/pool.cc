@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -110,7 +111,7 @@ void Pool::SpinFor(uint32_t ns) const {
   if (ns == 0) {
     return;
   }
-  if (sleep_latency_) {
+  if (sleep_latency_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
     return;
   }
@@ -142,6 +143,10 @@ void Pool::Flush(const void* addr, uint64_t len) {
   if (track_stats_) {
     flush_calls_.fetch_add(1, std::memory_order_relaxed);
     lines_flushed_.fetch_add(lines, std::memory_order_relaxed);
+    if (SiteCell* cell = SiteCellFor(CurrentPersistSite())) {
+      cell->flush_calls.fetch_add(1, std::memory_order_relaxed);
+      cell->lines_flushed.fetch_add(lines, std::memory_order_relaxed);
+    }
   }
 
   if (crash_sim_) {
@@ -151,7 +156,7 @@ void Pool::Flush(const void* addr, uint64_t len) {
       std::memcpy(slot.data(), base_ + off, kCacheLineSize);
     }
   }
-  SpinFor(static_cast<uint32_t>(lines * flush_latency_ns_));
+  SpinFor(static_cast<uint32_t>(lines * flush_latency_ns_.load(std::memory_order_relaxed)));
 }
 
 void Pool::Drain() {
@@ -166,6 +171,9 @@ void Pool::Drain() {
   }
   if (track_stats_) {
     drain_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (SiteCell* cell = SiteCellFor(CurrentPersistSite())) {
+      cell->drain_calls.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (crash_sim_) {
     std::lock_guard<std::mutex> guard(mu_);
@@ -177,7 +185,7 @@ void Pool::Drain() {
     }
     staged_.clear();
   }
-  SpinFor(drain_latency_ns_);
+  SpinFor(drain_latency_ns_.load(std::memory_order_relaxed));
 }
 
 Status Pool::Crash(CrashMode mode, uint64_t seed, double survive_prob) {
@@ -204,6 +212,49 @@ Status Pool::Crash(CrashMode mode, uint64_t seed, double survive_prob) {
   }
   std::memcpy(base_, persistent_.get(), size_);
   return Status::Ok();
+}
+
+Pool::SiteCell* Pool::SiteCellFor(const char* tag) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a over the tag's content.
+  for (const char* p = tag; *p != '\0'; ++p) {
+    h = (h ^ static_cast<uint8_t>(*p)) * 1099511628211ull;
+  }
+  for (uint64_t probe = 0; probe < kMaxSiteCells; ++probe) {
+    SiteCell& cell = site_cells_[(h + probe) % kMaxSiteCells];
+    const char* cur = cell.tag.load(std::memory_order_acquire);
+    if (cur == nullptr) {
+      const char* expected = nullptr;
+      if (cell.tag.compare_exchange_strong(expected, tag, std::memory_order_acq_rel)) {
+        return &cell;
+      }
+      cur = expected;
+    }
+    if (cur == tag || std::strcmp(cur, tag) == 0) {
+      return &cell;
+    }
+  }
+  return nullptr;  // Table full: the site goes uncounted rather than blocking.
+}
+
+std::vector<PoolSiteStats> Pool::site_stats() const {
+  std::vector<PoolSiteStats> out;
+  for (const auto& cell : site_cells_) {
+    const char* tag = cell.tag.load(std::memory_order_acquire);
+    if (tag == nullptr) {
+      continue;
+    }
+    PoolSiteStats s;
+    s.site = tag;
+    s.flush_calls = cell.flush_calls.load(std::memory_order_relaxed);
+    s.lines_flushed = cell.lines_flushed.load(std::memory_order_relaxed);
+    s.drain_calls = cell.drain_calls.load(std::memory_order_relaxed);
+    if (s.flush_calls != 0 || s.lines_flushed != 0 || s.drain_calls != 0) {
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PoolSiteStats& a, const PoolSiteStats& b) { return a.site < b.site; });
+  return out;
 }
 
 bool Pool::IsPersisted(uint64_t offset, uint64_t len) const {

@@ -87,6 +87,17 @@ struct PoolStats {
   uint64_t bytes_persisted = 0;
 };
 
+// Per-PersistSiteScope breakdown of flush/drain activity (track_stats only).
+// Answers "which persistence boundary pays the fences?" — the measurement
+// behind the paper's minimum-cache-flushes claim and DESIGN.md §8's fence
+// accounting.
+struct PoolSiteStats {
+  std::string site;
+  uint64_t flush_calls = 0;
+  uint64_t lines_flushed = 0;
+  uint64_t drain_calls = 0;
+};
+
 class Pool {
  public:
   // Creates a new zero-initialized pool (truncates any existing backing file).
@@ -170,6 +181,25 @@ class Pool {
     lines_flushed_.store(0, std::memory_order_relaxed);
     drain_calls_.store(0, std::memory_order_relaxed);
     bytes_persisted_.store(0, std::memory_order_relaxed);
+    for (auto& cell : site_cells_) {
+      cell.flush_calls.store(0, std::memory_order_relaxed);
+      cell.lines_flushed.store(0, std::memory_order_relaxed);
+      cell.drain_calls.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Snapshot of the per-site counters, sorted by site name (deterministic
+  // output for benches/JSON). Empty when track_stats is off.
+  std::vector<PoolSiteStats> site_stats() const;
+
+  // Bench/test hook: re-aims the emulated persistence cost of a live pool —
+  // e.g. load a benchmark dataset at full speed, then measure with injected
+  // latency. `sleep` chooses overlappable stalls over spinning (see
+  // PoolOptions::sleep_latency).
+  void set_latency(uint32_t flush_ns, uint32_t drain_ns, bool sleep) {
+    flush_latency_ns_.store(flush_ns, std::memory_order_relaxed);
+    drain_latency_ns_.store(drain_ns, std::memory_order_relaxed);
+    sleep_latency_.store(sleep, std::memory_order_relaxed);
   }
 
  private:
@@ -178,15 +208,30 @@ class Pool {
   Status Init(const PoolOptions& options);
   void SpinFor(uint32_t ns) const;
 
+  // Fixed-capacity, lock-free open-addressed table of per-site counters.
+  // Site tags are string literals; cells are claimed once with CAS and keyed
+  // by string content (identical literals from different TUs may have
+  // distinct addresses). Returns nullptr if the table is full.
+  static constexpr uint64_t kMaxSiteCells = 64;
+  struct SiteCell {
+    std::atomic<const char*> tag{nullptr};
+    std::atomic<uint64_t> flush_calls{0};
+    std::atomic<uint64_t> lines_flushed{0};
+    std::atomic<uint64_t> drain_calls{0};
+  };
+  SiteCell* SiteCellFor(const char* tag);
+
   uint8_t* base_ = nullptr;
   uint64_t size_ = 0;
   bool file_backed_ = false;
   int fd_ = -1;
   bool crash_sim_ = false;
-  uint32_t flush_latency_ns_ = 0;
-  uint32_t drain_latency_ns_ = 0;
+  // Atomics so set_latency() can re-aim a live pool (bench hook) without
+  // racing the flush/drain paths; always accessed relaxed.
+  std::atomic<uint32_t> flush_latency_ns_{0};
+  std::atomic<uint32_t> drain_latency_ns_{0};
   bool track_stats_ = true;
-  bool sleep_latency_ = false;
+  std::atomic<bool> sleep_latency_{false};
 
   // Crash-sim state. `persistent_` mirrors `base_`; `staged_` holds snapshots
   // of flushed-but-not-fenced lines keyed by line offset. Guarded by `mu_`
@@ -199,6 +244,7 @@ class Pool {
   std::atomic<uint64_t> lines_flushed_{0};
   std::atomic<uint64_t> drain_calls_{0};
   std::atomic<uint64_t> bytes_persisted_{0};
+  std::array<SiteCell, kMaxSiteCells> site_cells_;
 
   std::atomic<PersistenceObserver*> observer_{nullptr};
 };

@@ -267,11 +267,6 @@ Status BPlusTree::DoInsert(txn::Tx& tx, uint64_t key, std::string_view value,
 Result<uint64_t> BPlusTree::FixChildForDelete(txn::Tx& tx, Node* parent, uint32_t child_idx,
                                               uint64_t key) {
   const uint64_t child_off = parent->slots[child_idx];
-  Result<void*> cw = tx.OpenWrite(child_off, sizeof(Node));
-  if (!cw.ok()) {
-    return cw.status();
-  }
-  auto* child = static_cast<Node*>(*cw);
 
   const Node* left_view = nullptr;
   const Node* right_view = nullptr;
@@ -285,13 +280,29 @@ Result<uint64_t> BPlusTree::FixChildForDelete(txn::Tx& tx, Node* parent, uint32_
     right_view = NodeView(tx, right_off);
   }
 
+  // Every rebalance touches the child plus exactly one sibling; open the pair
+  // as one batch so both intent records share a single drain.
+  auto open_pair = [&tx](uint64_t first, uint64_t second, Node** a, Node** b) -> Status {
+    txn::WriteSpan spans[2];
+    spans[0].offset = first;
+    spans[0].size = sizeof(Node);
+    spans[1].offset = second;
+    spans[1].size = sizeof(Node);
+    void* ptrs[2] = {nullptr, nullptr};
+    Status st = tx.OpenWriteBatch(spans, 2, ptrs);
+    if (!st.ok()) {
+      return st;
+    }
+    *a = static_cast<Node*>(ptrs[0]);
+    *b = static_cast<Node*>(ptrs[1]);
+    return Status::Ok();
+  };
+
   // Borrow from the left sibling.
   if (left_view != nullptr && left_view->num_keys > kMinKeys) {
-    Result<void*> lw = tx.OpenWrite(left_off, sizeof(Node));
-    if (!lw.ok()) {
-      return lw.status();
-    }
-    auto* left = static_cast<Node*>(*lw);
+    Node* child;
+    Node* left;
+    KAMINO_RETURN_IF_ERROR(open_pair(child_off, left_off, &child, &left));
     if (child->is_leaf) {
       for (uint32_t i = child->num_keys; i > 0; --i) {
         child->keys[i] = child->keys[i - 1];
@@ -320,11 +331,9 @@ Result<uint64_t> BPlusTree::FixChildForDelete(txn::Tx& tx, Node* parent, uint32_
 
   // Borrow from the right sibling.
   if (right_view != nullptr && right_view->num_keys > kMinKeys) {
-    Result<void*> rw = tx.OpenWrite(right_off, sizeof(Node));
-    if (!rw.ok()) {
-      return rw.status();
-    }
-    auto* right = static_cast<Node*>(*rw);
+    Node* child;
+    Node* right;
+    KAMINO_RETURN_IF_ERROR(open_pair(child_off, right_off, &child, &right));
     if (child->is_leaf) {
       child->keys[child->num_keys] = right->keys[0];
       child->slots[child->num_keys] = right->slots[0];
@@ -359,23 +368,21 @@ Result<uint64_t> BPlusTree::FixChildForDelete(txn::Tx& tx, Node* parent, uint32_
   uint64_t dst_off, src_off;
   uint32_t sep_idx;
   if (left_view != nullptr) {
-    Result<void*> lw = tx.OpenWrite(left_off, sizeof(Node));
-    if (!lw.ok()) {
-      return lw.status();
-    }
-    dst = static_cast<Node*>(*lw);
+    Node* child;
+    Node* left;
+    KAMINO_RETURN_IF_ERROR(open_pair(child_off, left_off, &child, &left));
+    dst = left;
     dst_off = left_off;
     src_view = child;
     src_off = child_off;
     sep_idx = child_idx - 1;
   } else {
-    Result<void*> rw = tx.OpenWrite(right_off, sizeof(Node));
-    if (!rw.ok()) {
-      return rw.status();
-    }
+    Node* child;
+    Node* right;
+    KAMINO_RETURN_IF_ERROR(open_pair(child_off, right_off, &child, &right));
     dst = child;
     dst_off = child_off;
-    src_view = static_cast<const Node*>(*rw);
+    src_view = right;
     src_off = right_off;
     sep_idx = child_idx;
   }

@@ -46,6 +46,74 @@ Result<void*> CowEngine::OpenWrite(TxContext* ctx, uint64_t offset, uint64_t siz
   return pool()->At(resv->offset);
 }
 
+Status CowEngine::OpenWriteBatch(TxContext* ctx, const WriteSpan* spans, size_t count,
+                                 void** out) {
+  // Two phases so the existing crash-ordering invariant (shadow record
+  // durable before any persistent allocator metadata changes) holds for the
+  // whole batch with a single drain: first reserve + flush every record,
+  // drain once, then commit the allocations and populate the shadows.
+  struct PendingSpan {
+    size_t span_index;
+    alloc::Reservation resv;
+    uint64_t size;
+  };
+  std::vector<PendingSpan> pending;
+  pending.reserve(count);
+  auto cancel_pending = [&] {
+    for (const PendingSpan& p : pending) {
+      heap_->allocator()->CancelAlloc(p.resv);
+    }
+  };
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t offset = spans[i].offset;
+    if (ctx->open_ranges.find(offset) != ctx->open_ranges.end()) {
+      continue;
+    }
+    Result<uint64_t> resolved = ResolveSize(offset, spans[i].size);
+    if (!resolved.ok()) {
+      cancel_pending();
+      return resolved.status();
+    }
+    const uint64_t size = *resolved;
+    Status st = EnsureSlot(ctx);
+    if (st.ok()) {
+      st = LockWrite(ctx, offset);
+    }
+    if (!st.ok()) {
+      cancel_pending();
+      return st;
+    }
+    Result<alloc::Reservation> resv = heap_->allocator()->PrepareAlloc(size);
+    if (!resv.ok()) {
+      cancel_pending();
+      return resv.status();
+    }
+    st = log_->AppendRecord(ctx->slot, IntentKind::kCowWrite, offset, size, resv->offset,
+                            /*drain=*/false);
+    if (!st.ok()) {
+      heap_->allocator()->CancelAlloc(*resv);
+      cancel_pending();
+      return st;
+    }
+    pending.push_back(PendingSpan{i, *resv, size});
+  }
+  if (!pending.empty()) {
+    log_->DrainAppends();
+  }
+  for (const PendingSpan& p : pending) {
+    heap_->allocator()->CommitAlloc(p.resv);
+    const uint64_t offset = spans[p.span_index].offset;
+    std::memcpy(pool()->At(p.resv.offset), pool()->At(offset), p.size);
+    ctx->open_ranges.emplace(offset, ctx->intents.size());
+    ctx->intents.push_back(Intent{IntentKind::kCowWrite, offset, p.size, p.resv.offset});
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const Intent& in = ctx->intents[ctx->open_ranges.at(spans[i].offset)];
+    out[i] = in.kind == IntentKind::kCowWrite ? pool()->At(in.aux) : pool()->At(in.offset);
+  }
+  return Status::Ok();
+}
+
 Result<uint64_t> CowEngine::Alloc(TxContext* ctx, uint64_t size) {
   KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
   Result<alloc::Reservation> resv = heap_->allocator()->PrepareAlloc(size);
@@ -75,7 +143,9 @@ Status CowEngine::Free(TxContext* ctx, uint64_t offset) {
     return size.status();
   }
   KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
-  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size));
+  // drain=false: deferred free — see KaminoEngine::Free and DESIGN.md §8.
+  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size, 0,
+                                            /*drain=*/false));
   ctx->intents.push_back(Intent{IntentKind::kFree, offset, *size, 0});
   return Status::Ok();
 }

@@ -26,6 +26,8 @@ class CowEngine : public EngineBase {
   // Returns a pointer to the *shadow* copy: all edits (and reads of the
   // object within this transaction) must go through it.
   Result<void*> OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) override;
+  Status OpenWriteBatch(TxContext* ctx, const WriteSpan* spans, size_t count,
+                        void** out) override;
   Result<uint64_t> Alloc(TxContext* ctx, uint64_t size) override;
   Status Free(TxContext* ctx, uint64_t offset) override;
   Status Commit(std::unique_ptr<TxContext> ctx) override;

@@ -18,10 +18,13 @@
 #ifndef SRC_TXN_ENGINE_H_
 #define SRC_TXN_ENGINE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/common/status.h"
+#include "src/nvm/pool.h"
 #include "src/txn/tx_context.h"
 
 namespace kamino::txn {
@@ -56,6 +59,22 @@ struct EngineStats {
   uint64_t apply_lag_p50_ns = 0;     // Commit-enqueue -> fully-applied lag.
   uint64_t apply_lag_p99_ns = 0;
   uint64_t apply_lag_max_ns = 0;
+
+  // Commit critical path (engines with an intent log; zero elsewhere).
+  uint64_t log_blocked_acquires = 0;   // Slot acquisitions that had to block.
+  uint64_t log_blocked_wait_ns = 0;    // Total time blocked on slot backpressure.
+  uint64_t group_commit_commits = 0;   // Commits durably covered by a group drain.
+  uint64_t group_commit_leader_drains = 0;  // Drains leaders actually issued.
+
+  // Per-PersistSiteScope flush/drain breakdown of the main pool (requires
+  // PoolOptions::track_stats). See DESIGN.md §8.
+  std::vector<nvm::PoolSiteStats> persist_sites;
+};
+
+// One span of a multi-intent write declaration (OpenWriteBatch).
+struct WriteSpan {
+  uint64_t offset = 0;
+  uint64_t size = 0;  // 0 = the whole object at `offset`.
 };
 
 class AtomicityEngine {
@@ -72,6 +91,23 @@ class AtomicityEngine {
   // for in-place engines; the shadow copy for CoW). Blocks if the range is
   // part of another transaction's pending set (dependent transaction).
   virtual Result<void*> OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) = 0;
+
+  // Declares write intent on `count` spans at once, returning each span's
+  // write-through pointer in `out[i]`. Logging engines override this to
+  // flush one intent record per span but pay a single drain for the whole
+  // batch ("N flushes, one fence") before any in-place store can happen.
+  // The default is the unbatched loop.
+  virtual Status OpenWriteBatch(TxContext* ctx, const WriteSpan* spans, size_t count,
+                                void** out) {
+    for (size_t i = 0; i < count; ++i) {
+      Result<void*> p = OpenWrite(ctx, spans[i].offset, spans[i].size);
+      if (!p.ok()) {
+        return p.status();
+      }
+      out[i] = *p;
+    }
+    return Status::Ok();
+  }
 
   // Transactionally allocates `size` bytes. The new object is write-locked
   // and rolled back (freed) if the transaction does not commit.

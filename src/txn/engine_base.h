@@ -22,6 +22,14 @@ class EngineBase : public AtomicityEngine {
     s.applied = applied_.load(std::memory_order_relaxed);
     s.recovered_forward = recovered_forward_.load(std::memory_order_relaxed);
     s.recovered_back = recovered_back_.load(std::memory_order_relaxed);
+    if (log_ != nullptr) {
+      const LogStats ls = log_->stats();
+      s.log_blocked_acquires = ls.blocked_acquires;
+      s.log_blocked_wait_ns = ls.blocked_wait_ns;
+      s.group_commit_commits = ls.group_commit_commits;
+      s.group_commit_leader_drains = ls.group_commit_leader_drains;
+    }
+    s.persist_sites = heap_->pool()->site_stats();
     return s;
   }
 

@@ -104,8 +104,54 @@ Status KaminoEngine::Free(TxContext* ctx, uint64_t offset) {
     return size.status();
   }
   KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
-  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size));
+  // drain=false: the free is deferred to post-commit, so the record only
+  // matters if the transaction commits — and the commit-point drain (or any
+  // earlier append's drain) makes it durable by then. A lost kFree record
+  // means a never-performed free, never corruption (DESIGN.md §8).
+  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size, 0,
+                                            /*drain=*/false));
   ctx->intents.push_back(Intent{IntentKind::kFree, offset, *size, 0});
+  return Status::Ok();
+}
+
+Status KaminoEngine::OpenWriteBatch(TxContext* ctx, const WriteSpan* spans, size_t count,
+                                    void** out) {
+  // One intent-record flush per span, a single drain for the whole batch,
+  // and only then are the write-through pointers released to the caller —
+  // every record is durable before the first in-place store can happen.
+  bool appended = false;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t offset = spans[i].offset;
+    out[i] = nullptr;
+    if (ctx->open_ranges.find(offset) != ctx->open_ranges.end()) {
+      continue;  // Already open (possibly via Alloc or an earlier span).
+    }
+    Result<uint64_t> resolved = ResolveSize(offset, spans[i].size);
+    if (!resolved.ok()) {
+      return resolved.status();
+    }
+    const uint64_t size = *resolved;
+    KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+    KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+    KAMINO_RETURN_IF_ERROR(store_->EnsureBackupCopy(offset, size, /*pin=*/true));
+    Status st = log_->AppendRecord(ctx->slot, IntentKind::kWrite, offset, size, 0,
+                                   /*drain=*/false);
+    if (!st.ok()) {
+      store_->Unpin(offset);
+      return st;
+    }
+    // Record the intent immediately so a failure on a later span leaves
+    // every appended span visible to Abort's rollback/unpin.
+    ctx->open_ranges.emplace(offset, ctx->intents.size());
+    ctx->intents.push_back(Intent{IntentKind::kWrite, offset, size, 0});
+    appended = true;
+  }
+  if (appended) {
+    log_->DrainAppends();
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = pool()->At(spans[i].offset);
+  }
   return Status::Ok();
 }
 
@@ -169,10 +215,15 @@ void KaminoEngine::ApplyCommitted(TxContext* ctx) {
         break;
     }
   }
-  // The batch apply has returned, so the backup is durable — only now may
-  // the slot go (a crash before this re-rolls the transaction forward).
-  log_->ReleaseSlot(ctx->slot);
-  // Freed slots become reusable only after the intent log no longer refers
+  // The batch apply has returned, so the backup is durable — the caller may
+  // now release the slot (a crash before that re-rolls the transaction
+  // forward, which is idempotent). Slot release and the post-release steps
+  // live in FinishApplied so the applier loop can share one release fence
+  // across a whole batch of transactions (LogManager::ReleaseSlots).
+}
+
+void KaminoEngine::FinishApplied(TxContext* ctx) {
+  // Freed objects become reusable only after the intent log no longer refers
   // to them (a recovered re-free must never hit a re-allocated object).
   for (const Intent& in : ctx->intents) {
     if (in.kind == IntentKind::kFree) {
@@ -187,9 +238,15 @@ void KaminoEngine::ApplyCommitted(TxContext* ctx) {
 }
 
 void KaminoEngine::ApplierLoop(size_t shard_index) {
+  // Bounds how many releases share one fence; also bounds how long write
+  // locks of the first transaction in a batch stay held past its apply.
+  constexpr size_t kMaxApplyBatch = 32;
   ApplierShard& shard = *shards_[shard_index];
+  std::vector<std::unique_ptr<TxContext>> batch;
+  std::vector<SlotHandle> slots;
   for (;;) {
-    std::unique_ptr<TxContext> ctx;
+    batch.clear();
+    slots.clear();
     {
       std::unique_lock<std::mutex> lk(shard.mu);
       shard.cv.wait(lk, [&] {
@@ -204,11 +261,23 @@ void KaminoEngine::ApplierLoop(size_t shard_index) {
         }
         continue;
       }
-      ctx = std::move(shard.queue.front());
-      shard.queue.pop_front();
+      while (!shard.queue.empty() && batch.size() < kMaxApplyBatch) {
+        batch.push_back(std::move(shard.queue.front()));
+        shard.queue.pop_front();
+      }
     }
-    ApplyCommitted(ctx.get());
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    for (auto& ctx : batch) {
+      ApplyCommitted(ctx.get());
+      slots.push_back(ctx->slot);
+      ctx->slot = SlotHandle{};
+    }
+    // Every backup apply in the batch is durable; one shared fence frees all
+    // the slots (see LogManager::ReleaseSlots for the ordering argument).
+    log_->ReleaseSlots(slots.data(), slots.size());
+    for (auto& ctx : batch) {
+      FinishApplied(ctx.get());
+    }
+    in_flight_.fetch_sub(batch.size(), std::memory_order_relaxed);
     // Empty critical section pairs with the WaitIdle predicate check: the
     // waiter either sees the decrement or gets this notification.
     { std::lock_guard<std::mutex> lk(idle_mu_); }

@@ -55,6 +55,8 @@ class KaminoEngine : public EngineBase {
 
   Status Begin(TxContext* ctx) override;
   Result<void*> OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) override;
+  Status OpenWriteBatch(TxContext* ctx, const WriteSpan* spans, size_t count,
+                        void** out) override;
   Result<uint64_t> Alloc(TxContext* ctx, uint64_t size) override;
   Status Free(TxContext* ctx, uint64_t offset) override;
   Status Commit(std::unique_ptr<TxContext> ctx) override;
@@ -92,9 +94,12 @@ class KaminoEngine : public EngineBase {
 
   void ApplierLoop(size_t shard_index);
   // Rolls a committed transaction forward into the backup (one batched
-  // apply, at most one drain) and releases its locks. Runs on an applier
+  // apply, at most one drain). The applier loop then releases the whole
+  // batch's slots behind one fence and calls FinishApplied per transaction
+  // (deferred-free reservations, write locks, stats). Both run on an applier
   // thread.
   void ApplyCommitted(TxContext* ctx);
+  void FinishApplied(TxContext* ctx);
 
   BackupStore* store_;
   bool dynamic_;

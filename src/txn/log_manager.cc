@@ -1,15 +1,48 @@
 #include "src/txn/log_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <functional>
+#include <thread>
 
 #include "src/common/cacheline.h"
 #include "src/common/checksum.h"
 
 namespace kamino::txn {
 
+namespace {
+
+// Generation keys make per-thread cache-cell lookups safe across LogManager
+// lifetimes: a thread-local entry from a destroyed manager can never match a
+// live manager's generation, so its dangling cell pointer is never followed.
+std::atomic<uint64_t> g_next_generation{1};
+
+struct TlsCacheEntry {
+  uint64_t generation = 0;
+  void* cell = nullptr;
+};
+// Small per-thread table of (manager generation -> cache cell). Eviction is
+// round-robin; an evicted entry's cell stays owned (and steal-scannable) by
+// its manager, so no slot is ever lost.
+constexpr int kTlsCacheEntries = 8;
+thread_local TlsCacheEntry t_cells[kTlsCacheEntries];
+thread_local uint32_t t_cells_rr = 0;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
 LogManager::LogManager(nvm::Pool* pool, uint64_t region_offset)
-    : pool_(pool), region_offset_(region_offset) {}
+    : pool_(pool),
+      region_offset_(region_offset),
+      generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+LogManager::~LogManager() = default;
 
 Result<std::unique_ptr<LogManager>> LogManager::Create(nvm::Pool* pool, uint64_t region_offset,
                                                        uint64_t region_size,
@@ -25,11 +58,19 @@ Result<std::unique_ptr<LogManager>> LogManager::Create(nvm::Pool* pool, uint64_t
   return lm;
 }
 
-Result<std::unique_ptr<LogManager>> LogManager::Open(nvm::Pool* pool, uint64_t region_offset) {
+Result<std::unique_ptr<LogManager>> LogManager::Open(nvm::Pool* pool, uint64_t region_offset,
+                                                     const LogOptions* runtime_options) {
   if (pool == nullptr) {
     return Status::InvalidArgument("null pool");
   }
   auto lm = std::unique_ptr<LogManager>(new LogManager(pool, region_offset));
+  if (runtime_options != nullptr) {
+    lm->num_stripes_ = runtime_options->freelist_stripes;
+    lm->group_commit_window_ns_ = runtime_options->group_commit_window_ns;
+    lm->legacy_fences_ = runtime_options->legacy_fences;
+  } else {
+    lm->num_stripes_ = LogOptions{}.freelist_stripes;
+  }
   Status st = lm->Attach();
   if (!st.ok()) {
     return st;
@@ -37,9 +78,26 @@ Result<std::unique_ptr<LogManager>> LogManager::Open(nvm::Pool* pool, uint64_t r
   return lm;
 }
 
+void LogManager::InitFreelists(const LogOptions& options) {
+  num_stripes_ = std::max<uint64_t>(1, std::min(options.freelist_stripes, num_slots_));
+  group_commit_window_ns_ = options.group_commit_window_ns;
+  legacy_fences_ = options.legacy_fences;
+  stripes_ = std::make_unique<Stripe[]>(num_stripes_);
+  for (uint64_t s = 0; s < num_stripes_; ++s) {
+    stripes_[s].head.store(kNilIndex, std::memory_order_relaxed);
+  }
+  next_ = std::make_unique<std::atomic<uint32_t>[]>(num_slots_);
+  for (uint64_t i = 0; i < num_slots_; ++i) {
+    next_[i].store(kNilIndex, std::memory_order_relaxed);
+  }
+}
+
 Status LogManager::Format(uint64_t region_size, const LogOptions& options) {
   if (options.num_slots == 0 || options.max_records == 0) {
     return Status::InvalidArgument("log options must be non-zero");
+  }
+  if (options.num_slots >= kNilIndex) {
+    return Status::InvalidArgument("num_slots exceeds freelist index width");
   }
   const uint64_t min_slot = kSlotHeaderSize + options.max_records * kRecordSize;
   if (options.slot_size < min_slot) {
@@ -52,6 +110,7 @@ Status LogManager::Format(uint64_t region_size, const LogOptions& options) {
   num_slots_ = options.num_slots;
   slot_size_ = options.slot_size;
   max_records_ = options.max_records;
+  InitFreelists(options);
 
   nvm::PersistSiteScope site("log/format");
   for (uint64_t i = 0; i < num_slots_; ++i) {
@@ -59,7 +118,7 @@ Status LogManager::Format(uint64_t region_size, const LogOptions& options) {
     h->state = static_cast<uint64_t>(TxState::kFree);
     h->txid = 0;
     pool_->Flush(h, sizeof(SlotHeader));
-    free_slots_.push_back(i);
+    PushStripe(HomeStripe(static_cast<uint32_t>(i)), static_cast<uint32_t>(i));
   }
   pool_->Drain();
 
@@ -85,35 +144,164 @@ Status LogManager::Attach() {
   num_slots_ = hdr->num_slots;
   slot_size_ = hdr->slot_size;
   max_records_ = hdr->max_records;
+  if (num_slots_ == 0 || num_slots_ >= kNilIndex) {
+    return Status::Corruption("log header num_slots out of range");
+  }
+  {
+    LogOptions runtime;
+    runtime.freelist_stripes = num_stripes_;
+    runtime.group_commit_window_ns = group_commit_window_ns_;
+    runtime.legacy_fences = legacy_fences_;
+    InitFreelists(runtime);
+  }
 
   for (uint64_t i = 0; i < num_slots_; ++i) {
     const SlotHeader* h = SlotHeaderAt(i);
     max_recovered_txid_ = std::max(max_recovered_txid_, h->txid);
     if (static_cast<TxState>(h->state) == TxState::kFree) {
-      free_slots_.push_back(i);
+      PushStripe(HomeStripe(static_cast<uint32_t>(i)), static_cast<uint32_t>(i));
     }
     // Non-free slots stay held until recovery resolves them.
   }
   return Status::Ok();
 }
 
-Result<SlotHandle> LogManager::AcquireSlot(uint64_t txid) {
-  uint64_t index;
-  {
-    std::unique_lock<std::mutex> lk(mu_);
-    slot_available_.wait(lk, [&] { return !free_slots_.empty(); });
-    index = free_slots_.back();
-    free_slots_.pop_back();
+uint64_t LogManager::PreferredStripe() const {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % num_stripes_;
+}
+
+void LogManager::PushStripe(uint64_t stripe, uint32_t slot) {
+  auto& head = stripes_[stripe].head;
+  uint64_t old = head.load(std::memory_order_relaxed);
+  for (;;) {
+    next_[slot].store(static_cast<uint32_t>(old), std::memory_order_relaxed);
+    const uint64_t aba = (old >> 32) + 1;
+    const uint64_t desired = (aba << 32) | slot;
+    if (head.compare_exchange_weak(old, desired, std::memory_order_release,
+                                   std::memory_order_relaxed)) {
+      return;
+    }
   }
+}
+
+bool LogManager::PopStripe(uint64_t stripe, uint32_t* out) {
+  auto& head = stripes_[stripe].head;
+  uint64_t old = head.load(std::memory_order_acquire);
+  for (;;) {
+    const uint32_t index = static_cast<uint32_t>(old);
+    if (index == kNilIndex) {
+      return false;
+    }
+    const uint32_t next = next_[index].load(std::memory_order_relaxed);
+    const uint64_t aba = (old >> 32) + 1;
+    const uint64_t desired = (aba << 32) | next;
+    if (head.compare_exchange_weak(old, desired, std::memory_order_acquire,
+                                   std::memory_order_acquire)) {
+      *out = index;
+      return true;
+    }
+  }
+}
+
+bool LogManager::TryPopAnyStripe(uint32_t* out) {
+  const uint64_t preferred = PreferredStripe();
+  for (uint64_t i = 0; i < num_stripes_; ++i) {
+    if (PopStripe((preferred + i) % num_stripes_, out)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LogManager::StealFromCells(uint32_t* out) {
+  std::lock_guard<std::mutex> lk(cells_mu_);
+  for (auto& cell : cells_) {
+    const uint64_t v = cell->slot.exchange(kNoCachedSlot, std::memory_order_acq_rel);
+    if (v != kNoCachedSlot) {
+      *out = static_cast<uint32_t>(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+LogManager::CacheCell* LogManager::FindMyCell() const {
+  for (const auto& e : t_cells) {
+    if (e.generation == generation_) {
+      return static_cast<CacheCell*>(e.cell);
+    }
+  }
+  return nullptr;
+}
+
+LogManager::CacheCell* LogManager::MyCellOrRegister() {
+  if (CacheCell* cell = FindMyCell()) {
+    return cell;
+  }
+  auto owned = std::make_unique<CacheCell>();
+  CacheCell* cell = owned.get();
+  {
+    std::lock_guard<std::mutex> lk(cells_mu_);
+    cells_.push_back(std::move(owned));
+  }
+  int victim = -1;
+  for (int i = 0; i < kTlsCacheEntries; ++i) {
+    if (t_cells[i].generation == 0) {
+      victim = i;
+      break;
+    }
+  }
+  if (victim < 0) {
+    victim = static_cast<int>(t_cells_rr++ % kTlsCacheEntries);
+  }
+  t_cells[victim] = TlsCacheEntry{generation_, cell};
+  return cell;
+}
+
+Result<SlotHandle> LogManager::AcquireSlot(uint64_t txid) {
+  uint32_t index = kNilIndex;
+  CacheCell* cell = MyCellOrRegister();
+  const uint64_t cached = cell->slot.exchange(kNoCachedSlot, std::memory_order_acq_rel);
+  if (cached != kNoCachedSlot) {
+    index = static_cast<uint32_t>(cached);
+  } else if (!TryPopAnyStripe(&index)) {
+    // Slow path: every freelist looked empty. Announce ourselves as a
+    // waiter, then re-scan (including other threads' cache cells) — the
+    // seq_cst fence pairs with the one in ReleaseSlot so a concurrent
+    // releaser either sees waiters_ > 0 (and publishes + notifies) or its
+    // publish is visible to our scan.
+    const uint64_t t0 = NowNs();
+    std::unique_lock<std::mutex> lk(mu_);
+    blocked_acquires_.fetch_add(1, std::memory_order_relaxed);
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (;;) {
+      if (StealFromCells(&index) || TryPopAnyStripe(&index)) {
+        break;
+      }
+      slot_available_.wait(lk);
+    }
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    lk.unlock();
+    blocked_wait_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+  }
+
   SlotHeader* h = SlotHeaderAt(index);
-  // txid and state share one cache line: a single persist covers both. The
+  // txid and state share one cache line: a single flush covers both. The
   // new txid also invalidates every record left behind by the slot's previous
-  // occupant (their txid_tag no longer matches).
+  // occupant (their txid_tag no longer matches). The header is flushed but
+  // not drained: if it never becomes durable, the slot's durably-Free prior
+  // header stands and recovery ignores the slot; any later drain (first
+  // append, write-set, or commit) makes it durable before it matters.
   h->txid = txid;
   h->state = static_cast<uint64_t>(TxState::kRunning);
   {
     nvm::PersistSiteScope site("log/acquire-slot");
-    pool_->Persist(h, sizeof(SlotHeader));
+    if (legacy_fences_) {
+      pool_->Persist(h, sizeof(SlotHeader));
+    } else {
+      pool_->Flush(h, sizeof(SlotHeader));
+    }
   }
 
   SlotHandle s;
@@ -139,7 +327,10 @@ bool LogManager::RecordValid(const Record& r, uint64_t txid, uint64_t index) con
 }
 
 Status LogManager::AppendRecord(SlotHandle& slot, IntentKind kind, uint64_t offset,
-                                uint64_t size, uint64_t aux, bool drain) {
+                                uint64_t size, uint64_t aux, bool drain, uint64_t aux2) {
+  if (!slot.valid()) {
+    return Status::InvalidArgument("append on invalid (released) slot handle");
+  }
   if (slot.num_records >= max_records_) {
     return Status::OutOfMemory("intent log slot record capacity exceeded");
   }
@@ -150,15 +341,24 @@ Status LogManager::AppendRecord(SlotHandle& slot, IntentKind kind, uint64_t offs
   r->aux = aux;
   r->txid_tag = slot.txid;
   r->crc = RecordCrc(*r);
+  r->aux2 = aux2;
   {
     nvm::PersistSiteScope site("log/append-intent");
     pool_->Flush(r, kRecordSize);
-    if (drain) {
+    if (drain || legacy_fences_) {
       pool_->Drain();
     }
   }
   ++slot.num_records;
   return Status::Ok();
+}
+
+void LogManager::DrainAppends() {
+  if (legacy_fences_) {
+    return;  // Every append already drained individually.
+  }
+  nvm::PersistSiteScope site("log/append-intent");
+  pool_->Drain();
 }
 
 Result<uint64_t> LogManager::ReservePayload(SlotHandle& slot, uint64_t size) {
@@ -174,29 +374,121 @@ Result<uint64_t> LogManager::ReservePayload(SlotHandle& slot, uint64_t size) {
 void LogManager::SetState(const SlotHandle& slot, TxState state) {
   SlotHeader* h = SlotHeaderAt(slot.slot_index);
   h->state = static_cast<uint64_t>(state);
-  nvm::PersistSiteScope site(state == TxState::kCommitted ? "log/commit-record"
-                                                          : "log/abort-record");
-  pool_->PersistU64(&h->state);
-}
-
-void LogManager::ReleaseSlot(SlotHandle& slot) {
-  if (!slot.valid()) {
+  if (state != TxState::kCommitted || legacy_fences_) {
+    nvm::PersistSiteScope site(state == TxState::kCommitted ? "log/commit-record"
+                                                            : "log/abort-record");
+    pool_->PersistU64(&h->state);
     return;
   }
-  SlotHeader* h = SlotHeaderAt(slot.slot_index);
-  h->state = static_cast<uint64_t>(TxState::kFree);
+  // Group commit: flush our own record, then let one leader drain for the
+  // group. A solo committer still emits exactly one flush + one drain here.
+  nvm::PersistSiteScope site("log/commit-record");
+  pool_->Flush(&h->state, sizeof(uint64_t));
+  GroupCommitDrain();
+}
+
+void LogManager::GroupCommitDrain() {
+  std::unique_lock<std::mutex> lk(gc_mu_);
+  // Ticket taken under gc_mu_ strictly after our commit-record flush: any
+  // leader that reads cover >= my after this point drains a pool state that
+  // already has our record staged.
+  const uint64_t my = ++gc_ticket_;
+  for (;;) {
+    if (gc_durable_ >= my) {
+      gc_commits_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!gc_leader_active_) {
+      gc_leader_active_ = true;
+      if (group_commit_window_ns_ > 0) {
+        // Bounded coalescing window: give concurrent committers a chance to
+        // flush + ticket before we pay the drain. Spurious wakeups just
+        // shorten the window, which is harmless.
+        gc_cv_.wait_for(lk, std::chrono::nanoseconds(group_commit_window_ns_));
+      }
+      const uint64_t cover = gc_ticket_;
+      lk.unlock();
+      pool_->Drain();
+      lk.lock();
+      gc_durable_ = std::max(gc_durable_, cover);
+      gc_leader_active_ = false;
+      gc_leader_drains_.fetch_add(1, std::memory_order_relaxed);
+      gc_cv_.notify_all();
+      continue;  // gc_durable_ >= my now holds; account + return above.
+    }
+    gc_cv_.wait(lk, [&] { return gc_durable_ >= my || !gc_leader_active_; });
+  }
+}
+
+void LogManager::ReleaseSlot(SlotHandle& slot) { ReleaseSlots(&slot, 1); }
+
+void LogManager::ReleaseSlots(SlotHandle* slots, size_t count) {
+  // The Free headers must be durable before their slots re-enter the
+  // freelists, deliberately: once post-commit work (applier copy-back,
+  // deferred frees) has happened, recovery must never see a slot as
+  // Committed again or it would repeat roll-forward over reused memory. A
+  // batch shares one drain across all of its headers — the applier's main
+  // fence saving — while a solo release pays exactly one flush + one drain,
+  // the same event stream Persist would emit.
   {
     nvm::PersistSiteScope site("log/release-slot");
-    pool_->PersistU64(&h->state);
+    size_t flushed = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (!slots[i].valid()) {
+        continue;
+      }
+      SlotHeader* h = SlotHeaderAt(slots[i].slot_index);
+      h->state = static_cast<uint64_t>(TxState::kFree);
+      if (legacy_fences_) {
+        pool_->PersistU64(&h->state);
+      } else {
+        pool_->Flush(&h->state, sizeof(uint64_t));
+        ++flushed;
+      }
+    }
+    if (flushed > 0) {
+      pool_->Drain();
+    }
   }
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    free_slots_.push_back(slot.slot_index);
+  for (size_t i = 0; i < count; ++i) {
+    if (!slots[i].valid()) {
+      continue;
+    }
+    PublishFreeSlot(static_cast<uint32_t>(slots[i].slot_index));
+    slots[i] = SlotHandle{};  // Full reset, txid included: a released handle is dead.
   }
-  slot_available_.notify_one();
-  slot.slot_index = ~0ull;
-  slot.num_records = 0;
-  slot.payload_used = 0;
+}
+
+void LogManager::PublishFreeSlot(uint32_t index) {
+  // Prefer the releasing thread's own cache cell (same-thread release ->
+  // acquire keeps slot reuse LIFO and contention-free). Threads that never
+  // acquire (appliers) have no cell and publish straight to the stripes.
+  CacheCell* cell = FindMyCell();
+  bool cached = false;
+  if (cell != nullptr) {
+    uint64_t expected = kNoCachedSlot;
+    cached = cell->slot.compare_exchange_strong(expected, index, std::memory_order_release,
+                                                std::memory_order_relaxed);
+  }
+  if (!cached) {
+    PushStripe(HomeStripe(index), index);
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (waiters_.load(std::memory_order_relaxed) > 0) {
+    if (cached) {
+      // A waiter may have scanned our cell before the store above became
+      // visible; move the slot to the shared stripes and re-publish.
+      const uint64_t v = cell->slot.exchange(kNoCachedSlot, std::memory_order_acq_rel);
+      if (v != kNoCachedSlot) {
+        PushStripe(HomeStripe(static_cast<uint32_t>(v)), static_cast<uint32_t>(v));
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+    }
+    slot_available_.notify_all();
+  }
 }
 
 std::vector<RecoveredTx> LogManager::ScanForRecovery() {
@@ -214,13 +506,18 @@ std::vector<RecoveredTx> LogManager::ScanForRecovery() {
     for (uint64_t rix = 0; rix < max_records_; ++rix) {
       const Record* r = RecordAt(i, rix);
       if (!RecordValid(*r, h->txid, rix)) {
-        break;  // First invalid record ends the sequence.
+        // Skip, don't stop: with batched (fence-elided) appends, random
+        // cache eviction can persist record k+1 while record k was lost.
+        // Records self-validate and txids are never reused, so holes are
+        // safe to step over; a fully-drained log still scans as a prefix.
+        continue;
       }
       Intent in;
       in.kind = static_cast<IntentKind>(r->kind_seq >> 56);
       in.offset = r->offset;
       in.size = r->size;
       in.aux = r->aux;
+      in.aux2 = r->aux2;
       tx.intents.push_back(in);
     }
     out.push_back(std::move(tx));
@@ -235,6 +532,15 @@ SlotHandle LogManager::HandleForRecovered(const RecoveredTx& tx) const {
   s.slot_index = tx.slot_index;
   s.txid = tx.txid;
   s.num_records = tx.intents.size();
+  return s;
+}
+
+LogStats LogManager::stats() const {
+  LogStats s;
+  s.blocked_acquires = blocked_acquires_.load(std::memory_order_relaxed);
+  s.blocked_wait_ns = blocked_wait_ns_.load(std::memory_order_relaxed);
+  s.group_commit_commits = gc_commits_.load(std::memory_order_relaxed);
+  s.group_commit_leader_drains = gc_leader_drains_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -13,10 +13,35 @@
 // baseline engines additionally use each slot's payload area for object
 // snapshots (undo) — the copying the paper is eliminating from the critical
 // path.
+//
+// Commit critical path (see DESIGN.md §8 for the fence-accounting model):
+//
+//   - Slot acquisition is a per-thread cache over striped lock-free
+//     freelists; the global mutex is only taken when every freelist is
+//     empty (true backpressure on the async applier). Acquisition *flushes*
+//     the slot header but does not drain it: the txid tag self-validation
+//     means a header that never became durable simply leaves the slot's
+//     prior (durably Free) state behind, which recovery ignores.
+//   - AppendRecord(drain=false) lets callers batch N intent flushes behind
+//     a single DrainAppends() — the write-set batch path — and lets kFree
+//     intents skip the drain entirely (any later drain, including the
+//     commit-point drain, covers them; a lost kFree record only ever means
+//     the free is not performed, never corruption).
+//   - SetState(kCommitted) runs leader-based group commit: each committer
+//     flushes its own commit record, then one elected leader drains on
+//     behalf of every committer whose flush preceded the drain. A solo
+//     committer still pays exactly one flush + one drain at the
+//     "log/commit-record" site, so the crash-point enumeration harness sees
+//     a deterministic event stream for single-mutator workloads.
+//
+// `LogOptions::legacy_fences` restores the pre-optimisation behaviour
+// (durable slot acquisition, one drain per append, solo commit drains) so
+// benchmarks can measure both fence regimes in one binary.
 
 #ifndef SRC_TXN_LOG_MANAGER_H_
 #define SRC_TXN_LOG_MANAGER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -49,13 +74,28 @@ struct Intent {
   IntentKind kind = IntentKind::kNone;
   uint64_t offset = 0;
   uint64_t size = 0;
-  uint64_t aux = 0;  // Undo: payload offset in pool; CoW: shadow offset.
+  uint64_t aux = 0;   // Undo: payload offset in pool; CoW: shadow offset.
+  uint64_t aux2 = 0;  // Undo: CRC of the payload snapshot (validity gate).
 };
 
 struct LogOptions {
   uint64_t num_slots = 128;
   uint64_t slot_size = 64 * 1024;  // Header + records + payload area.
   uint64_t max_records = 128;      // 64 B each.
+
+  // Runtime-only tuning (not persisted; adopted again on Open()).
+  //
+  // Number of lock-free freelist stripes slot releases/acquires spread
+  // over. Clamped to [1, num_slots].
+  uint64_t freelist_stripes = 8;
+  // Leader-based group commit: how long an elected leader waits for more
+  // committers to join before draining on everyone's behalf. 0 keeps
+  // coalescing purely opportunistic (the leader drains immediately;
+  // committers that flushed before the drain still ride along).
+  uint64_t group_commit_window_ns = 0;
+  // Pre-optimisation fence behaviour: durable slot acquisition, a drain on
+  // every append (batching requests ignored), and solo commit drains.
+  bool legacy_fences = false;
 };
 
 // Handle to an acquired slot; owned by a TxContext.
@@ -76,6 +116,18 @@ struct RecoveredTx {
   std::vector<Intent> intents;
 };
 
+struct LogStats {
+  // Slot-acquisition backpressure: how often AcquireSlot had to take the
+  // slow path (every freelist empty) and the total time spent blocked.
+  uint64_t blocked_acquires = 0;
+  uint64_t blocked_wait_ns = 0;
+  // Group commit: commits whose drain was performed by a leader on behalf
+  // of the group, and how many drains leaders actually issued. The
+  // coalescing ratio is group_commit_commits / group_commit_leader_drains.
+  uint64_t group_commit_commits = 0;
+  uint64_t group_commit_leader_drains = 0;
+};
+
 class LogManager {
  public:
   // Formats the log region [region_offset, region_offset+region_size).
@@ -85,27 +137,49 @@ class LogManager {
 
   // Attaches to an existing log region (recovery path). Slots holding
   // non-free transactions stay unavailable until ScanForRecovery() +
-  // ReleaseSlot().
-  static Result<std::unique_ptr<LogManager>> Open(nvm::Pool* pool, uint64_t region_offset);
+  // ReleaseSlot(). `runtime_options`, when given, supplies the non-persisted
+  // tuning knobs (stripes, group-commit window, legacy_fences); geometry
+  // always comes from the persistent header.
+  static Result<std::unique_ptr<LogManager>> Open(nvm::Pool* pool, uint64_t region_offset,
+                                                  const LogOptions* runtime_options = nullptr);
 
-  // Acquires a free slot for `txid` and durably marks it Running. Blocks if
-  // all slots are busy (backpressure on the async applier).
+  ~LogManager();
+
+  // Acquires a free slot for `txid` and marks it Running (flushed, not yet
+  // drained — see file comment). Blocks if all slots are busy (backpressure
+  // on the async applier).
   Result<SlotHandle> AcquireSlot(uint64_t txid);
 
   // Appends one intent record and persists it (one flush; one drain unless
-  // `drain` is false, in which case the caller batches the drain).
+  // `drain` is false, in which case the caller batches the drain via
+  // DrainAppends() or relies on a later covering drain — only valid for
+  // kFree, see file comment).
   Status AppendRecord(SlotHandle& slot, IntentKind kind, uint64_t offset, uint64_t size,
-                      uint64_t aux = 0, bool drain = true);
+                      uint64_t aux = 0, bool drain = true, uint64_t aux2 = 0);
+
+  // Drains all outstanding (flushed) appends — the single fence behind a
+  // batch of AppendRecord(drain=false) calls. No-op under legacy_fences,
+  // where every append already drained.
+  void DrainAppends();
 
   // Reserves `size` bytes in the slot's payload area (undo snapshots);
   // returns the pool offset of the reservation.
   Result<uint64_t> ReservePayload(SlotHandle& slot, uint64_t size);
 
-  // Durably transitions the slot's state (the commit/abort point).
+  // Durably transitions the slot's state (the commit/abort point). Commits
+  // go through leader-based group commit unless legacy_fences is set.
   void SetState(const SlotHandle& slot, TxState state);
 
-  // Durably frees the slot and returns it to the free list.
+  // Durably frees the slot and returns it to the free list. The kFree
+  // persist here is load-bearing: without it, recovery would re-roll-forward
+  // an already-applied transaction whose post-commit frees already happened.
   void ReleaseSlot(SlotHandle& slot);
+
+  // Batched release: flushes every slot's Free header, pays a single drain,
+  // then publishes them all to the freelists. The applier uses this to share
+  // one release fence across a whole apply batch. Invalid handles in the
+  // span are skipped; all handles are fully reset.
+  void ReleaseSlots(SlotHandle* slots, size_t count);
 
   // Recovery: returns every non-free transaction in the log, sorted by txid.
   // Slots remain held; the engine resolves each and calls ReleaseSlot (via a
@@ -119,6 +193,9 @@ class LogManager {
   uint64_t num_slots() const { return num_slots_; }
   uint64_t slot_size() const { return slot_size_; }
   uint64_t max_records() const { return max_records_; }
+  bool legacy_fences() const { return legacy_fences_; }
+
+  LogStats stats() const;
 
  private:
   // Persistent layouts. kRecordSize == cache line so a record persists with a
@@ -126,6 +203,9 @@ class LogManager {
   static constexpr uint64_t kRecordSize = 64;
   static constexpr uint64_t kSlotHeaderSize = 64;
   static constexpr uint64_t kMagic = 0x4B414D494E4F4C47ull;  // "KAMINOLG"
+
+  static constexpr uint32_t kNilIndex = 0xFFFFFFFFu;
+  static constexpr uint64_t kNoCachedSlot = ~0ull;
 
   struct LogHeader {
     uint64_t magic;
@@ -149,14 +229,29 @@ class LogManager {
     uint64_t aux;
     uint64_t txid_tag;  // Must equal the slot's txid.
     uint64_t crc;       // Crc64 over the 5 fields above.
-    uint64_t pad[2];
+    uint64_t aux2;      // Not CRC-covered; undo payload CRC.
+    uint64_t pad;
   };
   static_assert(sizeof(Record) == kRecordSize);
+
+  // One lock-free Treiber-stack freelist. The head packs {aba:32, index:32}
+  // so a pop's read of next_[index] is protected against reuse.
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> head;
+  };
+
+  // Per-thread slot cache cell, owned by the manager (registered in cells_)
+  // so blocked acquirers can steal from every thread's cache. A cell holds
+  // at most one slot index, or kNoCachedSlot.
+  struct alignas(64) CacheCell {
+    std::atomic<uint64_t> slot{kNoCachedSlot};
+  };
 
   LogManager(nvm::Pool* pool, uint64_t region_offset);
 
   Status Format(uint64_t region_size, const LogOptions& options);
   Status Attach();
+  void InitFreelists(const LogOptions& options);
 
   uint64_t SlotOffset(uint64_t index) const {
     return region_offset_ + kSlotHeaderSize + index * slot_size_;
@@ -185,6 +280,24 @@ class LogManager {
   static uint64_t RecordCrc(const Record& r);
   bool RecordValid(const Record& r, uint64_t txid, uint64_t index) const;
 
+  // Freelist plumbing.
+  uint64_t HomeStripe(uint32_t slot) const { return slot % num_stripes_; }
+  uint64_t PreferredStripe() const;
+  void PushStripe(uint64_t stripe, uint32_t slot);
+  bool PopStripe(uint64_t stripe, uint32_t* out);
+  bool TryPopAnyStripe(uint32_t* out);
+  bool StealFromCells(uint32_t* out);
+
+  // Per-thread cache-cell registry. FindMyCell returns nullptr for threads
+  // that never acquired from this manager (e.g. appliers, which only ever
+  // release), so released slots flow back to the shared stripes instead of
+  // parking in a cache no acquirer owns.
+  CacheCell* FindMyCell() const;
+  CacheCell* MyCellOrRegister();
+
+  void GroupCommitDrain();
+  void PublishFreeSlot(uint32_t index);
+
   nvm::Pool* pool_;
   uint64_t region_offset_;
   uint64_t num_slots_ = 0;
@@ -192,9 +305,43 @@ class LogManager {
   uint64_t max_records_ = 0;
   uint64_t max_recovered_txid_ = 0;
 
+  // Runtime tuning (see LogOptions).
+  uint64_t num_stripes_ = 1;
+  uint64_t group_commit_window_ns_ = 0;
+  bool legacy_fences_ = false;
+
+  // Striped freelists + per-slot next links.
+  std::unique_ptr<Stripe[]> stripes_;
+  std::unique_ptr<std::atomic<uint32_t>[]> next_;
+
+  // Registered per-thread cache cells. cells_mu_ orders registration against
+  // steal scans; lock order is mu_ -> cells_mu_.
+  const uint64_t generation_;
+  mutable std::mutex cells_mu_;
+  std::vector<std::unique_ptr<CacheCell>> cells_;
+
+  // Slow-path backpressure. waiters_ participates in a store-buffering
+  // (Dekker) protocol with releasers via seq_cst fences: a releaser
+  // publishes its slot, fences, then checks waiters_; an acquirer bumps
+  // waiters_, fences, then scans. At least one side always observes the
+  // other.
   std::mutex mu_;
   std::condition_variable slot_available_;
-  std::vector<uint64_t> free_slots_;
+  std::atomic<uint64_t> waiters_{0};
+  std::atomic<uint64_t> blocked_acquires_{0};
+  std::atomic<uint64_t> blocked_wait_ns_{0};
+
+  // Leader-based group commit state (all guarded by gc_mu_ except the
+  // counters). Tickets are taken under gc_mu_ *after* the committer's own
+  // commit-record flush, so a leader that observed cover = gc_ticket_ before
+  // draining is guaranteed every covered committer's record was staged.
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  uint64_t gc_ticket_ = 0;
+  uint64_t gc_durable_ = 0;
+  bool gc_leader_active_ = false;
+  std::atomic<uint64_t> gc_commits_{0};
+  std::atomic<uint64_t> gc_leader_drains_{0};
 };
 
 }  // namespace kamino::txn

@@ -42,6 +42,46 @@ Result<void*> RedoLogEngine::OpenWrite(TxContext* ctx, uint64_t offset, uint64_t
   return pool()->At(*staging);
 }
 
+Status RedoLogEngine::OpenWriteBatch(TxContext* ctx, const WriteSpan* spans, size_t count,
+                                     void** out) {
+  // Batched staging: N staging copies and N records flushed, one drain. The
+  // staged values only matter once the commit record is durable, and the
+  // commit path drains the whole write set before that, so batching here is
+  // crash-order neutral.
+  bool appended = false;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t offset = spans[i].offset;
+    if (ctx->open_ranges.find(offset) != ctx->open_ranges.end()) {
+      continue;
+    }
+    Result<uint64_t> resolved = ResolveSize(offset, spans[i].size);
+    if (!resolved.ok()) {
+      return resolved.status();
+    }
+    const uint64_t size = *resolved;
+    KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+    KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+    Result<uint64_t> staging = log_->ReservePayload(ctx->slot, size);
+    if (!staging.ok()) {
+      return staging.status();
+    }
+    std::memcpy(pool()->At(*staging), pool()->At(offset), size);
+    KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kRedoWrite, offset, size,
+                                              *staging, /*drain=*/false));
+    ctx->open_ranges.emplace(offset, ctx->intents.size());
+    ctx->intents.push_back(Intent{IntentKind::kRedoWrite, offset, size, *staging});
+    appended = true;
+  }
+  if (appended) {
+    log_->DrainAppends();
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const Intent& in = ctx->intents[ctx->open_ranges.at(spans[i].offset)];
+    out[i] = in.kind == IntentKind::kRedoWrite ? pool()->At(in.aux) : pool()->At(in.offset);
+  }
+  return Status::Ok();
+}
+
 Result<uint64_t> RedoLogEngine::Alloc(TxContext* ctx, uint64_t size) {
   KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
   Result<alloc::Reservation> resv = heap_->allocator()->PrepareAlloc(size);
@@ -71,7 +111,9 @@ Status RedoLogEngine::Free(TxContext* ctx, uint64_t offset) {
     return size.status();
   }
   KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
-  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size));
+  // drain=false: deferred free — see KaminoEngine::Free and DESIGN.md §8.
+  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size, 0,
+                                            /*drain=*/false));
   ctx->intents.push_back(Intent{IntentKind::kFree, offset, *size, 0});
   return Status::Ok();
 }

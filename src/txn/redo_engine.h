@@ -26,6 +26,8 @@ class RedoLogEngine : public EngineBase {
   Status Begin(TxContext* ctx) override;
   // Returns a pointer to the log-resident staging copy.
   Result<void*> OpenWrite(TxContext* ctx, uint64_t offset, uint64_t size) override;
+  Status OpenWriteBatch(TxContext* ctx, const WriteSpan* spans, size_t count,
+                        void** out) override;
   Result<uint64_t> Alloc(TxContext* ctx, uint64_t size) override;
   Status Free(TxContext* ctx, uint64_t offset) override;
   Status Commit(std::unique_ptr<TxContext> ctx) override;

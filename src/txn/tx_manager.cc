@@ -54,6 +54,13 @@ Result<void*> Tx::OpenWrite(uint64_t offset, uint64_t size) {
   return mgr_->engine_->OpenWrite(ctx_.get(), offset, size);
 }
 
+Status Tx::OpenWriteBatch(const WriteSpan* spans, size_t count, void** out) {
+  if (!active()) {
+    return Status::Internal("transaction not active");
+  }
+  return mgr_->engine_->OpenWriteBatch(ctx_.get(), spans, count, out);
+}
+
 void* Tx::OpenedPointer(uint64_t offset) {
   if (!active()) {
     return nullptr;
@@ -176,8 +183,11 @@ TxManager::~TxManager() {
 Status TxManager::Init(bool attach_existing) {
   // Log manager over the heap's log region.
   if (attach_existing) {
+    // Geometry comes from the persistent log header; options_.log supplies
+    // the runtime-only knobs (freelist stripes, group-commit window,
+    // legacy_fences).
     Result<std::unique_ptr<LogManager>> lm =
-        LogManager::Open(heap_->pool(), heap_->log_region_offset());
+        LogManager::Open(heap_->pool(), heap_->log_region_offset(), &options_.log);
     if (!lm.ok()) {
       return lm.status();
     }

@@ -96,6 +96,12 @@ class Tx {
     return static_cast<T*>(*r);
   }
 
+  // Declares write intent on `count` spans at once (the engine batches the
+  // intent-record fences: N flushes, one drain). out[i] receives span i's
+  // write-through pointer. Spans already open in this transaction are
+  // allowed and resolve to their existing pointer.
+  Status OpenWriteBatch(const WriteSpan* spans, size_t count, void** out);
+
   // Takes a read lock on the object at `offset` for the duration of the
   // transaction — this is what makes reads of pending objects dependent.
   Status ReadLock(uint64_t offset);

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/common/checksum.h"
+
 namespace kamino::txn {
 
 Status UndoLogEngine::Begin(TxContext* ctx) {
@@ -34,13 +36,63 @@ Result<void*> UndoLogEngine::OpenWrite(TxContext* ctx, uint64_t offset, uint64_t
     nvm::PersistSiteScope site("undo/snapshot");
     pool()->Flush(pool()->At(*payload), size);
   }
-  // Record + snapshot become durable together on this record's drain.
-  KAMINO_RETURN_IF_ERROR(
-      log_->AppendRecord(ctx->slot, IntentKind::kWrite, offset, size, *payload));
+  // Record + snapshot become durable together on this record's drain. The
+  // snapshot CRC rides in the record (aux2) so recovery can tell a durable
+  // snapshot from one lost to an unlucky cache eviction (the record line
+  // surviving without its payload lines) and skip the restore — safe,
+  // because an undurable snapshot implies the drain never completed, which
+  // implies the in-place store it guards never happened.
+  const uint64_t snapshot_crc = Crc64(pool()->At(*payload), size);
+  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kWrite, offset, size,
+                                            *payload, /*drain=*/true, snapshot_crc));
 
   ctx->open_ranges.emplace(offset, ctx->intents.size());
-  ctx->intents.push_back(Intent{IntentKind::kWrite, offset, size, *payload});
+  ctx->intents.push_back(Intent{IntentKind::kWrite, offset, size, *payload, snapshot_crc});
   return pool()->At(offset);
+}
+
+Status UndoLogEngine::OpenWriteBatch(TxContext* ctx, const WriteSpan* spans, size_t count,
+                                     void** out) {
+  // Batched TX_ADD: N snapshots and N records are flushed, then a single
+  // drain covers all of them before any span's write-through pointer is
+  // released — one fence instead of N on the critical path.
+  bool appended = false;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t offset = spans[i].offset;
+    out[i] = nullptr;
+    if (ctx->open_ranges.find(offset) != ctx->open_ranges.end()) {
+      continue;
+    }
+    Result<uint64_t> resolved = ResolveSize(offset, spans[i].size);
+    if (!resolved.ok()) {
+      return resolved.status();
+    }
+    const uint64_t size = *resolved;
+    KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
+    KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
+    Result<uint64_t> payload = log_->ReservePayload(ctx->slot, size);
+    if (!payload.ok()) {
+      return payload.status();
+    }
+    std::memcpy(pool()->At(*payload), pool()->At(offset), size);
+    {
+      nvm::PersistSiteScope site("undo/snapshot");
+      pool()->Flush(pool()->At(*payload), size);
+    }
+    const uint64_t snapshot_crc = Crc64(pool()->At(*payload), size);
+    KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kWrite, offset, size,
+                                              *payload, /*drain=*/false, snapshot_crc));
+    ctx->open_ranges.emplace(offset, ctx->intents.size());
+    ctx->intents.push_back(Intent{IntentKind::kWrite, offset, size, *payload, snapshot_crc});
+    appended = true;
+  }
+  if (appended) {
+    log_->DrainAppends();
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = pool()->At(spans[i].offset);
+  }
+  return Status::Ok();
 }
 
 Result<uint64_t> UndoLogEngine::Alloc(TxContext* ctx, uint64_t size) {
@@ -72,7 +124,9 @@ Status UndoLogEngine::Free(TxContext* ctx, uint64_t offset) {
     return size.status();
   }
   KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
-  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size));
+  // drain=false: deferred free — see KaminoEngine::Free and DESIGN.md §8.
+  KAMINO_RETURN_IF_ERROR(log_->AppendRecord(ctx->slot, IntentKind::kFree, offset, *size, 0,
+                                            /*drain=*/false));
   ctx->intents.push_back(Intent{IntentKind::kFree, offset, *size, 0});
   return Status::Ok();
 }
@@ -149,6 +203,14 @@ Status UndoLogEngine::Recover() {
       for (auto it = tx.intents.rbegin(); it != tx.intents.rend(); ++it) {
         switch (it->kind) {
           case IntentKind::kWrite:
+            // Only restore snapshots that are provably intact (aux2 CRC). A
+            // mismatch means the record line survived a crash its payload
+            // lines did not — possible only if the append's drain never
+            // completed, so the guarded in-place store never happened and
+            // skipping the restore is the correct (and only safe) choice.
+            if (Crc64(pool()->At(it->aux), it->size) != it->aux2) {
+              break;
+            }
             std::memcpy(pool()->At(it->offset), pool()->At(it->aux), it->size);
             pool()->Persist(pool()->At(it->offset), it->size);
             break;

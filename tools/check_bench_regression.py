@@ -1,18 +1,31 @@
 #!/usr/bin/env python3
-"""Compare an applier_scaling bench run against the committed baseline.
+"""Compare bench runs against their committed baselines.
 
-Matches sweep points by applier_threads and fails (exit 1) if any point's
-commit_to_applied_ops_per_sec dropped by more than --threshold (fraction)
-relative to the baseline. Faster-than-baseline is never an error.
+Accepts one or more --baseline/--candidate pairs (repeat both flags; they are
+zipped in order) and dispatches on each JSON's top-level "bench" field:
 
-The bench is latency-injection bound (the backup drain *sleeps*), so
-commit->applied throughput is mostly machine-independent and a quick-mode run
-(fewer keys/ops) is comparable against the full baseline; the threshold
-absorbs the residual noise.
+  applier_scaling:  sweep points matched by applier_threads; a point fails if
+      commit_to_applied_ops_per_sec dropped by more than --threshold
+      (fraction) relative to the baseline. Faster is never an error.
+
+  commit_path:      rows matched by (engine, fences, clients); a row fails if
+      drains_per_txn *rose* by more than --threshold (fewer fences is the
+      point of the bench). Additionally, both files' internal summaries must
+      uphold the acceptance gates: kamino drains/txn at 8 clients reduced by
+      >= 30% vs the legacy-fence rows, and the update p50 improved.
+
+Both benches are latency-injection bound (the injected drains *sleep*), so
+the metrics are mostly machine-independent and a quick-mode run (fewer
+keys/ops) is comparable against the full baseline; the threshold absorbs the
+residual noise.
 
 Usage:
-  tools/check_bench_regression.py --baseline BENCH_applier_scaling.json \
-      --candidate build/bench/BENCH_applier_scaling.json --threshold 0.25
+  tools/check_bench_regression.py \
+      --baseline BENCH_applier_scaling.json \
+      --candidate build/bench/BENCH_applier_scaling.json \
+      --baseline BENCH_commit_path.json \
+      --candidate build/bench/BENCH_commit_path.json \
+      --threshold 0.25
 
 Stdlib only by design: CI runners and the dev container have no pip.
 """
@@ -21,52 +34,129 @@ import argparse
 import json
 import sys
 
-METRIC = "commit_to_applied_ops_per_sec"
+MIN_DRAINS_REDUCTION = 0.30
 
 
-def load_points(path):
+def load(path):
     with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
-    points = {}
-    for p in doc.get("results", []):
-        points[int(p["applier_threads"])] = float(p[METRIC])
-    if not points:
-        sys.exit(f"error: {path} has no sweep points under 'results'")
-    return points
+        return json.load(f)
+
+
+def check_applier_scaling(baseline, candidate, threshold):
+    """Throughput per applier_threads; lower candidate is a regression."""
+    metric = "commit_to_applied_ops_per_sec"
+
+    def points(doc, path):
+        out = {int(p["applier_threads"]): float(p[metric]) for p in doc.get("results", [])}
+        if not out:
+            sys.exit(f"error: {path} has no sweep points under 'results'")
+        return out
+
+    base = points(*baseline)
+    cand = points(*candidate)
+    failures = []
+    print(f"{'appliers':>8} {'baseline':>12} {'candidate':>12} {'ratio':>7}")
+    for threads in sorted(base):
+        if threads not in cand:
+            print(f"{threads:>8} {base[threads]:>12.1f} {'missing':>12} {'-':>7}")
+            continue
+        ratio = cand[threads] / base[threads] if base[threads] > 0 else 1.0
+        flag = ""
+        if ratio < 1.0 - threshold:
+            failures.append(f"{threads} appliers at {ratio:.2f}x baseline")
+            flag = "  << REGRESSION"
+        print(f"{threads:>8} {base[threads]:>12.1f} {cand[threads]:>12.1f} "
+              f"{ratio:>7.2f}{flag}")
+    return failures
+
+
+def check_commit_path(baseline, candidate, threshold):
+    """Drains per txn per (engine, fences, clients); higher candidate is a
+    regression. Also enforces each file's internal acceptance gates."""
+
+    def rows(doc, path):
+        out = {}
+        for r in doc.get("results", []):
+            out[(r["engine"], r["fences"], int(r["clients"]))] = float(r["drains_per_txn"])
+        if not out:
+            sys.exit(f"error: {path} has no rows under 'results'")
+        return out
+
+    failures = []
+    for doc, path in (baseline, candidate):
+        s = doc.get("summary", {})
+        reduction = float(s.get("drains_reduction", 0.0))
+        p50_legacy = float(s.get("kamino_update_p50_legacy_8c_us", 0.0))
+        p50_new = float(s.get("kamino_update_p50_new_8c_us", 0.0))
+        print(f"{path}: drains_reduction {reduction:.1%}, "
+              f"update p50 legacy {p50_legacy:.1f}us -> new {p50_new:.1f}us")
+        if reduction < MIN_DRAINS_REDUCTION:
+            failures.append(f"{path}: drains_reduction {reduction:.1%} "
+                            f"< {MIN_DRAINS_REDUCTION:.0%}")
+        if not p50_new < p50_legacy:
+            failures.append(f"{path}: update p50 did not improve "
+                            f"({p50_legacy:.1f}us -> {p50_new:.1f}us)")
+
+    base = rows(*baseline)
+    cand = rows(*candidate)
+    print(f"{'engine/fences/clients':>32} {'baseline':>9} {'candidate':>10} {'ratio':>7}")
+    for key in sorted(base):
+        label = f"{key[0]}/{key[1]}/{key[2]}"
+        if key not in cand:
+            print(f"{label:>32} {base[key]:>9.3f} {'missing':>10} {'-':>7}")
+            continue
+        ratio = cand[key] / base[key] if base[key] > 0 else 1.0
+        flag = ""
+        if ratio > 1.0 + threshold:
+            failures.append(f"{label} drains/txn at {ratio:.2f}x baseline")
+            flag = "  << REGRESSION"
+        print(f"{label:>32} {base[key]:>9.3f} {cand[key]:>10.3f} {ratio:>7.2f}{flag}")
+    return failures
+
+
+CHECKERS = {
+    "applier_scaling": check_applier_scaling,
+    "commit_path": check_commit_path,
+}
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
-    ap.add_argument("--candidate", required=True, help="freshly produced JSON")
+    ap.add_argument("--baseline", required=True, action="append",
+                    help="committed baseline JSON (repeatable)")
+    ap.add_argument("--candidate", required=True, action="append",
+                    help="freshly produced JSON (repeatable, zipped with --baseline)")
     ap.add_argument("--threshold", type=float, default=0.25,
-                    help="max allowed fractional drop per point (default 0.25)")
+                    help="max allowed fractional change per point (default 0.25)")
     args = ap.parse_args()
 
-    baseline = load_points(args.baseline)
-    candidate = load_points(args.candidate)
+    if len(args.baseline) != len(args.candidate):
+        sys.exit("error: --baseline and --candidate must be given the same "
+                 f"number of times ({len(args.baseline)} vs {len(args.candidate)})")
 
-    regressions = []
-    print(f"{'appliers':>8} {'baseline':>12} {'candidate':>12} {'ratio':>7}")
-    for threads in sorted(baseline):
-        if threads not in candidate:
-            print(f"{threads:>8} {baseline[threads]:>12.1f} {'missing':>12} {'-':>7}")
-            continue
-        ratio = candidate[threads] / baseline[threads] if baseline[threads] > 0 else 1.0
-        flag = ""
-        if ratio < 1.0 - args.threshold:
-            regressions.append((threads, ratio))
-            flag = "  << REGRESSION"
-        print(f"{threads:>8} {baseline[threads]:>12.1f} {candidate[threads]:>12.1f} "
-              f"{ratio:>7.2f}{flag}")
+    failures = []
+    for base_path, cand_path in zip(args.baseline, args.candidate):
+        base = load(base_path)
+        cand = load(cand_path)
+        bench = base.get("bench", "")
+        if cand.get("bench", "") != bench:
+            sys.exit(f"error: bench mismatch: {base_path} is '{bench}', "
+                     f"{cand_path} is '{cand.get('bench', '')}'")
+        checker = CHECKERS.get(bench)
+        if checker is None:
+            sys.exit(f"error: {base_path}: unknown bench '{bench}' "
+                     f"(known: {', '.join(sorted(CHECKERS))})")
+        print(f"== {bench}: {cand_path} vs {base_path}")
+        failures += checker((base, base_path), (cand, cand_path), args.threshold)
+        print()
 
-    if regressions:
-        worst = min(regressions, key=lambda r: r[1])
-        print(f"\nFAIL: {len(regressions)} point(s) regressed more than "
-              f"{args.threshold:.0%} (worst: {worst[0]} appliers at "
-              f"{worst[1]:.2f}x baseline)")
+    if failures:
+        print(f"FAIL: {len(failures)} check(s) failed:")
+        for f in failures:
+            print(f"  - {f}")
         return 1
-    print(f"\nOK: no point regressed more than {args.threshold:.0%}")
+    print(f"OK: no metric regressed more than {args.threshold:.0%}; "
+          "all internal gates hold")
     return 0
 
 
