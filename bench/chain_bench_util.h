@@ -1,0 +1,56 @@
+// Shared knobs for the chain benches (fig17/fig18): an optional
+// lossy-network mode driven by environment variables, and the robustness
+// counter report. Off by default so the clean paper figures are unchanged.
+//
+//   KAMINO_BENCH_CHAIN_DROP_PCT      integer percent of messages dropped
+//   KAMINO_BENCH_CHAIN_DUP_PCT       integer percent duplicated
+//   KAMINO_BENCH_CHAIN_REORDER_PCT   integer percent given extra delay
+//   KAMINO_BENCH_CHAIN_REORDER_WINDOW_US  reorder delay window (default 1000)
+//   KAMINO_BENCH_CHAIN_FAULT_SEED    PRNG seed for the fault schedule
+
+#ifndef BENCH_CHAIN_BENCH_UTIL_H_
+#define BENCH_CHAIN_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/chain/chain.h"
+
+namespace kamino::bench {
+
+inline net::LinkFaults ChainFaultsFromEnv() {
+  net::LinkFaults faults;
+  faults.drop_probability = static_cast<double>(EnvOr("KAMINO_BENCH_CHAIN_DROP_PCT", 0)) / 100.0;
+  faults.duplicate_probability =
+      static_cast<double>(EnvOr("KAMINO_BENCH_CHAIN_DUP_PCT", 0)) / 100.0;
+  faults.reorder_probability =
+      static_cast<double>(EnvOr("KAMINO_BENCH_CHAIN_REORDER_PCT", 0)) / 100.0;
+  faults.reorder_window_us =
+      static_cast<uint32_t>(EnvOr("KAMINO_BENCH_CHAIN_REORDER_WINDOW_US", 1'000));
+  return faults;
+}
+
+// Installs the env-configured fault model on every link (no-op when all
+// probabilities are zero).
+inline void ApplyChainFaultsFromEnv(chain::Chain* ch) {
+  const net::LinkFaults faults = ChainFaultsFromEnv();
+  if (faults.any()) {
+    ch->network()->SetDefaultFaults(faults);
+  }
+}
+
+// Robustness counters: zero on a clean network; under the lossy mode they
+// show how much recovery machinery the reported numbers had to absorb.
+inline void ReportChainNetworkCounters(::benchmark::State& state, chain::Chain* ch) {
+  const chain::ChainNetworkStats ns = ch->NetworkStats();
+  state.counters["net_dropped"] = static_cast<double>(ns.net.dropped);
+  state.counters["net_duplicated"] = static_cast<double>(ns.net.duplicated);
+  state.counters["net_reordered"] = static_cast<double>(ns.net.reordered);
+  state.counters["retransmits"] = static_cast<double>(ns.retransmits);
+  state.counters["dedup_dropped"] = static_cast<double>(ns.dedup_dropped);
+  state.counters["reorder_buffered"] = static_cast<double>(ns.reorder_buffered);
+}
+
+}  // namespace kamino::bench
+
+#endif  // BENCH_CHAIN_BENCH_UTIL_H_

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "bench/chain_bench_util.h"
 #include "src/chain/chain.h"
 
 namespace kamino::bench {
@@ -86,6 +87,7 @@ void BM_Fig17(::benchmark::State& state, bool kamino, workload::YcsbWorkload w) 
   copts.pool_size = 96ull << 20;
   copts.one_way_latency_us = 10;
   copts.flush_latency_ns = DefaultFlushNs();
+  copts.fault_seed = EnvOr("KAMINO_BENCH_CHAIN_FAULT_SEED", copts.fault_seed);
   auto ch = std::move(chain::Chain::Create(copts).value());
   for (uint64_t k = 0; k < nkeys; ++k) {
     if (!ch->Upsert(k, workload::YcsbValue(k, kValueSize)).ok()) {
@@ -93,12 +95,14 @@ void BM_Fig17(::benchmark::State& state, bool kamino, workload::YcsbWorkload w) 
       return;
     }
   }
+  ApplyChainFaultsFromEnv(ch.get());  // Lossy mode (chain_bench_util.h).
   for (auto _ : state) {
     const ChainYcsbResult res = RunChainYcsb(ch.get(), w, /*threads=*/1, ops, nkeys);
     state.counters["mean_us"] = res.mean_us;
     state.counters["p99_us"] = res.p99_us;
     state.counters["errors"] = static_cast<double>(res.errors);
   }
+  ReportChainNetworkCounters(state, ch.get());
 }
 
 void RegisterAll() {

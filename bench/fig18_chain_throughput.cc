@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "bench/chain_bench_util.h"
 #include "src/chain/chain.h"
 
 namespace kamino::bench {
@@ -22,6 +23,7 @@ void BM_Fig18(::benchmark::State& state, bool kamino, workload::YcsbWorkload w) 
   copts.pool_size = 96ull << 20;
   copts.one_way_latency_us = 10;
   copts.flush_latency_ns = DefaultFlushNs();
+  copts.fault_seed = EnvOr("KAMINO_BENCH_CHAIN_FAULT_SEED", copts.fault_seed);
   auto ch = std::move(chain::Chain::Create(copts).value());
   for (uint64_t k = 0; k < nkeys; ++k) {
     if (!ch->Upsert(k, workload::YcsbValue(k, kValueSize)).ok()) {
@@ -29,6 +31,7 @@ void BM_Fig18(::benchmark::State& state, bool kamino, workload::YcsbWorkload w) 
       return;
     }
   }
+  ApplyChainFaultsFromEnv(ch.get());  // Lossy mode (chain_bench_util.h).
   for (auto _ : state) {
     std::atomic<uint64_t> key_count{nkeys};
     std::atomic<uint64_t> errors{0};
@@ -60,6 +63,7 @@ void BM_Fig18(::benchmark::State& state, bool kamino, workload::YcsbWorkload w) 
     state.counters["errors"] = static_cast<double>(errors.load());
     state.counters["nvm_bytes"] = static_cast<double>(ch->total_nvm_bytes());
   }
+  ReportChainNetworkCounters(state, ch.get());
 }
 
 void RegisterAll() {

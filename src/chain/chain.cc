@@ -5,9 +5,35 @@
 
 namespace kamino::chain {
 
+namespace {
+using Clock = std::chrono::steady_clock;
+
+uint64_t MsUntil(Clock::time_point deadline) {
+  const auto left = deadline - Clock::now();
+  if (left <= Clock::duration::zero()) {
+    return 0;
+  }
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(left).count());
+}
+}  // namespace
+
 Chain::Chain(const ChainOptions& options) : options_(options) {}
 
 Chain::~Chain() {
+  // Detach the detector pipeline before tearing anything down: no new repair
+  // tasks, then drain the worker, then stop the replicas.
+  if (membership_ != nullptr) {
+    membership_->SetViewChangeListener(nullptr);
+  }
+  {
+    std::lock_guard<std::mutex> lk(repair_mu_);
+    repair_stop_ = true;
+  }
+  repair_cv_.notify_all();
+  if (repair_thread_.joinable()) {
+    repair_thread_.join();
+  }
   for (auto& r : replicas_) {
     r->Stop();
   }
@@ -22,9 +48,28 @@ Result<std::unique_ptr<Chain>> Chain::Create(const ChainOptions& options) {
   return chain;
 }
 
+ReplicaOptions Chain::MakeReplicaOptions(uint64_t node_id) const {
+  ReplicaOptions ropts;
+  ropts.node_id = node_id;
+  ropts.kamino = options_.kamino;
+  ropts.head_alpha = options_.head_alpha;
+  ropts.pool_size = options_.pool_size;
+  ropts.log_region_size = options_.log_region_size;
+  ropts.flush_latency_ns = options_.flush_latency_ns;
+  ropts.client_timeout_ms = options_.client_timeout_ms;
+  ropts.retx_base_ms = options_.retx_base_ms;
+  ropts.retx_cap_ms = options_.retx_cap_ms;
+  ropts.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+  ropts.suspicion_timeout_ms = options_.suspicion_timeout_ms;
+  ropts.network = network_.get();
+  ropts.membership = membership_.get();
+  return ropts;
+}
+
 Status Chain::Init() {
   net::NetworkOptions nopts;
   nopts.one_way_latency_us = options_.one_way_latency_us;
+  nopts.fault_seed = options_.fault_seed;
   network_ = std::make_unique<net::Network>(nopts);
 
   const int count = options_.kamino ? options_.f + 2 : options_.f + 1;
@@ -33,19 +78,20 @@ Status Chain::Init() {
     ids.push_back(next_node_id_++);
   }
   membership_ = std::make_unique<MembershipManager>(ids);
+  // Detector reports excise the suspect inside the membership manager; the
+  // listener only enqueues — the repair worker fences and re-wires.
+  membership_->SetViewChangeListener(
+      [this](const View& /*new_view*/, uint64_t failed, const View& old_view) {
+        {
+          std::lock_guard<std::mutex> lk(repair_mu_);
+          repair_queue_.push_back({failed, old_view});
+        }
+        repair_cv_.notify_one();
+      });
+  repair_thread_ = std::thread([this] { RepairWorker(); });
 
   for (uint64_t id : ids) {
-    ReplicaOptions ropts;
-    ropts.node_id = id;
-    ropts.kamino = options_.kamino;
-    ropts.head_alpha = options_.head_alpha;
-    ropts.pool_size = options_.pool_size;
-    ropts.log_region_size = options_.log_region_size;
-    ropts.flush_latency_ns = options_.flush_latency_ns;
-    ropts.client_timeout_ms = options_.client_timeout_ms;
-    ropts.network = network_.get();
-    ropts.membership = membership_.get();
-    auto replica = std::make_unique<Replica>(ropts);
+    auto replica = std::make_unique<Replica>(MakeReplicaOptions(id));
     KAMINO_RETURN_IF_ERROR(replica->Init());
     replicas_.push_back(std::move(replica));
   }
@@ -80,6 +126,26 @@ uint64_t Chain::total_nvm_bytes() const {
   return total;
 }
 
+ChainNetworkStats Chain::NetworkStats() {
+  ChainNetworkStats out;
+  out.net = network_->TotalStats();
+  {
+    std::shared_lock<std::shared_mutex> g(gate_);
+    for (const auto& r : replicas_) {
+      const ReplicaProtocolStats s = r->protocol_stats();
+      out.retransmits += s.retransmits;
+      out.dedup_dropped += s.dedup_dropped;
+      out.regen_acks += s.regen_acks;
+      out.reorder_buffered += s.reorder_buffered;
+      out.req_dedup_hits += s.req_dedup_hits;
+      out.heartbeats_sent += s.heartbeats_sent;
+      out.suspicions_reported += s.suspicions_reported;
+    }
+  }
+  out.suspicion_view_changes = membership_->suspicion_view_changes();
+  return out;
+}
+
 void Chain::BroadcastView() {
   const View v = membership_->current();
   for (auto& r : replicas_) {
@@ -91,68 +157,119 @@ void Chain::BroadcastView() {
 
 // --- Client API -----------------------------------------------------------------
 
-namespace {
-// Admission happens under the (shared) recovery gate; the wait for the tail
-// acknowledgment happens outside it so recovery can proceed while clients
-// are parked.
-Status WriteThroughGate(std::shared_mutex& gate, Replica* h, Op op) {
-  if (h == nullptr) {
-    return Status::Unavailable("no head");
+Status Chain::DeadlineStatus(const Status& last) const {
+  const View v = membership_->current();
+  const size_t full =
+      static_cast<size_t>(options_.kamino ? options_.f + 2 : options_.f + 1);
+  if (!v.nodes.empty() && v.nodes.size() < full) {
+    return Status::Degraded("chain below full strength: " + std::string(last.message()));
   }
-  Replica::WriteTicket ticket;
-  {
-    std::shared_lock<std::shared_mutex> g(gate);
-    ticket = h->AdmitWrite(op);
-  }
-  return h->WaitWrite(ticket);
+  return last.ok() ? Status::Unavailable("client deadline exceeded") : last;
 }
-}  // namespace
+
+Status Chain::RunWrite(Op op) {
+  op.req_id = next_req_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(options_.client_timeout_ms);
+  uint64_t attempt_ms = std::min<uint64_t>(options_.client_retry_base_ms,
+                                           std::max<uint64_t>(options_.client_timeout_ms, 1));
+  Status last = Status::Unavailable("no attempt made");
+  while (true) {
+    Replica* h = nullptr;
+    Replica::WriteTicket ticket;
+    {
+      // Admission happens under the (shared) recovery gate; the wait for the
+      // tail acknowledgment happens outside it so recovery can proceed while
+      // clients are parked.
+      std::shared_lock<std::shared_mutex> g(gate_);
+      h = head();
+      if (h != nullptr) {
+        ticket = h->AdmitWrite(op);
+      }
+    }
+    if (h == nullptr) {
+      last = Status::Unavailable("no head");
+    } else if (!ticket.admitted) {
+      if (ticket.status.code() != StatusCode::kUnavailable) {
+        return ticket.status;  // Definitive local rejection (e.g. NotFound).
+      }
+      last = ticket.status;
+    } else {
+      // Admitted (or recognized as a retry of an already-executed request).
+      // Wait one bounded attempt; on timeout, loop to re-admit at whatever
+      // head the chain has by then — the request id makes that safe.
+      const uint64_t wait = std::min(attempt_ms, std::max<uint64_t>(MsUntil(deadline), 1));
+      last = h->WaitWriteFor(ticket, wait);
+      if (last.ok()) {
+        return last;
+      }
+    }
+    if (MsUntil(deadline) == 0) {
+      return DeadlineStatus(last);
+    }
+    if (h == nullptr || !ticket.admitted) {
+      // Nothing is in flight for us; back off briefly before re-probing.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    attempt_ms = std::min<uint64_t>(attempt_ms * 2, options_.client_timeout_ms);
+  }
+}
 
 Status Chain::Upsert(uint64_t key, std::string value) {
   Op op;
   op.kind = OpKind::kUpsert;
   op.pairs.push_back({key, std::move(value)});
-  return WriteThroughGate(gate_, head(), std::move(op));
+  return RunWrite(std::move(op));
 }
 
 Status Chain::Delete(uint64_t key) {
   Op op;
   op.kind = OpKind::kDelete;
   op.pairs.push_back({key, ""});
-  return WriteThroughGate(gate_, head(), std::move(op));
+  return RunWrite(std::move(op));
 }
 
 Status Chain::MultiUpsert(std::vector<KvPair> pairs) {
   Op op;
   op.kind = OpKind::kMultiUpsert;
   op.pairs = std::move(pairs);
-  return WriteThroughGate(gate_, head(), std::move(op));
+  return RunWrite(std::move(op));
 }
 
 Result<std::string> Chain::Read(uint64_t key) {
-  std::shared_lock<std::shared_mutex> gate(gate_);
-  Replica* h = head();
-  if (h == nullptr) {
-    return Status::Unavailable("no head");
+  const auto deadline = Clock::now() + std::chrono::milliseconds(options_.client_timeout_ms);
+  uint64_t attempt_ms = std::min<uint64_t>(options_.client_retry_base_ms,
+                                           std::max<uint64_t>(options_.client_timeout_ms, 1));
+  Status last = Status::Unavailable("no attempt made");
+  while (true) {
+    Replica* h = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> g(gate_);
+      h = head();
+    }
+    if (h != nullptr) {
+      const uint64_t wait = std::min(attempt_ms, std::max<uint64_t>(MsUntil(deadline), 1));
+      Result<std::string> res = h->ClientRead(key, wait);
+      if (res.ok() || res.status().code() == StatusCode::kNotFound) {
+        return res;
+      }
+      last = res.status();
+    } else {
+      last = Status::Unavailable("no head");
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (MsUntil(deadline) == 0) {
+      return DeadlineStatus(last);
+    }
+    attempt_ms = std::min<uint64_t>(attempt_ms * 2, options_.client_timeout_ms);
   }
-  return h->ClientRead(key);
 }
 
 // --- Failure handling --------------------------------------------------------------
 
-Status Chain::KillReplica(uint64_t node_id) {
-  std::unique_lock<std::shared_mutex> gate(gate_);
-  Replica* victim = replica_by_id(node_id);
-  if (victim == nullptr) {
-    return Status::NotFound("no such replica");
-  }
-  const View before = membership_->current();
-  const bool was_head = before.head() == node_id;
-  const uint64_t pred = before.PredecessorOf(node_id);
-  const uint64_t succ = before.SuccessorOf(node_id);
-
-  victim->CrashStop();
-  membership_->ReportFailure(node_id);
+Status Chain::RepairLocked(uint64_t failed, const View& before) {
+  const bool was_head = before.head() == failed;
+  const uint64_t pred = before.PredecessorOf(failed);
+  const uint64_t succ = before.SuccessorOf(failed);
   BroadcastView();
 
   if (was_head) {
@@ -175,6 +292,42 @@ Status Chain::KillReplica(uint64_t node_id) {
   return Status::Ok();
 }
 
+void Chain::RepairWorker() {
+  while (true) {
+    RepairTask task;
+    {
+      std::unique_lock<std::mutex> lk(repair_mu_);
+      repair_cv_.wait(lk, [&] { return repair_stop_ || !repair_queue_.empty(); });
+      if (repair_queue_.empty()) {
+        return;  // Stop requested and nothing left to do.
+      }
+      task = std::move(repair_queue_.front());
+      repair_queue_.pop_front();
+    }
+    std::unique_lock<std::shared_mutex> gate(gate_);
+    Replica* victim = replica_by_id(task.failed);
+    if (victim != nullptr) {
+      // Fence: the suspect may be partitioned rather than dead. Taking it off
+      // the network makes "suspected" equivalent to "failed" before re-wiring.
+      victim->CrashStop();
+    }
+    (void)RepairLocked(task.failed, task.old_view);
+  }
+}
+
+Status Chain::KillReplica(uint64_t node_id) {
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  Replica* victim = replica_by_id(node_id);
+  if (victim == nullptr) {
+    return Status::NotFound("no such replica");
+  }
+  const View before = membership_->current();
+
+  victim->CrashStop();
+  membership_->ReportFailure(node_id);
+  return RepairLocked(node_id, before);
+}
+
 Status Chain::RebootReplica(uint64_t node_id) {
   std::unique_lock<std::shared_mutex> gate(gate_);
   Replica* victim = replica_by_id(node_id);
@@ -186,18 +339,9 @@ Status Chain::RebootReplica(uint64_t node_id) {
 
 Status Chain::AddReplica() {
   std::unique_lock<std::shared_mutex> gate(gate_);
-  ReplicaOptions ropts;
-  ropts.node_id = next_node_id_++;
-  ropts.kamino = options_.kamino;
-  ropts.head_alpha = options_.head_alpha;
-  ropts.pool_size = options_.pool_size;
-  ropts.log_region_size = options_.log_region_size;
-  ropts.flush_latency_ns = options_.flush_latency_ns;
-  ropts.client_timeout_ms = options_.client_timeout_ms;
-  ropts.network = network_.get();
-  ropts.membership = membership_.get();
-  auto replica = std::make_unique<Replica>(ropts);
-  membership_->AddTail(ropts.node_id);
+  auto replica = std::make_unique<Replica>(MakeReplicaOptions(next_node_id_));
+  const uint64_t id = next_node_id_++;
+  membership_->AddTail(id);
   BroadcastView();
   Replica* raw = replica.get();
   replicas_.push_back(std::move(replica));
@@ -207,22 +351,30 @@ Status Chain::AddReplica() {
 Status Chain::Quiesce(uint64_t timeout_ms) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
-  const View v = membership_->current();
   while (std::chrono::steady_clock::now() < deadline) {
-    bool drained = true;
-    for (uint64_t id : v.nodes) {
-      Replica* r = replica_by_id(id);
-      if (r != nullptr && r->alive() && r->in_flight_size() != 0) {
-        drained = false;
-        break;
+    {
+      // Shared-lock each poll so the detector's repair worker (which holds
+      // gate_ exclusively while re-wiring replicas and swapping engines)
+      // cannot mutate replicas_ or a replica's manager under our feet. The
+      // lock is dropped across the sleep so repair is never stalled for the
+      // whole quiesce timeout.
+      std::shared_lock<std::shared_mutex> g(gate_);
+      const View v = membership_->current();
+      bool drained = true;
+      for (uint64_t id : v.nodes) {
+        Replica* r = replica_by_id(id);
+        if (r != nullptr && r->alive() && r->in_flight_size() != 0) {
+          drained = false;
+          break;
+        }
       }
-    }
-    if (drained) {
-      Replica* h = replica_by_id(v.head());
-      if (h != nullptr && h->manager() != nullptr) {
-        h->manager()->WaitIdle();
+      if (drained) {
+        Replica* h = replica_by_id(v.head());
+        if (h != nullptr && h->manager() != nullptr) {
+          h->manager()->WaitIdle();
+        }
+        return Status::Ok();
       }
-      return Status::Ok();
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }

@@ -14,6 +14,46 @@ View MembershipManager::current() const {
   return view_;
 }
 
+void MembershipManager::SetViewChangeListener(ViewChangeListener listener) {
+  std::lock_guard<std::mutex> lk(mu_);
+  listener_ = std::move(listener);
+}
+
+Result<View> MembershipManager::ReportSuspicion(uint64_t reporter, uint64_t suspect,
+                                                uint64_t view_id) {
+  View old_view;
+  View new_view;
+  ViewChangeListener listener;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (view_id != view_.view_id) {
+      return Status::InvalidArgument("stale view in suspicion report");
+    }
+    if (!view_.Contains(reporter)) {
+      return Status::InvalidArgument("reporter is not a member");
+    }
+    auto it = std::find(view_.nodes.begin(), view_.nodes.end(), suspect);
+    if (it == view_.nodes.end()) {
+      return Status::NotFound("suspect is not a member");
+    }
+    old_view = view_;
+    view_.nodes.erase(it);
+    ++view_.view_id;
+    ++suspicion_view_changes_;
+    new_view = view_;
+    listener = listener_;
+  }
+  if (listener) {
+    listener(new_view, suspect, old_view);
+  }
+  return new_view;
+}
+
+uint64_t MembershipManager::suspicion_view_changes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return suspicion_view_changes_;
+}
+
 View MembershipManager::ReportFailure(uint64_t node) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = std::find(view_.nodes.begin(), view_.nodes.end(), node);

@@ -9,6 +9,7 @@
 #define SRC_CHAIN_MEMBERSHIP_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -51,13 +52,32 @@ struct View {
 
 class MembershipManager {
  public:
+  // Fired when a suspicion report changes the view (detector-driven view
+  // change). Called WITHOUT the membership lock held, from the reporting
+  // replica's thread — implementations must only enqueue work.
+  // `failed_node` is the member that was excised; `old_view` is the view it
+  // was excised from. Deliberately NOT fired by ReportFailure/AddTail: those
+  // are orchestrator-driven paths whose callers run the repair themselves.
+  using ViewChangeListener =
+      std::function<void(const View& new_view, uint64_t failed_node, const View& old_view)>;
+
   explicit MembershipManager(std::vector<uint64_t> initial_chain);
 
   View current() const;
 
+  void SetViewChangeListener(ViewChangeListener listener);
+
   // Fail-stop: removes `node`, producing a new view. Removing the head
   // promotes the second replica.
   View ReportFailure(uint64_t node);
+
+  // Failure-detector report (heartbeat silence). Accepted only when the
+  // reporter's view is current and both reporter and suspect are members —
+  // stale reports (e.g. the partner of an already-excised node re-reporting
+  // it, or a fenced node reporting its neighbours) are rejected, so exactly
+  // one view change happens per failure. On acceptance the suspect is
+  // removed, the view id bumps, and the listener is notified.
+  Result<View> ReportSuspicion(uint64_t reporter, uint64_t suspect, uint64_t view_id);
 
   // A repaired/new replica joins at the tail.
   View AddTail(uint64_t node);
@@ -67,9 +87,14 @@ class MembershipManager {
   // fail-stop path when its slot is gone.
   Result<View> RequestRejoin(uint64_t node, uint64_t believed_view_id);
 
+  // Detector-driven view changes since construction (suspicions accepted).
+  uint64_t suspicion_view_changes() const;
+
  private:
   mutable std::mutex mu_;
   View view_;
+  ViewChangeListener listener_;
+  uint64_t suspicion_view_changes_ = 0;
 };
 
 }  // namespace kamino::chain

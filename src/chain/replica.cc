@@ -6,8 +6,9 @@
 namespace kamino::chain {
 
 namespace {
-constexpr uint64_t kReceivePollMs = 50;
+constexpr uint64_t kReceivePollMs = 5;  // Also the timer-pass granularity.
 constexpr uint64_t kRecoveryTimeoutMs = 5'000;
+constexpr size_t kMaxRetxPerPass = 32;
 }  // namespace
 
 Replica::Replica(const ReplicaOptions& options) : options_(options) {
@@ -37,6 +38,18 @@ uint64_t Replica::nvm_bytes() const {
 size_t Replica::in_flight_size() const {
   std::lock_guard<std::mutex> lk(inflight_mu_);
   return in_flight_.size();
+}
+
+ReplicaProtocolStats Replica::protocol_stats() const {
+  ReplicaProtocolStats s;
+  s.retransmits = retransmits_.load(std::memory_order_relaxed);
+  s.dedup_dropped = dedup_dropped_.load(std::memory_order_relaxed);
+  s.regen_acks = regen_acks_.load(std::memory_order_relaxed);
+  s.reorder_buffered = reorder_buffered_.load(std::memory_order_relaxed);
+  s.req_dedup_hits = req_dedup_hits_.load(std::memory_order_relaxed);
+  s.heartbeats_sent = heartbeats_sent_.load(std::memory_order_relaxed);
+  s.suspicions_reported = suspicions_reported_.load(std::memory_order_relaxed);
+  return s;
 }
 
 txn::TxManagerOptions Replica::MgrOptions(bool head_role) const {
@@ -183,11 +196,18 @@ Status Replica::Init() {
 void Replica::Start() {
   stop_.store(false, std::memory_order_relaxed);
   running_.store(true, std::memory_order_relaxed);
+  {
+    // Fresh liveness grace for the neighbours: suspicion clocks start now.
+    std::lock_guard<std::mutex> lk(hb_mu_);
+    last_heard_.clear();
+    next_heartbeat_ = std::chrono::steady_clock::now();
+  }
   loop_thread_ = std::thread([this] { Loop(); });
 }
 
 void Replica::Stop() {
   stop_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(stop_mu_);
   if (loop_thread_.joinable()) {
     loop_thread_.join();
   }
@@ -216,6 +236,19 @@ void Replica::UpdateView(const View& view) {
     reack = view.tail() == options_.node_id && view.head() != 0 &&
             view.head() != options_.node_id &&
             (view.head() != old_head || old_tail != options_.node_id);
+  }
+  {
+    // New neighbours get a fresh suspicion grace period.
+    const uint64_t pred = view.PredecessorOf(options_.node_id);
+    const uint64_t succ = view.SuccessorOf(options_.node_id);
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lk(hb_mu_);
+    if (pred != 0) {
+      last_heard_[pred] = now;
+    }
+    if (succ != 0) {
+      last_heard_[succ] = now;
+    }
   }
   if (reack && running_.load(std::memory_order_relaxed)) {
     // Re-acknowledge progress to the new head so it can release inherited
@@ -268,14 +301,66 @@ Status Replica::RunOpTransaction(uint64_t op_id, const Op& op) {
 
 Status Replica::ApplyOp(uint64_t op_id, const Op& op) {
   if (op_id <= applied_watermark_.load(std::memory_order_relaxed)) {
-    return Status::Ok();  // Replay duplicate.
+    // Replay duplicate. Still record the request id: a rebooted replica
+    // relearns its dedup table from replayed ops.
+    if (op.req_id != 0) {
+      RecordRequest(op.req_id, op_id);
+    }
+    return Status::Ok();
   }
   Status st = RunOpTransaction(op_id, op);
   if (!st.ok()) {
     return st;
   }
   applied_watermark_.store(op_id, std::memory_order_relaxed);
+  if (op.req_id != 0) {
+    // Every replica remembers applied request ids so a promoted head can
+    // answer client retries for ops it applied as a middle.
+    RecordRequest(op.req_id, op_id);
+  }
   return Status::Ok();
+}
+
+void Replica::RecordRequest(uint64_t req_id, uint64_t op_id) {
+  std::lock_guard<std::mutex> lk(req_mu_);
+  auto [it, inserted] = req_to_op_.emplace(req_id, op_id);
+  if (!inserted) {
+    return;
+  }
+  req_fifo_.push_back(req_id);
+  while (req_fifo_.size() > kReqTableCap) {
+    req_to_op_.erase(req_fifo_.front());
+    req_fifo_.pop_front();
+  }
+}
+
+std::optional<uint64_t> Replica::LookupRequest(uint64_t req_id) {
+  std::lock_guard<std::mutex> lk(req_mu_);
+  auto it = req_to_op_.find(req_id);
+  if (it == req_to_op_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void Replica::InsertInFlight(uint64_t op_id, const Op& op) {
+  InFlight inf;
+  inf.op = op;
+  inf.backoff_ms = options_.retx_base_ms;
+  inf.next_retx = std::chrono::steady_clock::now() + std::chrono::milliseconds(options_.retx_base_ms);
+  std::lock_guard<std::mutex> lk(inflight_mu_);
+  in_flight_.emplace(op_id, std::move(inf));
+}
+
+void Replica::SendForward(uint64_t dst, uint64_t view_id, uint64_t op_id, const Op& op) {
+  Writer w;
+  w.U64(op_id);
+  EncodeOp(op, &w);
+  net::Message msg;
+  msg.type = kOpForward;
+  msg.view_id = view_id;
+  msg.payload = w.Take();
+  (void)endpoint_->Send(dst, std::move(msg));
 }
 
 void Replica::ForwardDownstream(uint64_t op_id, const Op& op) {
@@ -290,14 +375,7 @@ void Replica::ForwardDownstream(uint64_t op_id, const Op& op) {
     OnTailCommit(op_id);
     return;
   }
-  Writer w;
-  w.U64(op_id);
-  EncodeOp(op, &w);
-  net::Message msg;
-  msg.type = kOpForward;
-  msg.view_id = v.view_id;
-  msg.payload = w.Take();
-  (void)endpoint_->Send(succ, std::move(msg));
+  SendForward(succ, v.view_id, op_id, op);
 }
 
 void Replica::OnTailCommit(uint64_t op_id) {
@@ -306,13 +384,13 @@ void Replica::OnTailCommit(uint64_t op_id) {
     std::lock_guard<std::mutex> lk(view_mu_);
     v = view_;
   }
+  uint64_t prev = cleaned_below_.load(std::memory_order_relaxed);
+  while (prev < op_id &&
+         !cleaned_below_.compare_exchange_weak(prev, op_id, std::memory_order_relaxed)) {
+  }
   if (v.head() == options_.node_id) {
     // Local completion (single-node chain).
-    {
-      std::lock_guard<std::mutex> lk(comp_mu_);
-      last_acked_ = std::max(last_acked_, op_id);
-    }
-    comp_cv_.notify_all();
+    NoteCommitted(op_id);
     std::lock_guard<std::mutex> lk(inflight_mu_);
     in_flight_.erase(in_flight_.begin(), in_flight_.upper_bound(op_id));
     return;
@@ -346,6 +424,26 @@ void Replica::OnTailCommit(uint64_t op_id) {
   }
 }
 
+void Replica::NoteCommitted(uint64_t op_id) {
+  std::vector<std::vector<uint64_t>> to_unlock;
+  {
+    std::lock_guard<std::mutex> lk(comp_mu_);
+    last_acked_ = std::max(last_acked_, op_id);
+  }
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    // Inherited in-flight ops (head promotion) unlock on their acks.
+    for (auto it = orphan_ops_.begin(); it != orphan_ops_.end() && it->first <= op_id;) {
+      to_unlock.push_back(std::move(it->second));
+      it = orphan_ops_.erase(it);
+    }
+  }
+  for (const auto& keys : to_unlock) {
+    UnlockKeys(keys);
+  }
+  comp_cv_.notify_all();
+}
+
 // --- Client API (head) ----------------------------------------------------------
 
 void Replica::LockKeys(const std::vector<uint64_t>& keys) {
@@ -372,6 +470,18 @@ Replica::WriteTicket Replica::AdmitWrite(const Op& op) {
     ticket.status = Status::Unavailable("replica down");
     return ticket;
   }
+  if (op.req_id != 0) {
+    if (std::optional<uint64_t> known = LookupRequest(op.req_id)) {
+      // Client retry of a request this chain already executed (possibly under
+      // a previous head). Do not re-execute: hand back a ticket for the
+      // original op so the caller just waits for (or observes) its ack.
+      req_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      ticket.admitted = true;
+      ticket.op_id = *known;
+      ticket.status = Status::Ok();
+      return ticket;
+    }
+  }
   // Admission control for dependent transactions: per-key chain locks held
   // from admission until the tail acknowledges (paper §5: "the head node
   // holds appropriate locks until the tail commits").
@@ -391,10 +501,7 @@ Replica::WriteTicket Replica::AdmitWrite(const Op& op) {
     ticket.status = ApplyOp(ticket.op_id, op);
     if (ticket.status.ok()) {
       ++next_op_id_;
-      {
-        std::lock_guard<std::mutex> il(inflight_mu_);
-        in_flight_.emplace(ticket.op_id, op);
-      }
+      InsertInFlight(ticket.op_id, op);
       ForwardDownstream(ticket.op_id, op);
       ticket.admitted = true;
     }
@@ -416,15 +523,18 @@ Replica::WriteTicket Replica::AdmitWrite(const Op& op) {
 }
 
 Status Replica::WaitWrite(WriteTicket& ticket) {
+  return WaitWriteFor(ticket, options_.client_timeout_ms);
+}
+
+Status Replica::WaitWriteFor(WriteTicket& ticket, uint64_t timeout_ms) {
   if (!ticket.admitted) {
     return ticket.status;
   }
   Status out = Status::Ok();
   {
     std::unique_lock<std::mutex> lk(comp_mu_);
-    const bool done =
-        comp_cv_.wait_for(lk, std::chrono::milliseconds(options_.client_timeout_ms),
-                          [&] { return last_acked_ >= ticket.op_id; });
+    const bool done = comp_cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                                        [&] { return last_acked_ >= ticket.op_id; });
     if (!done) {
       out = Status::Unavailable("chain commit timeout");
     }
@@ -439,9 +549,12 @@ Status Replica::ClientWrite(const Op& op) {
   return WaitWrite(ticket);
 }
 
-Result<std::string> Replica::ClientRead(uint64_t key) {
+Result<std::string> Replica::ClientRead(uint64_t key, uint64_t timeout_ms) {
   if (!running_.load(std::memory_order_relaxed)) {
     return Status::Unavailable("replica down");
+  }
+  if (timeout_ms == 0) {
+    timeout_ms = options_.client_timeout_ms;
   }
   View v;
   {
@@ -471,9 +584,8 @@ Result<std::string> Replica::ClientRead(uint64_t key) {
     return send;
   }
   std::unique_lock<std::mutex> lk(read_mu_);
-  const bool done =
-      read_cv_.wait_for(lk, std::chrono::milliseconds(options_.client_timeout_ms),
-                        [&] { return reads_[req_id].done; });
+  const bool done = read_cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                                      [&] { return reads_[req_id].done; });
   PendingRead pr = std::move(reads_[req_id]);
   reads_.erase(req_id);
   if (!done) {
@@ -490,15 +602,128 @@ Result<std::string> Replica::ClientRead(uint64_t key) {
 void Replica::Loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     std::optional<net::Message> msg = endpoint_->Receive(kReceivePollMs);
-    if (!msg.has_value()) {
-      continue;
+    if (msg.has_value()) {
+      NoteHeard(msg->src);
+      if (IsDuplicateMessage(*msg)) {
+        dedup_dropped_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        HandleMessage(std::move(*msg));
+      }
+      if (crashed_mid_apply_.load(std::memory_order_relaxed)) {
+        // The simulated power failure takes the node off the network too.
+        options_.network->SetNodeDown(options_.node_id, true);
+        running_.store(false, std::memory_order_relaxed);
+        return;
+      }
     }
-    HandleMessage(std::move(*msg));
-    if (crashed_mid_apply_.load(std::memory_order_relaxed)) {
-      // The simulated power failure takes the node off the network too.
-      options_.network->SetNodeDown(options_.node_id, true);
-      running_.store(false, std::memory_order_relaxed);
-      return;
+    TimerPass(std::chrono::steady_clock::now());
+  }
+}
+
+void Replica::NoteHeard(uint64_t src) {
+  std::lock_guard<std::mutex> lk(hb_mu_);
+  last_heard_[src] = std::chrono::steady_clock::now();
+}
+
+bool Replica::IsDuplicateMessage(const net::Message& msg) {
+  PeerWindow& w = peer_windows_[msg.src];
+  if (msg.seq + kSeqWindow < w.max_seq) {
+    return true;  // Far behind the window: assume duplicate.
+  }
+  if (!w.seen.insert({msg.seq, msg.view_id}).second) {
+    return true;
+  }
+  w.max_seq = std::max(w.max_seq, msg.seq);
+  while (!w.seen.empty() && w.seen.begin()->first + kSeqWindow < w.max_seq) {
+    w.seen.erase(w.seen.begin());
+  }
+  return false;
+}
+
+void Replica::TimerPass(std::chrono::steady_clock::time_point now) {
+  View v;
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    v = view_;
+  }
+  const uint64_t self = options_.node_id;
+  const uint64_t pred = v.PredecessorOf(self);
+  const uint64_t succ = v.SuccessorOf(self);
+  const uint64_t neighbours[2] = {pred, succ};
+
+  if (options_.heartbeat_interval_ms > 0 && v.Contains(self)) {
+    bool beat = false;
+    {
+      std::lock_guard<std::mutex> lk(hb_mu_);
+      if (now >= next_heartbeat_) {
+        next_heartbeat_ = now + std::chrono::milliseconds(options_.heartbeat_interval_ms);
+        beat = true;
+      }
+    }
+    if (beat) {
+      for (uint64_t n : neighbours) {
+        if (n == 0) {
+          continue;
+        }
+        Writer w;
+        w.U64(applied_watermark_.load(std::memory_order_relaxed));
+        net::Message msg;
+        msg.type = kHeartbeat;
+        msg.view_id = v.view_id;
+        msg.payload = w.Take();
+        (void)endpoint_->Send(n, std::move(msg));
+        heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // A silent neighbour is reported to the membership manager, which
+    // validates (current view, both still members) so only the first report
+    // per failure triggers the view change.
+    std::vector<uint64_t> suspects;
+    {
+      std::lock_guard<std::mutex> lk(hb_mu_);
+      for (uint64_t n : neighbours) {
+        if (n == 0) {
+          continue;
+        }
+        auto it = last_heard_.find(n);
+        if (it == last_heard_.end()) {
+          last_heard_[n] = now;  // First sighting of this neighbour: grace.
+          continue;
+        }
+        if (now - it->second > std::chrono::milliseconds(options_.suspicion_timeout_ms) &&
+            reported_.insert({v.view_id, n}).second) {
+          suspects.push_back(n);
+        }
+      }
+    }
+    for (uint64_t n : suspects) {
+      suspicions_reported_.fetch_add(1, std::memory_order_relaxed);
+      (void)options_.membership->ReportSuspicion(self, n, v.view_id);
+    }
+  }
+
+  // Retransmit overdue in-flight ops to the successor with exponential
+  // backoff. The cleanup ack (tail committed) is what stops retransmission;
+  // the receive side regenerates acks for anything it already applied.
+  if (succ != 0) {
+    std::vector<std::pair<uint64_t, Op>> resend;
+    {
+      std::lock_guard<std::mutex> lk(inflight_mu_);
+      for (auto& [op_id, inf] : in_flight_) {
+        if (inf.next_retx > now) {
+          continue;
+        }
+        inf.backoff_ms = std::min(inf.backoff_ms * 2, options_.retx_cap_ms);
+        inf.next_retx = now + std::chrono::milliseconds(inf.backoff_ms);
+        resend.emplace_back(op_id, inf.op);
+        if (resend.size() >= kMaxRetxPerPass) {
+          break;
+        }
+      }
+    }
+    for (auto& [op_id, op] : resend) {
+      retransmits_.fetch_add(1, std::memory_order_relaxed);
+      SendForward(succ, v.view_id, op_id, op);
     }
   }
 }
@@ -514,23 +739,7 @@ void Replica::HandleMessage(net::Message&& msg) {
       if (!r.U64(&op_id)) {
         return;
       }
-      std::vector<std::vector<uint64_t>> to_unlock;
-      {
-        std::lock_guard<std::mutex> lk(comp_mu_);
-        last_acked_ = std::max(last_acked_, op_id);
-      }
-      {
-        std::lock_guard<std::mutex> lk(view_mu_);
-        // Inherited in-flight ops (head promotion) unlock on their acks.
-        for (auto it = orphan_ops_.begin(); it != orphan_ops_.end() && it->first <= op_id;) {
-          to_unlock.push_back(std::move(it->second));
-          it = orphan_ops_.erase(it);
-        }
-      }
-      for (const auto& keys : to_unlock) {
-        UnlockKeys(keys);
-      }
-      comp_cv_.notify_all();
+      NoteCommitted(op_id);
       break;
     }
     case kCleanupAck:
@@ -574,9 +783,23 @@ void Replica::HandleMessage(net::Message&& msg) {
       (void)endpoint_->Send(msg.src, std::move(reply));
       break;
     }
+    case kTailInfo: {
+      // The tail's progress report: everything at or below it is committed
+      // chain-wide (the tail applies strictly in order).
+      Reader r(msg.payload);
+      uint64_t watermark = 0;
+      if (!r.U64(&watermark)) {
+        return;
+      }
+      NoteCommitted(watermark);
+      break;
+    }
     case kStateReq: {
       // Bulk state transfer for a joining tail. The chain is quiesced by the
-      // orchestrator during joins, so a raw snapshot is consistent.
+      // orchestrator during joins, but the engine's applier threads release
+      // log slots asynchronously even after the last client op is acked —
+      // drain them before taking the raw snapshot.
+      mgr_->WaitIdle();
       net::Message reply;
       reply.type = kStateChunk;
       reply.view_id = msg.view_id;
@@ -584,9 +807,22 @@ void Replica::HandleMessage(net::Message&& msg) {
       (void)endpoint_->Send(msg.src, std::move(reply));
       break;
     }
+    case kHeartbeat:
+      // Liveness only; NoteHeard already refreshed the suspicion clock.
+      break;
     default:
       break;
   }
+}
+
+bool Replica::ApplyAndForward(uint64_t op_id, const Op& op) {
+  Status st = ApplyOp(op_id, op);
+  if (!st.ok()) {
+    return false;  // Mid-apply crash fault, or a hard error; do not forward.
+  }
+  InsertInFlight(op_id, op);
+  ForwardDownstream(op_id, op);
+  return true;
 }
 
 void Replica::HandleOpForward(const net::Message& msg) {
@@ -596,31 +832,74 @@ void Replica::HandleOpForward(const net::Message& msg) {
   if (!r.U64(&op_id) || !DecodeOp(&r, &op)) {
     return;
   }
-  Status st = ApplyOp(op_id, op);
-  if (!st.ok()) {
-    return;  // Mid-apply crash fault, or a hard error; do not forward.
-  }
-  {
-    std::lock_guard<std::mutex> lk(inflight_mu_);
-    in_flight_.emplace(op_id, op);
-  }
+  const uint64_t applied = applied_watermark_.load(std::memory_order_relaxed);
   View v;
   {
     std::lock_guard<std::mutex> lk(view_mu_);
     v = view_;
   }
   const uint64_t succ = v.SuccessorOf(options_.node_id);
-  if (succ != 0) {
-    Writer w;
-    w.U64(op_id);
-    EncodeOp(op, &w);
-    net::Message fwd;
-    fwd.type = kOpForward;
-    fwd.view_id = v.view_id;
-    fwd.payload = w.Take();
-    (void)endpoint_->Send(succ, std::move(fwd));
-  } else {
-    OnTailCommit(op_id);
+
+  if (op_id <= applied) {
+    // Already applied: the sender retransmitted because some downstream ack
+    // or upstream cleanup was lost. Regenerate what it is evidently missing
+    // instead of re-executing (idempotence).
+    regen_acks_.fetch_add(1, std::memory_order_relaxed);
+    if (op.req_id != 0) {
+      RecordRequest(op.req_id, op_id);
+    }
+    if (succ == 0) {
+      OnTailCommit(op_id);  // Tail: re-ack the head, re-clean upstream.
+      return;
+    }
+    const uint64_t cleaned = cleaned_below_.load(std::memory_order_relaxed);
+    if (op_id <= cleaned) {
+      // Committed chain-wide already: the sender just needs the cleanup.
+      const uint64_t pred = v.PredecessorOf(options_.node_id);
+      if (pred != 0) {
+        Writer w;
+        w.U64(cleaned);
+        net::Message fwd;
+        fwd.type = kCleanupAck;
+        fwd.view_id = v.view_id;
+        fwd.payload = w.Take();
+        (void)endpoint_->Send(pred, std::move(fwd));
+      }
+      return;
+    }
+    // Still awaiting the tail: push the pipeline downstream again.
+    SendForward(succ, v.view_id, op_id, op);
+    return;
+  }
+
+  if (op_id > applied + 1) {
+    // Ahead of the watermark (reordered or lossy link): buffer until the gap
+    // fills. Replicas must apply strictly in op_id order — offset determinism
+    // across the chain is what makes neighbour byte-range repair sound.
+    reorder_buffered_.fetch_add(1, std::memory_order_relaxed);
+    pending_ops_.emplace(op_id, std::move(op));
+    return;
+  }
+
+  // In-order: apply, then drain any buffered run that became consecutive.
+  if (!ApplyAndForward(op_id, op)) {
+    return;
+  }
+  while (!pending_ops_.empty()) {
+    auto it = pending_ops_.begin();
+    const uint64_t next = applied_watermark_.load(std::memory_order_relaxed) + 1;
+    if (it->first < next) {
+      pending_ops_.erase(it);
+      continue;
+    }
+    if (it->first > next) {
+      break;
+    }
+    Op buffered = std::move(it->second);
+    pending_ops_.erase(it);
+    if (!ApplyAndForward(next, buffered)) {
+      return;
+    }
   }
 }
 
@@ -634,6 +913,14 @@ void Replica::HandleCleanupAck(const net::Message& msg) {
     std::lock_guard<std::mutex> lk(inflight_mu_);
     in_flight_.erase(in_flight_.begin(), in_flight_.upper_bound(op_id));
   }
+  uint64_t prev = cleaned_below_.load(std::memory_order_relaxed);
+  while (prev < op_id &&
+         !cleaned_below_.compare_exchange_weak(prev, op_id, std::memory_order_relaxed)) {
+  }
+  // Cleanup originates at the tail commit, so it is also commit evidence: if
+  // the direct tail ack was lost, the head still learns completion here and
+  // releases waiting clients.
+  NoteCommitted(op_id);
   View v;
   {
     std::lock_guard<std::mutex> lk(view_mu_);
@@ -704,7 +991,9 @@ void Replica::HandleReplayReq(const net::Message& msg) {
   std::map<uint64_t, Op> snapshot;
   {
     std::lock_guard<std::mutex> lk(inflight_mu_);
-    snapshot = in_flight_;
+    for (const auto& [op_id, inf] : in_flight_) {
+      snapshot.emplace(op_id, inf.op);
+    }
   }
   View v;
   {
@@ -715,14 +1004,7 @@ void Replica::HandleReplayReq(const net::Message& msg) {
     if (op_id <= from) {
       continue;
     }
-    Writer w;
-    w.U64(op_id);
-    EncodeOp(op, &w);
-    net::Message fwd;
-    fwd.type = kOpForward;
-    fwd.view_id = v.view_id;
-    fwd.payload = w.Take();
-    (void)endpoint_->Send(msg.src, std::move(fwd));
+    SendForward(msg.src, v.view_id, op_id, op);
   }
 }
 
@@ -879,6 +1161,15 @@ Status Replica::QuickReboot() {
     std::lock_guard<std::mutex> lk(comp_mu_);
     last_acked_ = 0;
   }
+  {
+    std::lock_guard<std::mutex> lk(req_mu_);
+    req_to_op_.clear();
+    req_fifo_.clear();
+  }
+  // Loop-thread state (the loop is stopped here).
+  pending_ops_.clear();
+  peer_windows_.clear();
+  cleaned_below_.store(0, std::memory_order_relaxed);
 
   // 2. Rejoin: learn the current view and our neighbours (paper §5.3).
   Result<View> view = options_.membership->RequestRejoin(
@@ -918,7 +1209,11 @@ Status Replica::QuickReboot() {
 
 Status Replica::PromoteToHead() {
   // Called after the membership change already made this node the head.
+  // Promotion can now happen mid-traffic (detector-driven): stop the loop
+  // first, then let the engine's appliers drain before touching the log.
   Stop();
+  mgr_->WaitIdle();
+  pending_ops_.clear();  // Buffered future ops died with the old head.
   View v;
   {
     std::lock_guard<std::mutex> lk(view_mu_);
@@ -997,9 +1292,9 @@ Status Replica::PromoteToHead() {
   {
     std::lock_guard<std::mutex> il(inflight_mu_);
     std::lock_guard<std::mutex> vl(view_mu_);
-    for (const auto& [op_id, op] : in_flight_) {
+    for (const auto& [op_id, inf] : in_flight_) {
       std::vector<uint64_t> keys;
-      for (const KvPair& p : op.pairs) {
+      for (const KvPair& p : inf.op.pairs) {
         keys.push_back(p.key);
       }
       std::sort(keys.begin(), keys.end());

@@ -17,16 +17,30 @@
 // incomplete transaction by fetching those byte ranges from a neighbour
 // (roll forward from the predecessor; roll back from the successor when
 // promoted to head) — paper §5.3 and Figure 9.
+//
+// Lossy-network hardening (DESIGN.md §9): every received message passes a
+// per-sender dedup window on (src, view_id, seq) that discards network-level
+// duplicates; op forwards that arrive ahead of the apply watermark are
+// buffered and applied in op_id order; every replica retransmits its
+// in-flight ops downstream with exponential backoff until the tail's
+// cleanup acknowledgment erases them, and duplicate forwards regenerate the
+// acks/cleanups the sender is evidently missing. An optional heartbeat
+// failure detector reports silent neighbours to the MembershipManager,
+// which drives the view change (Chain runs the repair).
 
 #ifndef SRC_CHAIN_REPLICA_H_
 #define SRC_CHAIN_REPLICA_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <thread>
+#include <unordered_map>
 
 #include "src/chain/membership.h"
 #include "src/chain/wire.h"
@@ -45,8 +59,30 @@ struct ReplicaOptions {
   uint64_t log_region_size = 8ull << 20;
   uint32_t flush_latency_ns = 0;  // Emulated NVM write-back cost per line.
   uint64_t client_timeout_ms = 10'000;
+  // Retransmission of in-flight ops to the successor: first retry after
+  // `retx_base_ms` without a cleanup ack, then doubling up to `retx_cap_ms`.
+  // The base is far above the healthy end-to-end commit time, so a loss-free
+  // chain never retransmits.
+  uint32_t retx_base_ms = 50;
+  uint32_t retx_cap_ms = 800;
+  // Heartbeat failure detector. 0 disables it (failures are then only
+  // injected/fenced by the orchestrator, the pre-detector behaviour).
+  uint32_t heartbeat_interval_ms = 0;
+  // A neighbour silent for this long is reported to the MembershipManager.
+  uint32_t suspicion_timeout_ms = 500;
   net::Network* network = nullptr;
   MembershipManager* membership = nullptr;
+};
+
+// Chain-protocol counters (all volatile, monotonic since construction).
+struct ReplicaProtocolStats {
+  uint64_t retransmits = 0;       // In-flight ops re-forwarded downstream.
+  uint64_t dedup_dropped = 0;     // Messages discarded by the seq window.
+  uint64_t regen_acks = 0;        // Acks/cleanups regenerated for duplicates.
+  uint64_t reorder_buffered = 0;  // Op forwards buffered for in-order apply.
+  uint64_t req_dedup_hits = 0;    // Client retries answered from the req table.
+  uint64_t heartbeats_sent = 0;
+  uint64_t suspicions_reported = 0;
 };
 
 class Replica {
@@ -69,14 +105,21 @@ class Replica {
     std::vector<uint64_t> keys;
     Status status;  // Admission outcome.
   };
-  // Takes the chain key locks, executes locally, forwards downstream.
+  // Takes the chain key locks, executes locally, forwards downstream. If
+  // op.req_id is a request this replica has already applied (a client
+  // retry), no re-execution happens: the ticket carries the original op_id
+  // and WaitWrite waits for (or immediately observes) its acknowledgment —
+  // exactly-once semantics across retries and head changes.
   WriteTicket AdmitWrite(const Op& op);
   // Waits for the tail ack and releases the key locks.
   Status WaitWrite(WriteTicket& ticket);
+  // Same with an explicit wait bound (client retry loops use short bounds).
+  Status WaitWriteFor(WriteTicket& ticket, uint64_t timeout_ms);
   // Convenience: AdmitWrite + WaitWrite.
   Status ClientWrite(const Op& op);
 
-  Result<std::string> ClientRead(uint64_t key);
+  // `timeout_ms` = 0 uses the configured client timeout.
+  Result<std::string> ClientRead(uint64_t key, uint64_t timeout_ms = 0);
 
   // --- Failure injection / recovery (driven by Chain) ----------------------
 
@@ -115,6 +158,7 @@ class Replica {
   nvm::Pool* backup_pool() { return backup_pool_.get(); }
   // Ops forwarded but not yet cleaned up.
   size_t in_flight_size() const;
+  ReplicaProtocolStats protocol_stats() const;
 
  private:
   // Persistent anchor at the heap root: the tree anchor plus a ring of
@@ -129,6 +173,24 @@ class Replica {
     uint64_t ring[kMarkerRing];
   };
 
+  // Dedup window per sender: seqs within kSeqWindow of the max seen are
+  // tracked exactly; anything older than the window is assumed duplicate.
+  static constexpr uint64_t kSeqWindow = 8192;
+  struct PeerWindow {
+    uint64_t max_seq = 0;
+    std::set<std::pair<uint64_t, uint64_t>> seen;  // (seq, view_id)
+  };
+
+  // In-flight op: buffered for downstream replay + retransmission until the
+  // cleanup ack covers it.
+  struct InFlight {
+    Op op;
+    std::chrono::steady_clock::time_point next_retx;
+    uint32_t backoff_ms = 0;
+  };
+
+  static constexpr size_t kReqTableCap = 1 << 16;
+
   Status BuildStore(bool attach, bool run_recovery);
   txn::TxManagerOptions MgrOptions(bool head_role) const;
 
@@ -140,18 +202,32 @@ class Replica {
 
   void Loop();
   void HandleMessage(net::Message&& msg);
+  // Heartbeats, suspicion checks, retransmissions. Loop thread only.
+  void TimerPass(std::chrono::steady_clock::time_point now);
+  void NoteHeard(uint64_t src);
+  bool IsDuplicateMessage(const net::Message& msg);  // Loop thread only.
 
   // Applies `op` in one local transaction (idempotent via the marker).
   Status ApplyOp(uint64_t op_id, const Op& op);
   Status RunOpTransaction(uint64_t op_id, const Op& op);
+  // ApplyOp + in-flight insert + downstream forward; false if apply failed.
+  bool ApplyAndForward(uint64_t op_id, const Op& op);
   void ForwardDownstream(uint64_t op_id, const Op& op);
+  void SendForward(uint64_t dst, uint64_t view_id, uint64_t op_id, const Op& op);
   void OnTailCommit(uint64_t op_id);
+  void InsertInFlight(uint64_t op_id, const Op& op);
+
+  // Request-dedup table (volatile, bounded, maintained on every replica so
+  // a newly promoted head inherits it for the ops it has applied).
+  void RecordRequest(uint64_t req_id, uint64_t op_id);
+  std::optional<uint64_t> LookupRequest(uint64_t req_id);
 
   void HandleOpForward(const net::Message& msg);
   void HandleReadReq(const net::Message& msg);
   void HandleFetchObjects(const net::Message& msg);
   void HandleReplayReq(const net::Message& msg);
   void HandleCleanupAck(const net::Message& msg);
+  void NoteCommitted(uint64_t op_id);  // Raises last_acked_, wakes waiters.
 
   // Reboot helpers: resolve incomplete transactions against a neighbour.
   Status ResolveIncompleteFromNeighbour(uint64_t neighbour, bool roll_forward);
@@ -176,7 +252,10 @@ class Replica {
   mutable std::mutex view_mu_;
   View view_;
 
-  // Message loop.
+  // Message loop. stop_mu_ serializes Stop() callers: the failure detector's
+  // repair worker, test injectors, and the destructor can race to fence the
+  // same replica.
+  std::mutex stop_mu_;
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
@@ -185,7 +264,10 @@ class Replica {
   std::mutex exec_mu_;
   uint64_t next_op_id_ = 1;
 
-  // Completion watermark (tail acks arrive in order).
+  // Completion watermark. Raised by tail acks and by cleanup acks (cleanup
+  // originates at the tail commit, so it carries the same information — the
+  // head must not depend on the direct tail->head ack alone surviving a
+  // lossy network).
   std::mutex comp_mu_;
   std::condition_variable comp_cv_;
   uint64_t last_acked_ = 0;
@@ -203,7 +285,28 @@ class Replica {
 
   // In-flight ops: forwarded (or admitted, at the head) but not cleaned up.
   mutable std::mutex inflight_mu_;
-  std::map<uint64_t, Op> in_flight_;
+  std::map<uint64_t, InFlight> in_flight_;
+  // Everything <= this op id has been committed by the tail and cleaned up.
+  std::atomic<uint64_t> cleaned_below_{0};
+
+  // Op forwards that arrived ahead of the watermark (reordered network):
+  // buffered until the gap fills, applied strictly in op_id order.
+  // Loop thread only.
+  std::map<uint64_t, Op> pending_ops_;
+
+  // Per-sender dedup windows. Loop thread only.
+  std::map<uint64_t, PeerWindow> peer_windows_;
+
+  // Heartbeat / failure-detector state.
+  std::mutex hb_mu_;
+  std::map<uint64_t, std::chrono::steady_clock::time_point> last_heard_;
+  std::set<std::pair<uint64_t, uint64_t>> reported_;  // (view_id, suspect)
+  std::chrono::steady_clock::time_point next_heartbeat_{};
+
+  // Request-dedup table.
+  std::mutex req_mu_;
+  std::unordered_map<uint64_t, uint64_t> req_to_op_;
+  std::deque<uint64_t> req_fifo_;
 
   // Chain-level key locks (head).
   std::mutex keylock_mu_;
@@ -216,6 +319,15 @@ class Replica {
   // Keys of in-flight ops adopted during head promotion, unlocked when the
   // tail's (re-)acks arrive.
   std::map<uint64_t, std::vector<uint64_t>> orphan_ops_;
+
+  // Protocol counters (see ReplicaProtocolStats).
+  std::atomic<uint64_t> retransmits_{0};
+  std::atomic<uint64_t> dedup_dropped_{0};
+  std::atomic<uint64_t> regen_acks_{0};
+  std::atomic<uint64_t> reorder_buffered_{0};
+  std::atomic<uint64_t> req_dedup_hits_{0};
+  std::atomic<uint64_t> heartbeats_sent_{0};
+  std::atomic<uint64_t> suspicions_reported_{0};
 
   // Fault injection.
   std::atomic<bool> crash_next_apply_{false};

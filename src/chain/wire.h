@@ -32,6 +32,7 @@ enum MsgType : uint64_t {
   kTailInfo = 10,    // Tail's last applied op id.
   kStateReq = 11,    // New tail asks predecessor for a full state transfer.
   kStateChunk = 12,  // Bulk heap bytes.
+  kHeartbeat = 13,   // Liveness beacon to chain neighbours (payload: applied watermark).
 };
 
 enum class OpKind : uint32_t {
@@ -47,6 +48,11 @@ struct KvPair {
 
 struct Op {
   OpKind kind = OpKind::kUpsert;
+  // Client-assigned request id (0 = none). Travels with the op to every
+  // replica so any head — including one promoted mid-request — can detect a
+  // retried request and return the original outcome instead of executing it
+  // a second time (exactly-once client retries).
+  uint64_t req_id = 0;
   std::vector<KvPair> pairs;  // kDelete uses pairs[0].key only.
 };
 
@@ -108,6 +114,7 @@ class Reader {
 
 inline void EncodeOp(const Op& op, Writer* w) {
   w->U32(static_cast<uint32_t>(op.kind));
+  w->U64(op.req_id);
   w->U32(static_cast<uint32_t>(op.pairs.size()));
   for (const KvPair& p : op.pairs) {
     w->U64(p.key);
@@ -117,7 +124,7 @@ inline void EncodeOp(const Op& op, Writer* w) {
 
 inline bool DecodeOp(Reader* r, Op* op) {
   uint32_t kind = 0, n = 0;
-  if (!r->U32(&kind) || !r->U32(&n)) {
+  if (!r->U32(&kind) || !r->U64(&op->req_id) || !r->U32(&n)) {
     return false;
   }
   op->kind = static_cast<OpKind>(kind);

@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kNotSupported:
       return "NOT_SUPPORTED";
+    case StatusCode::kDegraded:
+      return "DEGRADED";
   }
   return "UNKNOWN";
 }

@@ -32,6 +32,10 @@ enum class StatusCode : uint8_t {
   kInternal,
   kIoError,
   kNotSupported,
+  // The service is up but operating below full strength (e.g. a replica
+  // chain that lost a member and has not been repaired yet). Callers may
+  // retry, but should expect reduced fault tolerance until repair.
+  kDegraded,
 };
 
 // Returns a stable, human-readable name for `code` (e.g. "OUT_OF_MEMORY").
@@ -70,6 +74,7 @@ class Status {
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
+  static Status Degraded(std::string msg) { return Status(StatusCode::kDegraded, std::move(msg)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -9,7 +9,8 @@ namespace kamino::net {
 Status Endpoint::Send(uint64_t dst, Message msg) {
   msg.src = node_id_;
   msg.dst = dst;
-  ++sent_;
+  msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  sent_.fetch_add(1, std::memory_order_relaxed);
   return net_->Submit(std::move(msg));
 }
 
@@ -54,7 +55,8 @@ void Endpoint::Deliver(Message msg) {
 
 // --- Network ------------------------------------------------------------------
 
-Network::Network(const NetworkOptions& options) : options_(options) {
+Network::Network(const NetworkOptions& options)
+    : options_(options), fault_rng_(options.fault_seed) {
   delivery_thread_ = std::thread([this] { DeliveryLoop(); });
 }
 
@@ -104,12 +106,67 @@ void Network::SetNodeDown(uint64_t node_id, bool down) {
 
 void Network::CutLink(uint64_t a, uint64_t b, bool cut) {
   std::lock_guard<std::mutex> lk(mu_);
-  const auto key = std::minmax(a, b);
   if (cut) {
-    cut_links_.insert({key.first, key.second});
+    cut_links_[LinkKey(a, b)] = std::chrono::steady_clock::time_point::max();
   } else {
-    cut_links_.erase({key.first, key.second});
+    cut_links_.erase(LinkKey(a, b));
   }
+}
+
+void Network::CutLinkFor(uint64_t a, uint64_t b, uint64_t duration_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cut_links_[LinkKey(a, b)] =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(duration_ms);
+}
+
+void Network::SetLinkFaults(uint64_t a, uint64_t b, const LinkFaults& faults) {
+  std::lock_guard<std::mutex> lk(mu_);
+  link_faults_[LinkKey(a, b)] = faults;
+}
+
+void Network::SetDefaultFaults(const LinkFaults& faults) {
+  std::lock_guard<std::mutex> lk(mu_);
+  default_faults_ = faults;
+}
+
+void Network::ClearFaults() {
+  std::lock_guard<std::mutex> lk(mu_);
+  link_faults_.clear();
+  default_faults_ = LinkFaults();
+  cut_links_.clear();
+}
+
+EndpointStats Network::StatsFor(uint64_t node_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = stats_.find(node_id);
+  return it == stats_.end() ? EndpointStats() : it->second;
+}
+
+EndpointStats Network::TotalStats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  EndpointStats total;
+  for (const auto& [id, s] : stats_) {
+    total += s;
+  }
+  return total;
+}
+
+bool Network::LinkCutLocked(uint64_t a, uint64_t b,
+                            std::chrono::steady_clock::time_point now) {
+  auto it = cut_links_.find(LinkKey(a, b));
+  if (it == cut_links_.end()) {
+    return false;
+  }
+  if (now >= it->second) {
+    cut_links_.erase(it);  // Transient partition healed.
+    return false;
+  }
+  return true;
+}
+
+const LinkFaults& Network::FaultsForLocked(uint64_t a, uint64_t b) const {
+  auto it = link_faults_.find(LinkKey(a, b));
+  return it == link_faults_.end() ? default_faults_ : it->second;
 }
 
 Status Network::Submit(Message msg) {
@@ -117,16 +174,40 @@ Status Network::Submit(Message msg) {
   if (endpoints_.find(msg.dst) == endpoints_.end()) {
     return Status::NotFound("no such endpoint");
   }
-  if (down_nodes_.count(msg.src) != 0 || down_nodes_.count(msg.dst) != 0) {
+  EndpointStats& st = stats_[msg.src];
+  ++st.sent;
+  const auto now = std::chrono::steady_clock::now();
+  if (down_nodes_.count(msg.src) != 0 || down_nodes_.count(msg.dst) != 0 ||
+      LinkCutLocked(msg.src, msg.dst, now)) {
+    ++st.dropped;
     return Status::Ok();  // Silently dropped, like a real wire.
   }
-  const auto key = std::minmax(msg.src, msg.dst);
-  if (cut_links_.count({key.first, key.second}) != 0) {
+  const LinkFaults& faults = FaultsForLocked(msg.src, msg.dst);
+  if (faults.drop_probability > 0 && fault_rng_.NextDouble() < faults.drop_probability) {
+    ++st.dropped;
     return Status::Ok();
   }
+  auto deliver_at = now + std::chrono::microseconds(options_.one_way_latency_us);
+  if (faults.reorder_probability > 0 &&
+      fault_rng_.NextDouble() < faults.reorder_probability) {
+    ++st.reordered;
+    deliver_at += std::chrono::microseconds(
+        1 + fault_rng_.NextBounded(std::max<uint32_t>(faults.reorder_window_us, 1)));
+  }
+  if (faults.duplicate_probability > 0 &&
+      fault_rng_.NextDouble() < faults.duplicate_probability) {
+    ++st.duplicated;
+    Pending dup;
+    // The copy trails the original by a fraction of the latency so both
+    // orderings of (original, copy) occur across a run.
+    dup.deliver_at =
+        deliver_at + std::chrono::microseconds(
+                         fault_rng_.NextBounded(options_.one_way_latency_us + 1));
+    dup.msg = msg;
+    pending_.push(std::move(dup));
+  }
   Pending p;
-  p.deliver_at = std::chrono::steady_clock::now() +
-                 std::chrono::microseconds(options_.one_way_latency_us);
+  p.deliver_at = deliver_at;
   p.msg = std::move(msg);
   pending_.push(std::move(p));
   cv_.notify_all();
@@ -150,9 +231,12 @@ void Network::DeliveryLoop() {
     }
     Pending p = std::move(const_cast<Pending&>(pending_.top()));
     pending_.pop();
-    // Re-check drop conditions at delivery time (node may have died while
-    // the message was in flight).
-    if (down_nodes_.count(p.msg.dst) != 0) {
+    // Re-check drop conditions at delivery time (the node may have died or
+    // the link may have been cut while the message was in flight — in-flight
+    // messages are lost in both cases, see the header comment).
+    if (down_nodes_.count(p.msg.dst) != 0 ||
+        LinkCutLocked(p.msg.src, p.msg.dst, now)) {
+      ++stats_[p.msg.src].dropped;
       continue;
     }
     auto it = endpoints_.find(p.msg.dst);
@@ -160,6 +244,7 @@ void Network::DeliveryLoop() {
       continue;
     }
     Endpoint* ep = it->second.get();
+    ++stats_[p.msg.dst].delivered;
     lk.unlock();
     ep->Deliver(std::move(p.msg));
     lk.lock();

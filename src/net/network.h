@@ -8,10 +8,33 @@
 // background thread after a configurable one-way latency, and links can be
 // cut or endpoints crashed to drive the failure-handling protocols
 // (paper §5.2, §5.3).
+//
+// Beyond clean crashes and clean link cuts, every link can be given a fault
+// model (LinkFaults): messages may be dropped, duplicated, or reordered
+// (delivered with extra random delay so later sends overtake them), and
+// links can be partitioned transiently (CutLinkFor). Faults are decided at
+// Submit time by a seeded PRNG (NetworkOptions::fault_seed) so chaos runs
+// are reproducible for a fixed seed and send order. Per-endpoint counters
+// make chaos runs observable (EndpointStats).
+//
+// In-flight message semantics (what happens to messages already queued in
+// the delivery queue when a failure is injected):
+//   - SetNodeDown(dst): messages in flight TO a down node are lost — the
+//     drop is re-checked at delivery time, so a message submitted before
+//     the node went down still disappears (a crashed machine loses its NIC
+//     queues). Messages FROM a node that went down after submitting are
+//     delivered: they already left the host.
+//   - CutLink(a, b): the cut is symmetric (argument order is irrelevant)
+//     and is also re-checked at delivery time: messages in flight on the
+//     link when it is cut are lost, exactly as a yanked cable would lose
+//     frames already on the wire. Un-cutting never resurrects them.
+//   - Endpoint::Shutdown()/Restart() clear the local inbox: messages that
+//     were delivered but not yet consumed die with the process.
 
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -23,8 +46,10 @@
 #include <queue>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/common/status.h"
 
 namespace kamino::net {
@@ -34,12 +59,56 @@ struct Message {
   uint64_t src = 0;
   uint64_t dst = 0;
   uint64_t view_id = 0;
+  // Per-sender transmission sequence number, assigned by Endpoint::Send.
+  // Monotonic for the lifetime of the endpoint (which survives simulated
+  // reboots), so receivers can use (src, seq) to discard network-level
+  // duplicates. A retransmission is a *new* transmission and gets a fresh
+  // seq; deduplicating retransmitted application payloads is the receiving
+  // protocol's job (idempotent handlers keyed on op ids).
+  uint64_t seq = 0;
   std::vector<uint8_t> payload;
+};
+
+// Per-link fault model. Probabilities are evaluated independently per
+// message at Submit time; `reorder_probability` adds a uniform extra delay
+// in (0, reorder_window_us] so that messages sent later can overtake.
+struct LinkFaults {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  uint32_t reorder_window_us = 1000;
+
+  bool any() const {
+    return drop_probability > 0 || duplicate_probability > 0 || reorder_probability > 0;
+  }
+};
+
+// Counters per endpoint. sent/dropped/duplicated/reordered count messages
+// this endpoint submitted (egress view: a drop anywhere on the path is
+// charged to the sender); delivered counts messages that reached this
+// endpoint's inbox (ingress view).
+struct EndpointStats {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;     // Fault-model drops + down-node/cut-link losses.
+  uint64_t duplicated = 0;  // Extra copies injected by the fault model.
+  uint64_t reordered = 0;   // Messages given extra reorder delay.
+
+  EndpointStats& operator+=(const EndpointStats& o) {
+    sent += o.sent;
+    delivered += o.delivered;
+    dropped += o.dropped;
+    duplicated += o.duplicated;
+    reordered += o.reordered;
+    return *this;
+  }
 };
 
 struct NetworkOptions {
   // One-way delivery latency per message (the paper's l_n).
   uint32_t one_way_latency_us = 10;
+  // Seed for the fault-injection PRNG (reproducible chaos schedules).
+  uint64_t fault_seed = 0x6b616d696e6f;  // "kamino"
 };
 
 class Network;
@@ -60,10 +129,12 @@ class Endpoint {
 
   // Unblocks all receivers and drops queued messages (local crash).
   void Shutdown();
-  // Re-arms the endpoint after Shutdown (reboot).
+  // Re-arms the endpoint after Shutdown (reboot). The transmission sequence
+  // counter is NOT reset: seq stays monotonic across reboots so receivers'
+  // dedup windows stay valid.
   void Restart();
 
-  uint64_t messages_sent() const { return sent_; }
+  uint64_t messages_sent() const { return sent_.load(std::memory_order_relaxed); }
   uint64_t messages_received() const { return received_; }
 
  private:
@@ -78,7 +149,8 @@ class Endpoint {
   std::condition_variable cv_;
   std::deque<Message> inbox_;
   bool down_ = false;
-  uint64_t sent_ = 0;
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> next_seq_{0};
   uint64_t received_ = 0;
 };
 
@@ -94,9 +166,24 @@ class Network {
   Endpoint* CreateEndpoint(uint64_t node_id);
 
   // Failure injection. A down endpoint neither sends nor receives; a cut
-  // link drops messages in both directions.
+  // link drops messages in both directions, including messages already in
+  // flight (see the file comment for in-flight semantics). CutLink is
+  // symmetric in (a, b).
   void SetNodeDown(uint64_t node_id, bool down);
   void CutLink(uint64_t a, uint64_t b, bool cut);
+  // Transient partition: the link heals by itself after `duration_ms`.
+  void CutLinkFor(uint64_t a, uint64_t b, uint64_t duration_ms);
+
+  // Per-link fault model (symmetric in (a, b)). Links without an explicit
+  // entry use the default faults (initially: no faults).
+  void SetLinkFaults(uint64_t a, uint64_t b, const LinkFaults& faults);
+  void SetDefaultFaults(const LinkFaults& faults);
+  // Removes all fault models and cuts (does not touch down nodes).
+  void ClearFaults();
+
+  // Counter snapshots (see EndpointStats for attribution rules).
+  EndpointStats StatsFor(uint64_t node_id) const;
+  EndpointStats TotalStats() const;
 
   uint64_t one_way_latency_us() const { return options_.one_way_latency_us; }
 
@@ -109,15 +196,28 @@ class Network {
     bool operator>(const Pending& other) const { return deliver_at > other.deliver_at; }
   };
 
+  static std::pair<uint64_t, uint64_t> LinkKey(uint64_t a, uint64_t b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
   Status Submit(Message msg);
-  void DeliveryLoop();
+  // Both require mu_ held.
+  bool LinkCutLocked(uint64_t a, uint64_t b, std::chrono::steady_clock::time_point now);
+  const LinkFaults& FaultsForLocked(uint64_t a, uint64_t b) const;
 
   NetworkOptions options_;
-  std::mutex mu_;
+  void DeliveryLoop();
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<uint64_t, std::unique_ptr<Endpoint>> endpoints_;
   std::set<uint64_t> down_nodes_;
-  std::set<std::pair<uint64_t, uint64_t>> cut_links_;
+  // Cut links with a heal deadline; time_point::max() = cut until un-cut.
+  std::map<std::pair<uint64_t, uint64_t>, std::chrono::steady_clock::time_point> cut_links_;
+  std::map<std::pair<uint64_t, uint64_t>, LinkFaults> link_faults_;
+  LinkFaults default_faults_;
+  Xoshiro256 fault_rng_;
+  std::map<uint64_t, EndpointStats> stats_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
   bool stop_ = false;
   std::thread delivery_thread_;

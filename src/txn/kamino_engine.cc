@@ -277,10 +277,14 @@ void KaminoEngine::ApplierLoop(size_t shard_index) {
     for (auto& ctx : batch) {
       FinishApplied(ctx.get());
     }
-    in_flight_.fetch_sub(batch.size(), std::memory_order_relaxed);
-    // Empty critical section pairs with the WaitIdle predicate check: the
-    // waiter either sees the decrement or gets this notification.
-    { std::lock_guard<std::mutex> lk(idle_mu_); }
+    // The decrement happens under idle_mu_ so a WaitIdle caller that observes
+    // in_flight_ == 0 also inherits a happens-before edge from the applier's
+    // ReleaseSlots/FinishApplied writes above (e.g. a state-transfer snapshot
+    // reading the pool right after WaitIdle returns).
+    {
+      std::lock_guard<std::mutex> lk(idle_mu_);
+      in_flight_.fetch_sub(batch.size(), std::memory_order_relaxed);
+    }
     idle_cv_.notify_all();
   }
 }
@@ -312,9 +316,12 @@ void KaminoEngine::DiscardPendingForCrashTest() {
     discarded += shard->queue.size();
     shard->queue.clear();
   }
-  in_flight_.fetch_sub(discarded, std::memory_order_relaxed);
-  // A WaitIdle caller may be blocked on exactly the work just discarded.
-  { std::lock_guard<std::mutex> lk(idle_mu_); }
+  // A WaitIdle caller may be blocked on exactly the work just discarded; the
+  // decrement goes under idle_mu_ for the same reason as in ApplierLoop.
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    in_flight_.fetch_sub(discarded, std::memory_order_relaxed);
+  }
   idle_cv_.notify_all();
 }
 

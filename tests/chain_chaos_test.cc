@@ -1,0 +1,418 @@
+// Chaos and robustness tests for the self-healing chain (DESIGN.md §9):
+// lossy links (drop/duplicate/reorder), transient partitions, fail-stop
+// crashes repaired by the heartbeat failure detector, and exactly-once
+// client retries. The soak test at the end drives all of them at once under
+// a seeded, reproducible fault schedule.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/chain/chain.h"
+
+// ThreadSanitizer slows promotion/state-transfer by up to an order of
+// magnitude; stretch the failure-detector timeouts so a slow-but-alive
+// replica is not excised mid-promotion (a real deployment tunes the
+// suspicion timeout to its environment for exactly the same reason).
+#if defined(__SANITIZE_THREAD__)
+#define KAMINO_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define KAMINO_TSAN 1
+#endif
+#endif
+
+namespace kamino::chain {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+#ifdef KAMINO_TSAN
+constexpr uint32_t kSuspicionMs = 2'000;
+#else
+constexpr uint32_t kSuspicionMs = 300;
+#endif
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* s = std::getenv(name);
+  return (s && *s) ? std::strtoull(s, nullptr, 0) : fallback;
+}
+
+ChainOptions BaseOpts() {
+  ChainOptions o;
+  o.kamino = true;
+  o.f = 2;  // f+2 = 4 replicas.
+  o.pool_size = 16ull << 20;
+  o.log_region_size = 4ull << 20;
+  o.one_way_latency_us = 5;
+  o.client_timeout_ms = 10'000;
+  o.client_retry_base_ms = 150;
+  return o;
+}
+
+// Polls until `pred` holds or `timeout_ms` passes; true iff it held.
+template <typename Pred>
+bool WaitFor(Pred pred, uint64_t timeout_ms) {
+  const auto deadline = steady_clock::now() + milliseconds(timeout_ms);
+  while (!pred()) {
+    if (steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  return true;
+}
+
+// --- Quiesce under partition (satellite: bounded, not hanging) -------------
+
+TEST(ChainChaosTest, QuiesceTimesOutWhenChainPartitioned) {
+  ChainOptions o = BaseOpts();
+  o.retx_base_ms = 30;
+  o.retx_cap_ms = 200;
+  auto chain = Chain::Create(o).value();
+  ASSERT_TRUE(chain->Upsert(1, "pre").ok());
+  ASSERT_TRUE(chain->Quiesce().ok());
+
+  // Cut the head from its successor: an admitted write can be applied at the
+  // head but never propagate, so the chain cannot drain.
+  const View v = chain->current_view();
+  chain->network()->CutLink(v.nodes[0], v.nodes[1], true);
+
+  std::thread writer([&] { EXPECT_TRUE(chain->Upsert(2, "stall").ok()); });
+  Replica* head = chain->replica_by_id(v.nodes[0]);
+  ASSERT_TRUE(WaitFor([&] { return head->in_flight_size() > 0; }, 2'000));
+
+  const auto t0 = steady_clock::now();
+  Status st = chain->Quiesce(/*timeout_ms=*/300);
+  const auto elapsed = std::chrono::duration_cast<milliseconds>(steady_clock::now() - t0);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.message();
+  EXPECT_LT(elapsed.count(), 2'000) << "Quiesce must time out promptly, not hang";
+
+  // Heal: retransmission pushes the stalled op through and the writer's
+  // pending wait (same request id, no re-execution) completes.
+  chain->network()->CutLink(v.nodes[0], v.nodes[1], false);
+  writer.join();
+  ASSERT_TRUE(chain->Quiesce().ok());
+  EXPECT_EQ(chain->Read(2).value(), "stall");
+}
+
+// --- Commit learned through cleanup acks (lost tail->head ack) -------------
+
+TEST(ChainChaosTest, LostTailAckRecoveredThroughCleanupPath) {
+  // Sever the direct tail->head link. Op forwards still flow down the chain
+  // hop by hop, and the tail's cleanup acks still hop upstream — the head
+  // must accept those as commit evidence instead of waiting forever for the
+  // (dead) direct ack.
+  auto chain = Chain::Create(BaseOpts()).value();
+  const View v = chain->current_view();
+  ASSERT_EQ(v.nodes.size(), 4u);
+  chain->network()->CutLink(v.head(), v.tail(), true);
+
+  const auto t0 = steady_clock::now();
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(chain->Upsert(k, "via-cleanup").ok()) << k;
+  }
+  const auto elapsed = std::chrono::duration_cast<milliseconds>(steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 8'000) << "commits should not need the retry deadline";
+  EXPECT_GT(chain->NetworkStats().net.dropped, 0u) << "the cut must actually drop acks";
+
+  chain->network()->CutLink(v.head(), v.tail(), false);
+  ASSERT_TRUE(chain->Quiesce().ok());
+  EXPECT_EQ(chain->Read(3).value(), "via-cleanup");
+}
+
+// --- Exactly-once client retries -------------------------------------------
+
+TEST(ChainChaosTest, RetriedRequestIsNotReexecuted) {
+  auto chain = Chain::Create(BaseOpts()).value();
+  Replica* head = chain->head();
+
+  Op op;
+  op.kind = OpKind::kUpsert;
+  op.req_id = 7'777;
+  op.pairs = {{42, "once"}};
+  ASSERT_TRUE(head->ClientWrite(op).ok());
+  ASSERT_TRUE(chain->Quiesce().ok());
+  const uint64_t watermark = head->last_applied();
+
+  // The same request arriving again (a client retry after a lost ack) must
+  // not execute a second time: the ticket resolves to the original op.
+  Replica::WriteTicket t = head->AdmitWrite(op);
+  ASSERT_TRUE(t.admitted) << t.status.message();
+  EXPECT_TRUE(head->WaitWrite(t).ok());
+  EXPECT_EQ(head->last_applied(), watermark) << "retry must not advance the watermark";
+  EXPECT_EQ(head->protocol_stats().req_dedup_hits, 1u);
+  EXPECT_EQ(chain->Read(42).value(), "once");
+}
+
+TEST(ChainChaosTest, RetryDedupSurvivesHeadChange) {
+  // Every replica maintains the request table as ops apply, so a head
+  // promoted mid-request still recognises the retry.
+  auto chain = Chain::Create(BaseOpts()).value();
+  Op op;
+  op.kind = OpKind::kUpsert;
+  op.req_id = 4'242;
+  op.pairs = {{9, "first"}};
+  ASSERT_TRUE(chain->head()->ClientWrite(op).ok());
+  ASSERT_TRUE(chain->Quiesce().ok());
+
+  ASSERT_TRUE(chain->KillReplica(chain->current_view().head()).ok());
+  Replica* new_head = chain->head();
+  ASSERT_NE(new_head, nullptr);
+  const uint64_t watermark = new_head->last_applied();
+
+  Replica::WriteTicket t = new_head->AdmitWrite(op);
+  ASSERT_TRUE(t.admitted) << t.status.message();
+  EXPECT_TRUE(new_head->WaitWrite(t).ok());
+  EXPECT_EQ(new_head->last_applied(), watermark);
+  EXPECT_EQ(new_head->protocol_stats().req_dedup_hits, 1u);
+  EXPECT_EQ(chain->Read(9).value(), "first");
+}
+
+// --- Detector-driven view changes (KillReplica not involved) ---------------
+
+TEST(ChainChaosTest, DetectorExcisesSilentTail) {
+  ChainOptions o = BaseOpts();
+  o.heartbeat_interval_ms = 20;
+  o.suspicion_timeout_ms = kSuspicionMs;
+  auto chain = Chain::Create(o).value();
+  std::map<uint64_t, std::string> model;
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(chain->Upsert(k, "pre").ok());
+    model[k] = "pre";
+  }
+  ASSERT_TRUE(chain->Quiesce().ok());
+
+  // Fail-stop the tail WITHOUT telling the orchestrator: the heartbeat
+  // detector at its predecessor must notice the silence, the membership
+  // manager must excise it, and the repair thread must re-wire the chain.
+  const uint64_t victim = chain->current_view().tail();
+  chain->replica_by_id(victim)->CrashStop();
+  ASSERT_TRUE(WaitFor([&] { return !chain->current_view().Contains(victim); }, 10'000))
+      << "detector never excised the dead tail";
+  EXPECT_GE(chain->membership()->suspicion_view_changes(), 1u);
+
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(chain->Upsert(k, "post").ok()) << k;
+    model[k] = "post";
+  }
+  ASSERT_TRUE(chain->Quiesce().ok());
+  EXPECT_EQ(chain->Read(4).value(), "post");
+  EXPECT_EQ(chain->current_view().nodes.size(), 3u);
+}
+
+TEST(ChainChaosTest, DetectorPromotesNewHeadAfterSilentHeadDeath) {
+  ChainOptions o = BaseOpts();
+  o.heartbeat_interval_ms = 20;
+  o.suspicion_timeout_ms = kSuspicionMs;
+  auto chain = Chain::Create(o).value();
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(chain->Upsert(k, "pre").ok());
+  }
+  ASSERT_TRUE(chain->Quiesce().ok());
+
+  const View before = chain->current_view();
+  const uint64_t old_head = before.head();
+  const uint64_t expected_head = before.nodes[1];
+  chain->replica_by_id(old_head)->CrashStop();
+  ASSERT_TRUE(WaitFor([&] { return !chain->current_view().Contains(old_head); }, 10'000))
+      << "detector never excised the dead head";
+  EXPECT_EQ(chain->current_view().head(), expected_head);
+  EXPECT_GE(chain->membership()->suspicion_view_changes(), 1u);
+
+  // Clients keep working against the promoted head (the retry loop rides
+  // over the repair window).
+  ASSERT_TRUE(chain->Upsert(3, "after-promotion").ok());
+  ASSERT_TRUE(chain->Quiesce().ok());
+  EXPECT_EQ(chain->Read(3).value(), "after-promotion");
+  EXPECT_TRUE(chain->head()->is_head());
+}
+
+// --- The soak: everything at once ------------------------------------------
+
+TEST(ChainChaosTest, LossyNetworkSoak) {
+  // Knobs for CI vs local runs; the schedule is deterministic for a fixed
+  // seed (the network PRNG is seeded — thread interleaving still varies, and
+  // the assertions only rely on protocol invariants, never on timing).
+  const uint64_t seed = EnvU64("KAMINO_CHAOS_SEED", 0x6b616d696e6f);
+  const int ops_per_thread = static_cast<int>(EnvU64("KAMINO_CHAOS_OPS", 60));
+
+  ChainOptions o = BaseOpts();
+  o.client_timeout_ms = 30'000;
+  o.client_retry_base_ms = 100;
+  o.heartbeat_interval_ms = 15;
+  o.suspicion_timeout_ms = std::max<uint32_t>(500, kSuspicionMs);
+  o.retx_base_ms = 20;
+  o.retx_cap_ms = 200;
+  o.fault_seed = seed;
+  auto chain = Chain::Create(o).value();
+
+  // Lossy everywhere: drops, duplicates, and a reorder window two orders of
+  // magnitude above the one-way latency.
+  net::LinkFaults faults;
+  faults.drop_probability = 0.05;
+  faults.duplicate_probability = 0.03;
+  faults.reorder_probability = 0.20;
+  faults.reorder_window_us = 1'500;
+  chain->network()->SetDefaultFaults(faults);
+
+  constexpr int kThreads = 4;
+  constexpr int kKeysPerThread = 8;
+  struct KeyRecord {
+    uint64_t last_acked = 0;      // Highest version the chain acknowledged.
+    uint64_t last_attempted = 0;  // Highest version ever submitted.
+  };
+  // Disjoint key spaces per thread, so per-key version sequences are
+  // strictly increasing and the final state is exactly checkable.
+  std::vector<std::map<uint64_t, KeyRecord>> tracked(kThreads);
+  std::atomic<uint64_t> acked{0};
+  std::atomic<uint64_t> gave_up{0};
+
+  auto value_for = [](int t, uint64_t ver) {
+    return "t" + std::to_string(t) + "-v" + std::to_string(ver);
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const uint64_t base = 1'000ull * (t + 1);
+      for (int i = 1; i <= ops_per_thread; ++i) {
+        const uint64_t ver = static_cast<uint64_t>(i);
+        const uint64_t k1 = base + (i % kKeysPerThread);
+        Status st;
+        if (i % 5 == 0) {
+          // Atomic multi-key write inside this thread's key space.
+          const uint64_t k2 = base + ((i + 3) % kKeysPerThread);
+          tracked[t][k1].last_attempted = ver;
+          tracked[t][k2].last_attempted = ver;
+          st = chain->MultiUpsert({{k1, value_for(t, ver)}, {k2, value_for(t, ver)}});
+          if (st.ok()) {
+            tracked[t][k1].last_acked = ver;
+            tracked[t][k2].last_acked = ver;
+          }
+        } else {
+          tracked[t][k1].last_attempted = ver;
+          st = chain->Upsert(k1, value_for(t, ver));
+          if (st.ok()) {
+            tracked[t][k1].last_acked = ver;
+          }
+        }
+        if (st.ok()) {
+          acked.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // A typed, bounded failure is acceptable under chaos; hanging or
+          // an unexpected code is not.
+          gave_up.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_TRUE(st.code() == StatusCode::kDegraded ||
+                      st.code() == StatusCode::kUnavailable)
+              << st.message();
+        }
+      }
+    });
+  }
+
+  // Scripted fault schedule, layered on top of the always-on lossy links.
+  // 1) Transient partition between head and tail (non-adjacent: no false
+  //    suspicion, but the direct commit-ack path disappears for a while).
+  std::this_thread::sleep_for(milliseconds(300));
+  const View v0 = chain->current_view();
+  chain->network()->CutLinkFor(v0.head(), v0.tail(), 400);
+
+  // 2) Fail-stop the head, telling nobody: only the failure detector may
+  //    repair this (KillReplica is deliberately not called).
+  std::this_thread::sleep_for(milliseconds(600));
+  const uint64_t victim = chain->current_view().head();
+  chain->replica_by_id(victim)->CrashStop();
+  ASSERT_TRUE(WaitFor([&] { return !chain->current_view().Contains(victim); }, 20'000))
+      << "detector-driven view change never happened";
+
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  // Heal, drain, and repair back to full strength.
+  chain->network()->ClearFaults();
+  ASSERT_TRUE(chain->Quiesce(20'000).ok());
+  while (chain->current_view().nodes.size() < 4) {
+    ASSERT_TRUE(chain->AddReplica().ok());
+  }
+  ASSERT_TRUE(chain->Quiesce(10'000).ok());
+
+  const View vf = chain->current_view();
+  EXPECT_EQ(vf.nodes.size(), 4u);
+  EXPECT_GE(chain->membership()->suspicion_view_changes(), 1u);
+  EXPECT_GT(acked.load(), 0u) << "the chain made no progress at all under chaos";
+
+  // No lost acked commit, no duplicate/aberrant apply: each key must hold a
+  // value written by its owning thread with version between the last ACKED
+  // and the last ATTEMPTED write (a timed-out write may still have landed —
+  // that is allowed; regressing below an acked version is not).
+  for (int t = 0; t < kThreads; ++t) {
+    for (const auto& [key, rec] : tracked[t]) {
+      Result<std::string> got = chain->Read(key);
+      if (rec.last_acked > 0) {
+        ASSERT_TRUE(got.ok()) << "acked write lost: key " << key;
+      }
+      if (!got.ok()) {
+        continue;  // Never-acked key that also never landed.
+      }
+      const std::string prefix = "t" + std::to_string(t) + "-v";
+      ASSERT_EQ(got->compare(0, prefix.size(), prefix), 0)
+          << "key " << key << " holds foreign value " << *got;
+      const uint64_t ver = std::strtoull(got->c_str() + prefix.size(), nullptr, 10);
+      EXPECT_GE(ver, rec.last_acked) << "key " << key << " regressed below an acked write";
+      EXPECT_LE(ver, rec.last_attempted) << "key " << key << " holds a never-written version";
+    }
+  }
+
+  // Replica convergence: every member of the final view (including the
+  // freshly joined tail) has identical contents and an intact tree.
+  Replica* head = chain->head();
+  ASSERT_NE(head, nullptr);
+  const uint64_t head_watermark = head->last_applied();
+  for (uint64_t id : vf.nodes) {
+    Replica* r = chain->replica_by_id(id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->last_applied(), head_watermark) << "replica " << id;
+    ASSERT_TRUE(r->tree()->Validate().ok()) << "replica " << id;
+    for (int t = 0; t < kThreads; ++t) {
+      for (const auto& [key, rec] : tracked[t]) {
+        Result<std::string> at_head = head->tree()->Get(key);
+        Result<std::string> here = r->tree()->Get(key);
+        ASSERT_EQ(at_head.ok(), here.ok()) << "replica " << id << " key " << key;
+        if (at_head.ok()) {
+          EXPECT_EQ(*at_head, *here) << "replica " << id << " key " << key;
+        }
+      }
+    }
+  }
+
+  // Deletes ride the same exactly-once retry machinery.
+  for (int t = 0; t < kThreads; ++t) {
+    const uint64_t key = 1'000ull * (t + 1);
+    ASSERT_TRUE(chain->Delete(key).ok());
+    EXPECT_EQ(chain->Read(key).status().code(), StatusCode::kNotFound);
+  }
+
+  // The run must actually have exercised the recovery machinery.
+  ChainNetworkStats stats = chain->NetworkStats();
+  EXPECT_GT(stats.net.dropped, 0u);
+  EXPECT_GT(stats.net.duplicated, 0u);
+  EXPECT_GT(stats.retransmits, 0u);
+  EXPECT_GT(stats.heartbeats_sent, 0u);
+  RecordProperty("acked", static_cast<int>(acked.load()));
+  RecordProperty("gave_up", static_cast<int>(gave_up.load()));
+  RecordProperty("dropped", static_cast<int>(stats.net.dropped));
+  RecordProperty("retransmits", static_cast<int>(stats.retransmits));
+}
+
+}  // namespace
+}  // namespace kamino::chain

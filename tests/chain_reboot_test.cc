@@ -123,6 +123,60 @@ TEST_P(ChainRebootTest, MidApplyCrashAtTail) {
   ExpectConverged(chain.get(), model);
 }
 
+TEST_P(ChainRebootTest, MidApplyCrashAtMiddleRollsForward) {
+  // The combination Chain::RebootReplica actually ships (see its header
+  // comment): RebootReplica itself injects no fault — to exercise a
+  // mid-apply power failure the test arms ArmCrashDuringNextApply first and
+  // drives one more write. Here the fault fires at a MIDDLE replica: the op
+  // is applied at the head but swallowed before the tail, the rebooted
+  // middle rolls forward from its predecessor (paper Figure 9), and the
+  // blocked client is released by the resumed pipeline.
+  auto chain = Chain::Create(Opts(GetParam())).value();
+  std::map<uint64_t, std::string> model;
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(chain->Upsert(k, "pre").ok());
+    model[k] = "pre";
+  }
+  ASSERT_TRUE(chain->Quiesce().ok());
+
+  const View v = chain->current_view();
+  ASSERT_GE(v.nodes.size(), 3u);
+  Replica* middle = chain->replica_by_id(v.nodes[1]);
+  middle->ArmCrashDuringNextApply();
+  std::thread writer([&] { ASSERT_TRUE(chain->Upsert(7, "post").ok()); });
+  for (int i = 0; i < 200 && middle->alive(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(middle->alive()) << "fault never fired";
+  ASSERT_TRUE(chain->RebootReplica(middle->node_id()).ok());
+  writer.join();
+  model[7] = "post";
+  EXPECT_EQ(chain->Read(7).value(), "post");
+  ExpectConverged(chain.get(), model);
+}
+
+TEST_P(ChainRebootTest, RebootAloneInjectsNoFault) {
+  // RebootReplica without a previously armed fault is a plain quick reboot:
+  // no operation is lost, nothing crashes mid-apply, and writes race the
+  // reboot safely (the client retry path covers the down window).
+  auto chain = Chain::Create(Opts(GetParam())).value();
+  std::map<uint64_t, std::string> model;
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(chain->Upsert(k, "v").ok());
+    model[k] = "v";
+  }
+  ASSERT_TRUE(chain->Quiesce().ok());
+  const uint64_t middle = chain->current_view().nodes[1];
+  ASSERT_TRUE(chain->RebootReplica(middle).ok());
+  Replica* r = chain->replica_by_id(middle);
+  EXPECT_TRUE(r->alive());
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(chain->Upsert(k, "w").ok());
+    model[k] = "w";
+  }
+  ExpectConverged(chain.get(), model);
+}
+
 INSTANTIATE_TEST_SUITE_P(Schemes, ChainRebootTest, ::testing::Values(true, false),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "KaminoChain" : "TraditionalChain";

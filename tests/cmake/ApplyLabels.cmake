@@ -1,0 +1,20 @@
+# Applies a multi-valued LABELS property to every test discovered from one
+# gtest target. gtest_discover_tests cannot forward list-valued properties
+# (the label list flattens into separate set_tests_properties arguments and
+# only the first label survives), so kamino_label_tests() appends a stub to
+# TEST_INCLUDE_FILES that sets KAMINO_LABEL_{TARGET,DIR,LABELS} and includes
+# this script. It runs at ctest time, AFTER the discovery scripts, parses
+# the registered test names back out of them, and labels each test.
+file(GLOB _kamino_discovered "${KAMINO_LABEL_DIR}/${KAMINO_LABEL_TARGET}*_tests.cmake")
+set(_kamino_names)
+foreach(_kamino_file IN LISTS _kamino_discovered)
+  file(STRINGS "${_kamino_file}" _kamino_lines REGEX "^add_test")
+  foreach(_kamino_line IN LISTS _kamino_lines)
+    if(_kamino_line MATCHES "^add_test\\(\\[=\\[([^]]+)\\]=\\]")
+      list(APPEND _kamino_names "${CMAKE_MATCH_1}")
+    endif()
+  endforeach()
+endforeach()
+if(_kamino_names)
+  set_tests_properties(${_kamino_names} PROPERTIES LABELS "${KAMINO_LABEL_LABELS}")
+endif()

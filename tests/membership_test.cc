@@ -59,5 +59,55 @@ TEST(MembershipTest, RejoinOnlyForMembers) {
   EXPECT_EQ(mm.RequestRejoin(2, 1).status().code(), StatusCode::kNotFound);
 }
 
+TEST(MembershipTest, SuspicionExcisesSuspectAndBumpsView) {
+  MembershipManager mm({1, 2, 3});
+  Result<View> v = mm.ReportSuspicion(/*reporter=*/1, /*suspect=*/2, /*view_id=*/1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->view_id, 2u);
+  EXPECT_EQ(v->nodes, (std::vector<uint64_t>{1, 3}));
+  EXPECT_EQ(mm.suspicion_view_changes(), 1u);
+}
+
+TEST(MembershipTest, StaleSuspicionIsRejected) {
+  // Both neighbours of a dead node will suspect it; only the first report
+  // (carrying the current view id) may change the view. The second carries a
+  // stale view id and must be a no-op.
+  MembershipManager mm({1, 2, 3});
+  ASSERT_TRUE(mm.ReportSuspicion(1, 2, 1).ok());
+  Result<View> again = mm.ReportSuspicion(3, 2, 1);
+  EXPECT_EQ(again.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mm.current().view_id, 2u);
+  EXPECT_EQ(mm.suspicion_view_changes(), 1u);
+}
+
+TEST(MembershipTest, SuspicionFromOrAboutNonMemberIsRejected) {
+  MembershipManager mm({1, 2, 3});
+  mm.ReportFailure(2);  // view 2: {1, 3}
+  // A fenced node (no longer a member) cannot excise the survivors.
+  EXPECT_EQ(mm.ReportSuspicion(2, 1, 2).status().code(), StatusCode::kInvalidArgument);
+  // Suspecting someone already removed is a no-op.
+  EXPECT_EQ(mm.ReportSuspicion(1, 2, 2).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(mm.current().view_id, 2u);
+}
+
+TEST(MembershipTest, ListenerFiresOncePerAcceptedSuspicion) {
+  MembershipManager mm({1, 2, 3});
+  int calls = 0;
+  uint64_t failed = 0;
+  uint64_t old_view_id = 0;
+  mm.SetViewChangeListener([&](const View& nv, uint64_t f, const View& ov) {
+    ++calls;
+    failed = f;
+    old_view_id = ov.view_id;
+    EXPECT_EQ(nv.view_id, ov.view_id + 1);
+  });
+  ASSERT_TRUE(mm.ReportSuspicion(1, 2, 1).ok());
+  (void)mm.ReportSuspicion(3, 2, 1);  // Stale: must not fire the listener.
+  mm.ReportFailure(3);                // Orchestrator path: must not fire it either.
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(failed, 2u);
+  EXPECT_EQ(old_view_id, 1u);
+}
+
 }  // namespace
 }  // namespace kamino::chain
