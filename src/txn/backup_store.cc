@@ -111,6 +111,21 @@ void FullBackupStore::SyncAll() {
   backup_->Persist(backup_->base(), main_->size());
 }
 
+Result<uint64_t> FullBackupStore::ReconcileRanges(const std::vector<ApplyRange>& ranges) {
+  if (ranges.empty()) {
+    return uint64_t{0};
+  }
+  nvm::PersistSiteScope site("backup/reconcile/range");
+  uint64_t bytes = 0;
+  for (const ApplyRange& r : ranges) {
+    std::memcpy(static_cast<uint8_t*>(backup_->At(r.offset)), main_->At(r.offset), r.size);
+    backup_->Flush(backup_->At(r.offset), r.size);
+    bytes += r.size;
+  }
+  backup_->Drain();
+  return bytes;
+}
+
 // --- DynamicBackupStore ------------------------------------------------------
 
 DynamicBackupStore::DynamicBackupStore(nvm::Pool* main, nvm::Pool* backup)

@@ -97,6 +97,16 @@ class BackupStore {
   // orphaned by a crash between an entry's tombstone and its replacement
   // (a bounded leak otherwise). No-op for other stores.
   virtual void CompactAfterRecovery() {}
+
+  // Online-recovery reconcile (DESIGN.md §10): re-derives the backup copy of
+  // each range from the (authoritative, post-replay) main heap. Idempotent —
+  // re-running after a crash only repeats work. Returns the number of bytes
+  // copied. Stores whose copies are created lazily from main (dynamic) or
+  // that keep no copies (null) have nothing to reconcile and return 0.
+  virtual Result<uint64_t> ReconcileRanges(const std::vector<ApplyRange>& ranges) {
+    (void)ranges;
+    return uint64_t{0};
+  }
 };
 
 // --- Kamino-Tx-Simple: full mirror -----------------------------------------
@@ -116,6 +126,11 @@ class FullBackupStore : public BackupStore {
   void Invalidate(uint64_t offset) override;
   uint64_t backup_bytes() const override;
   BackupStats stats() const override;
+
+  // The full mirror must actually copy: its backup offsets are read blind at
+  // the next recovery, so every live range has to match main again before the
+  // dirty map may call the mirror consistent.
+  Result<uint64_t> ReconcileRanges(const std::vector<ApplyRange>& ranges) override;
 
   // Bulk main -> backup copy, for non-transactional bulk loads and for
   // building a backup on a new chain head (paper §5.2).

@@ -45,6 +45,41 @@ enum class EngineType {
 
 const char* EngineTypeName(EngineType type);
 
+// Knobs for the two-phase recovery pipeline (parallel log replay + online
+// backup reconciliation). Defaults reproduce the classic behaviour exactly:
+// single-threaded replay, fully offline, no backup re-verification — and,
+// crucially, the same persistence-event stream, so crash-point ordinals
+// recorded against the old recovery remain valid.
+struct RecoveryOptions {
+  // Recovery workers replaying disjoint partitions of the intent log. The
+  // disjoint-write-set invariant (DESIGN.md §6) makes any partition of the
+  // recovered transactions safe to replay in parallel. 1 = inline replay on
+  // the recovering thread (deterministic event stream).
+  int workers = 1;
+
+  // Online recovery: committed-but-unapplied transactions are handed to the
+  // applier pool (under re-acquired write locks) instead of rolled forward
+  // inline, and backup reconciliation (if any) drains in the background
+  // while the engine serves traffic. Operations touching a not-yet-
+  // reconciled range block on the dirty map until it is clean.
+  bool online = false;
+
+  // Re-verify the full backup mirror against the main heap after replay
+  // (main -> backup copy of every allocated object), tracked by a persistent
+  // dirty map so the sweep is crash-resumable. This is the untrusted-backup
+  // restart model (e.g. a promoted chain head); offline it runs before the
+  // engine opens, online it drains in the background behind the dirty-map
+  // fence. Meaningful for the full (mirror) backup; the dynamic store's
+  // persistent table is already authoritative after replay.
+  bool reconcile_backup = false;
+
+  // Background reconcile threads (online mode only).
+  int reconcile_workers = 1;
+
+  // Dirty-map granularity over the allocator region.
+  uint64_t reconcile_chunk_bytes = 1ull << 20;
+};
+
 struct EngineStats {
   uint64_t committed = 0;
   uint64_t aborted = 0;
@@ -65,6 +100,17 @@ struct EngineStats {
   uint64_t log_blocked_wait_ns = 0;    // Total time blocked on slot backpressure.
   uint64_t group_commit_commits = 0;   // Commits durably covered by a group drain.
   uint64_t group_commit_leader_drains = 0;  // Drains leaders actually issued.
+
+  // Recovery pipeline observability (engines with recovery work; zero
+  // elsewhere). See DESIGN.md §10.
+  uint64_t recovery_replay_ns = 0;          // Wall time of the replay phase.
+  std::vector<uint64_t> recovery_worker_ns; // Per-recovery-worker wall time.
+  uint64_t recovery_reconciled_bytes = 0;   // main -> backup bytes re-copied.
+  uint64_t recovery_dirty_chunks = 0;       // Dirty-map size at open.
+  uint64_t recovery_dirty_chunks_left = 0;  // Not yet reconciled, now.
+  uint64_t recovery_fence_waits = 0;        // Ops that blocked on a dirty range.
+  uint64_t recovery_fence_wait_ns = 0;      // Total time ops spent fenced.
+  uint64_t recovery_ondemand_reconciles = 0;  // Chunks reconciled by fenced ops.
 
   // Per-PersistSiteScope flush/drain breakdown of the main pool (requires
   // PoolOptions::track_stats). See DESIGN.md §8.
@@ -132,6 +178,12 @@ class AtomicityEngine {
   // Blocks until all committed transactions are fully applied (backup in
   // sync, locks released). Used by tests, benchmarks and shutdown.
   virtual void WaitIdle() {}
+
+  // Blocks until online recovery work (background backup reconciliation)
+  // has fully drained. No-op for engines without online recovery, and after
+  // an offline recovery. Note this does NOT wait for handed-off
+  // committed-but-unapplied transactions — that is WaitIdle's job.
+  virtual void WaitForRecovery() {}
 
   // NVM bytes used beyond the main heap (backup pools), for Table 1.
   virtual uint64_t backup_bytes() const { return 0; }

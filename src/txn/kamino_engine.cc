@@ -1,12 +1,15 @@
 #include "src/txn/kamino_engine.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 namespace kamino::txn {
 
 KaminoEngine::KaminoEngine(heap::Heap* heap, LogManager* log, LockManager* locks,
-                           BackupStore* store, bool dynamic, int applier_threads)
-    : EngineBase(heap, log, locks), store_(store), dynamic_(dynamic) {
+                           BackupStore* store, bool dynamic, int applier_threads,
+                           RecoveryOptions recovery)
+    : EngineBase(heap, log, locks), store_(store), dynamic_(dynamic), recovery_(recovery) {
   if (applier_threads < 1) {
     applier_threads = 1;
   }
@@ -21,6 +24,17 @@ KaminoEngine::KaminoEngine(heap::Heap* heap, LogManager* log, LockManager* locks
 }
 
 KaminoEngine::~KaminoEngine() {
+  // Reconcilers go first: they may still be fencing handed-off contexts
+  // through the appliers, so the applier pool must outlive them.
+  reconcile_stop_.store(true, std::memory_order_seq_cst);
+  for (auto& t : reconcilers_) {
+    t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lk(reconcile_done_mu_);
+  }
+  reconcile_done_cv_.notify_all();
+
   stop_.store(true, std::memory_order_seq_cst);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard->mu);
@@ -50,6 +64,10 @@ Result<void*> KaminoEngine::OpenWrite(TxContext* ctx, uint64_t offset, uint64_t 
   }
   size = *resolved;
 
+  // Online recovery: the range's backup chunks must be reconciled before the
+  // pre-image below can be trusted (free once the map has drained).
+  KAMINO_RETURN_IF_ERROR(FenceDirtyRange(offset, size));
+
   KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
   // Declaring write intent = taking the object lock (paper §3). If the
   // object is pending (a prior transaction's backup sync is outstanding)
@@ -77,6 +95,16 @@ Result<uint64_t> KaminoEngine::Alloc(TxContext* ctx, uint64_t size) {
   Result<alloc::Reservation> resv = heap_->allocator()->PrepareAlloc(size);
   if (!resv.ok()) {
     return resv.status();
+  }
+  // Online recovery: the new object's chunks must be clean before the caller
+  // stores through the returned offset — a background reconcile reading the
+  // chunk while the caller writes it would race on the main heap.
+  {
+    Status st = FenceDirtyRange(resv->offset, resv->size);
+    if (!st.ok()) {
+      heap_->allocator()->CancelAlloc(*resv);
+      return st;
+    }
   }
   // Lock first (trivially uncontended — the object is not yet reachable),
   // then make the intent durable *before* any persistent allocator metadata
@@ -131,6 +159,7 @@ Status KaminoEngine::OpenWriteBatch(TxContext* ctx, const WriteSpan* spans, size
       return resolved.status();
     }
     const uint64_t size = *resolved;
+    KAMINO_RETURN_IF_ERROR(FenceDirtyRange(offset, size));
     KAMINO_RETURN_IF_ERROR(EnsureSlot(ctx));
     KAMINO_RETURN_IF_ERROR(LockWrite(ctx, offset));
     KAMINO_RETURN_IF_ERROR(store_->EnsureBackupCopy(offset, size, /*pin=*/true));
@@ -197,6 +226,14 @@ void KaminoEngine::ApplyCommitted(TxContext* ctx) {
     }
   }
   if (!ranges.empty()) {
+    // Handed-off recovered transactions reach the applier without a fenced
+    // OpenWrite, so their ranges may still be dirty: a concurrent background
+    // reconcile of the same chunk would race with the apply's backup writes.
+    // (Foreground transactions fenced at OpenWrite; this hits the lock-free
+    // clean fast path.)
+    for (const ApplyRange& r : ranges) {
+      (void)FenceDirtyRange(r.offset, r.size);
+    }
     uint64_t coalesced = 0;
     (void)store_->ApplyBatchFromMain(ranges, &coalesced);
     apply_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -335,6 +372,17 @@ EngineStats KaminoEngine::stats() const {
     s.apply_lag_p99_ns = apply_lag_.PercentileNs(99.0);
     s.apply_lag_max_ns = apply_lag_.MaxNs();
   }
+  s.recovery_replay_ns = recovery_replay_ns_;
+  s.recovery_worker_ns = recovery_worker_ns_;
+  if (dirty_map_ != nullptr) {
+    const DirtyMapStats d = dirty_map_->stats();
+    s.recovery_dirty_chunks = d.initially_dirty;
+    s.recovery_dirty_chunks_left = d.dirty_remaining;
+    s.recovery_fence_waits = d.fence_waits;
+    s.recovery_fence_wait_ns = d.fence_wait_ns;
+    s.recovery_ondemand_reconciles = d.ondemand_reconciles;
+  }
+  s.recovery_reconciled_bytes = reconciled_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -381,54 +429,346 @@ Status KaminoEngine::Abort(TxContext* ctx) {
   return result;
 }
 
-Status KaminoEngine::Recover() {
-  nvm::PersistSiteScope site("engine/recover");
-  std::vector<RecoveredTx> txs = log_->ScanForRecovery();
+// --- Recovery pipeline (DESIGN.md §10) ---------------------------------------
+
+Status KaminoEngine::RollForwardRecovered(const RecoveredTx& tx) {
+  // Roll forward: the main version carries the committed data; bring the
+  // backup (and deferred frees) up to date. Single-range applies — the
+  // batched path is a throughput optimisation for the hot applier loop, and
+  // recovery is cold. Errors do not short-circuit: every intent is resolved
+  // on its own so a partial failure leaves as little pending as possible,
+  // and both ApplyFromMain and FreeRaw are idempotent for the retry.
+  Status result = Status::Ok();
+  for (const Intent& in : tx.intents) {
+    Status st = Status::Ok();
+    switch (in.kind) {
+      case IntentKind::kWrite:
+      case IntentKind::kAlloc:
+        st = store_->ApplyFromMain(in.offset, in.size);
+        break;
+      case IntentKind::kFree:
+        store_->Invalidate(in.offset);
+        st = heap_->allocator()->FreeRaw(in.offset);
+        break;
+      default:
+        break;
+    }
+    if (!st.ok() && result.ok()) {
+      result = st;
+    }
+  }
+  return result;
+}
+
+Status KaminoEngine::RollBackRecovered(const RecoveredTx& tx) {
+  // Running or aborted: incomplete transactions are treated as aborted
+  // (paper §3) — restore the pre-transaction values from the backup, newest
+  // intent first. Same continue-and-aggregate discipline as Abort().
+  Status result = Status::Ok();
+  for (auto it = tx.intents.rbegin(); it != tx.intents.rend(); ++it) {
+    Status st = Status::Ok();
+    switch (it->kind) {
+      case IntentKind::kWrite:
+        st = store_->RestoreToMain(it->offset, it->size);
+        break;
+      case IntentKind::kAlloc:
+        st = heap_->allocator()->FreeRaw(it->offset);
+        break;
+      case IntentKind::kFree:
+        break;
+      default:
+        break;
+    }
+    if (!st.ok() && result.ok()) {
+      result = st;
+    }
+  }
+  return result;
+}
+
+Result<std::unique_ptr<TxContext>> KaminoEngine::BuildHandoff(const RecoveredTx& tx) {
+  auto ctx = std::make_unique<TxContext>();
+  ctx->txid = tx.txid;
+  ctx->slot = log_->HandleForRecovered(tx);
+  ctx->intents = tx.intents;
+  // Re-acquire the write locks the transaction held at crash time so
+  // dependent transactions block until the applier has synced the backup —
+  // exactly the pre-crash protocol. Acquisition is re-entrant per txid, so
+  // duplicate offsets across intents are harmless; contention is impossible
+  // (recovered write sets are pairwise disjoint and the engine is not yet
+  // serving), so a failure here is exceptional.
+  for (const Intent& in : tx.intents) {
+    Status st = locks_->AcquireWrite(in.offset, tx.txid);
+    if (!st.ok()) {
+      for (uint64_t key : ctx->write_lock_keys) {
+        locks_->ReleaseWrite(key, tx.txid);
+      }
+      return st;
+    }
+    ctx->write_lock_keys.push_back(in.offset);
+  }
+  return ctx;
+}
+
+Status KaminoEngine::ReplayPartition(const std::vector<RecoveredTx>& txs,
+                                     std::vector<std::unique_ptr<TxContext>>* handoff) {
+  Status result = Status::Ok();
   for (const RecoveredTx& tx : txs) {
-    SlotHandle handle = log_->HandleForRecovered(tx);
     if (tx.state == TxState::kCommitted) {
-      // Roll forward: the main version carries the committed data; bring the
-      // backup (and deferred frees) up to date. Single-range applies — the
-      // batched path is a throughput optimisation for the hot applier loop,
-      // and recovery is cold.
-      for (const Intent& in : tx.intents) {
-        switch (in.kind) {
-          case IntentKind::kWrite:
-          case IntentKind::kAlloc:
-            KAMINO_RETURN_IF_ERROR(store_->ApplyFromMain(in.offset, in.size));
-            break;
-          case IntentKind::kFree:
-            store_->Invalidate(in.offset);
-            KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
-            break;
-          default:
-            break;
+      if (recovery_.online && handoff != nullptr) {
+        Result<std::unique_ptr<TxContext>> ctx = BuildHandoff(tx);
+        if (ctx.ok()) {
+          handoff->push_back(std::move(*ctx));
+          recovered_forward_.fetch_add(1, std::memory_order_relaxed);
+          continue;  // The applier releases the slot after its backup sync.
         }
+        // Lock re-acquisition failed; fall through to the inline path.
+      }
+      Status st = RollForwardRecovered(tx);
+      if (!st.ok()) {
+        // Keep the slot: the transaction is still pending, and the next
+        // Recover() (or a retry) must see it again. Continue with the rest —
+        // their write sets are disjoint, so they are unaffected.
+        if (result.ok()) {
+          result = st;
+        }
+        continue;
       }
       recovered_forward_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      // Running or aborted: incomplete transactions are treated as aborted
-      // (paper §3) — restore the pre-transaction values from the backup.
-      for (auto it = tx.intents.rbegin(); it != tx.intents.rend(); ++it) {
-        switch (it->kind) {
-          case IntentKind::kWrite:
-            KAMINO_RETURN_IF_ERROR(store_->RestoreToMain(it->offset, it->size));
-            break;
-          case IntentKind::kAlloc:
-            KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(it->offset));
-            break;
-          case IntentKind::kFree:
-            break;
-          default:
-            break;
+      Status st = RollBackRecovered(tx);
+      if (!st.ok()) {
+        if (result.ok()) {
+          result = st;
         }
+        continue;
       }
       recovered_back_.fetch_add(1, std::memory_order_relaxed);
     }
+    SlotHandle handle = log_->HandleForRecovered(tx);
     log_->ReleaseSlot(handle);
   }
-  store_->CompactAfterRecovery();
+  return result;
+}
+
+void KaminoEngine::BuildDirtyMap() {
+  const alloc::Allocator* allocator = heap_->allocator();
+  dirty_map_ = std::make_unique<DirtyMap>(allocator->region_offset(), allocator->region_size(),
+                                          recovery_.reconcile_chunk_bytes);
+  const uint64_t num_chunks = dirty_map_->num_chunks();
+  chunk_objects_.assign(num_chunks, {});
+  // Snapshot the live allocations *after* replay: rolled-back allocations are
+  // gone, recovered frees are applied. The snapshot is what reconcile copies;
+  // objects allocated after the engine opens are synced by the normal applier
+  // path (their chunks are fenced clean at Alloc time first).
+  heap_->allocator()->ForEachAllocation([&](uint64_t offset, uint64_t size) {
+    chunk_objects_[dirty_map_->chunk_of(offset)].push_back(ApplyRange{offset, size});
+  });
+
+  // Resume from the persisted frontier of an interrupted sweep: chunks below
+  // it stayed consistent across the crash (replay only re-applies ranges in
+  // ways that preserve mirror equality — see DESIGN.md §10). kReconcileDone
+  // means no sweep was in progress; this sweep starts from scratch.
+  uint64_t resume = log_->reconcile_cursor();
+  if (resume == LogManager::kReconcileDone) {
+    resume = 0;
+    log_->SetReconcileCursor(0);  // The sweep is now (durably) in progress.
+  }
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    if (c < resume || chunk_objects_[c].empty()) {
+      dirty_map_->MarkCleanInitial(c);
+    }
+  }
+  dirty_map_->Seal();
+  {
+    std::lock_guard<std::mutex> lk(cursor_mu_);
+    last_persisted_cursor_ = resume;
+  }
+}
+
+Status KaminoEngine::ReconcileChunk(uint64_t chunk) {
+  Result<uint64_t> bytes = store_->ReconcileRanges(chunk_objects_[chunk]);
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  reconciled_bytes_.fetch_add(*bytes, std::memory_order_relaxed);
   return Status::Ok();
+}
+
+Status KaminoEngine::FenceDirtyRange(uint64_t offset, uint64_t size) {
+  if (!reconcile_active_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  return dirty_map_->EnsureClean(offset, size,
+                                 [this](uint64_t chunk) { return ReconcileChunk(chunk); });
+}
+
+void KaminoEngine::MaybePersistCursor() {
+  std::lock_guard<std::mutex> lk(cursor_mu_);
+  const uint64_t frontier = dirty_map_->clean_frontier();
+  if (frontier > last_persisted_cursor_) {
+    log_->SetReconcileCursor(frontier);
+    last_persisted_cursor_ = frontier;
+  }
+}
+
+void KaminoEngine::FinishReconcile() {
+  {
+    std::lock_guard<std::mutex> lk(reconcile_done_mu_);
+    if (reconcile_finished_) {
+      return;
+    }
+    reconcile_finished_ = true;
+  }
+  // Every chunk is clean: the mirror is whole again. Clear the persistent
+  // cursor *after* the fact — a crash in between merely re-runs a sweep that
+  // finds everything resumable.
+  log_->SetReconcileCursor(LogManager::kReconcileDone);
+  {
+    std::lock_guard<std::mutex> lk(reconcile_done_mu_);
+    reconcile_active_.store(false, std::memory_order_release);
+  }
+  reconcile_done_cv_.notify_all();
+}
+
+void KaminoEngine::ReconcileLoop() {
+  nvm::PersistSiteScope site("backup/reconcile");
+  while (!reconcile_stop_.load(std::memory_order_relaxed)) {
+    uint64_t chunk = 0;
+    if (dirty_map_->ClaimNext(&chunk)) {
+      Status st = ReconcileChunk(chunk);
+      dirty_map_->FinishChunk(chunk, st.ok());
+      if (st.ok()) {
+        MaybePersistCursor();
+      } else {
+        // The chunk went back to dirty; back off before the wrap-around scan
+        // picks it up again so a persistent failure cannot spin.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
+    if (dirty_map_->all_clean()) {
+      MaybePersistCursor();
+      FinishReconcile();
+      return;
+    }
+    // Remaining dirty chunks are claimed by fencing threads; wait for them.
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+Status KaminoEngine::Recover() {
+  nvm::PersistSiteScope site("engine/recover");
+  std::vector<RecoveredTx> txs = log_->ScanForRecovery();
+
+  // Phase 1: replay. The disjoint-write-set invariant (any two non-free
+  // slots at crash time hold transactions with pairwise disjoint write sets,
+  // DESIGN.md §6) makes any partition safe to replay in parallel. With one
+  // worker the replay runs inline on this thread, reproducing the classic
+  // single-threaded event stream exactly.
+  const uint64_t replay_start = stats::NowNanos();
+  size_t workers = recovery_.workers < 1 ? 1 : static_cast<size_t>(recovery_.workers);
+  workers = std::min(workers, txs.empty() ? size_t{1} : txs.size());
+  std::vector<std::vector<RecoveredTx>> parts =
+      LogManager::PartitionForRecovery(std::move(txs), workers);
+
+  Status result = Status::Ok();
+  std::vector<std::unique_ptr<TxContext>> handoff;
+  recovery_worker_ns_.assign(workers, 0);
+  if (workers == 1) {
+    const uint64_t t0 = stats::NowNanos();
+    Status st = ReplayPartition(parts[0], &handoff);
+    recovery_worker_ns_[0] = stats::NowNanos() - t0;
+    if (!st.ok()) {
+      result = st;
+    }
+  } else {
+    std::vector<Status> statuses(workers);
+    std::vector<std::vector<std::unique_ptr<TxContext>>> handoffs(workers);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([this, w, &parts, &statuses, &handoffs] {
+        nvm::PersistSiteScope worker_site("engine/recover");
+        const uint64_t t0 = stats::NowNanos();
+        statuses[w] = ReplayPartition(parts[w], &handoffs[w]);
+        recovery_worker_ns_[w] = stats::NowNanos() - t0;
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    for (size_t w = 0; w < workers; ++w) {
+      if (!statuses[w].ok() && result.ok()) {
+        result = statuses[w];
+      }
+      for (auto& ctx : handoffs[w]) {
+        handoff.push_back(std::move(ctx));
+      }
+    }
+  }
+  recovery_replay_ns_ = stats::NowNanos() - replay_start;
+  store_->CompactAfterRecovery();
+
+  // Phase 2: backup reconciliation. Offline it drains here; online the
+  // dirty map is armed, workers spawn, and the engine opens immediately —
+  // operations fence on the chunks they touch.
+  if (recovery_.reconcile_backup) {
+    BuildDirtyMap();
+    if (recovery_.online) {
+      reconcile_active_.store(true, std::memory_order_release);
+      const int n = recovery_.reconcile_workers < 1 ? 1 : recovery_.reconcile_workers;
+      reconcilers_.reserve(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        reconcilers_.emplace_back([this] { ReconcileLoop(); });
+      }
+    } else {
+      uint64_t chunk = 0;
+      while (dirty_map_->ClaimNext(&chunk)) {
+        Status st = ReconcileChunk(chunk);
+        dirty_map_->FinishChunk(chunk, st.ok());
+        if (!st.ok()) {
+          if (result.ok()) {
+            result = st;
+          }
+          break;  // Leave the rest dirty; the cursor resumes the sweep.
+        }
+        MaybePersistCursor();
+      }
+      if (dirty_map_->all_clean()) {
+        log_->SetReconcileCursor(LogManager::kReconcileDone);
+        std::lock_guard<std::mutex> lk(reconcile_done_mu_);
+        reconcile_finished_ = true;
+      }
+    }
+  }
+
+  // Hand the committed-but-unapplied transactions to the applier pool only
+  // *after* the dirty map is armed: their applies must fence, or a
+  // background reconcile of the same chunk would race with the apply. This
+  // happens even if replay reported an error — handed-off contexts are
+  // independent of the failed ones (disjoint write sets) and idempotent.
+  if (!handoff.empty()) {
+    in_flight_.fetch_add(handoff.size(), std::memory_order_relaxed);
+    for (auto& ctx : handoff) {
+      ApplierShard& shard =
+          *shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size()];
+      {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        shard.queue.push_back(std::move(ctx));
+      }
+      shard.cv.notify_one();
+    }
+  }
+  return result;
+}
+
+void KaminoEngine::WaitForRecovery() {
+  std::unique_lock<std::mutex> lk(reconcile_done_mu_);
+  reconcile_done_cv_.wait(lk, [&] {
+    return !reconcile_active_.load(std::memory_order_acquire) ||
+           reconcile_stop_.load(std::memory_order_relaxed);
+  });
 }
 
 }  // namespace kamino::txn

@@ -37,6 +37,7 @@
 
 #include "src/stats/histogram.h"
 #include "src/txn/backup_store.h"
+#include "src/txn/dirty_map.h"
 #include "src/txn/engine_base.h"
 
 namespace kamino::txn {
@@ -46,7 +47,7 @@ class KaminoEngine : public EngineBase {
   // `store` outlives the engine; `dynamic` selects the Dynamic flavour
   // (enables pinning + critical-path copies on cold objects).
   KaminoEngine(heap::Heap* heap, LogManager* log, LockManager* locks, BackupStore* store,
-               bool dynamic, int applier_threads = 1);
+               bool dynamic, int applier_threads = 1, RecoveryOptions recovery = {});
   ~KaminoEngine() override;
 
   EngineType type() const override {
@@ -61,8 +62,14 @@ class KaminoEngine : public EngineBase {
   Status Free(TxContext* ctx, uint64_t offset) override;
   Status Commit(std::unique_ptr<TxContext> ctx) override;
   Status Abort(TxContext* ctx) override;
+  // Two-phase recovery (DESIGN.md §10): parallel log replay, then backup
+  // reconciliation — inline (offline) or in the background behind dirty-map
+  // fences (online). Errors are aggregated, never early-returned: every
+  // recovered transaction is resolved on its own, failed ones keep their log
+  // slot so a retry (or the next recovery) sees them again.
   Status Recover() override;
   void WaitIdle() override;
+  void WaitForRecovery() override;
   uint64_t backup_bytes() const override { return store_->backup_bytes(); }
 
   // Adds the coordinator-pipeline counters (queue depth, commit->applied lag
@@ -101,8 +108,39 @@ class KaminoEngine : public EngineBase {
   void ApplyCommitted(TxContext* ctx);
   void FinishApplied(TxContext* ctx);
 
+  // --- Recovery pipeline (DESIGN.md §10) --------------------------------
+  // Replays one partition of the recovered transactions (runs on a recovery
+  // worker, or inline when workers == 1). Committed transactions are rolled
+  // forward inline, or — online — handed back to the applier pool under
+  // re-acquired write locks (appended to `handoff`). Failed transactions
+  // keep their slot; first error wins, the loop continues.
+  Status ReplayPartition(const std::vector<RecoveredTx>& txs,
+                         std::vector<std::unique_ptr<TxContext>>* handoff);
+  Status RollForwardRecovered(const RecoveredTx& tx);
+  Status RollBackRecovered(const RecoveredTx& tx);
+  // Rebuilds an applier-ready context for a recovered committed transaction,
+  // re-acquiring its write locks. Fails only on lock timeout (the caller
+  // falls back to the inline roll-forward).
+  Result<std::unique_ptr<TxContext>> BuildHandoff(const RecoveredTx& tx);
+
+  // Arms the dirty map over the allocator region: snapshots the live
+  // allocations per chunk, trusts chunks below a persisted resume cursor,
+  // and marks object-free chunks clean. Replay must be complete first.
+  void BuildDirtyMap();
+  // Copies every snapshotted object of `chunk` main -> backup.
+  Status ReconcileChunk(uint64_t chunk);
+  // Blocks until every chunk overlapping [offset, size) is clean. No-op
+  // unless an online reconcile is active.
+  Status FenceDirtyRange(uint64_t offset, uint64_t size);
+  void ReconcileLoop();
+  // Persists the dirty map's contiguous clean frontier into the log header
+  // if it advanced past the last persisted value.
+  void MaybePersistCursor();
+  void FinishReconcile();
+
   BackupStore* store_;
   bool dynamic_;
+  const RecoveryOptions recovery_;
 
   std::vector<std::unique_ptr<ApplierShard>> shards_;
   std::atomic<uint64_t> next_shard_{0};
@@ -121,6 +159,31 @@ class KaminoEngine : public EngineBase {
   stats::LatencyHistogram apply_lag_;  // Commit-enqueue -> fully applied.
 
   std::vector<std::thread> appliers_;
+
+  // --- Online-reconcile state -------------------------------------------
+  // dirty_map_ and chunk_objects_ are built single-threaded in Recover()
+  // before reconcile_active_ is published (release) and before any worker
+  // or handed-off context exists; they are read-only afterwards.
+  std::unique_ptr<DirtyMap> dirty_map_;
+  std::vector<std::vector<ApplyRange>> chunk_objects_;  // Keyed by start chunk.
+  std::atomic<bool> reconcile_active_{false};
+  std::atomic<bool> reconcile_stop_{false};
+  std::vector<std::thread> reconcilers_;
+  std::atomic<uint64_t> reconciled_bytes_{0};
+
+  // Cursor persistence is serialized (several reconcilers may race to
+  // publish the frontier) and monotone.
+  std::mutex cursor_mu_;
+  uint64_t last_persisted_cursor_ = 0;
+
+  std::mutex reconcile_done_mu_;
+  std::condition_variable reconcile_done_cv_;
+  bool reconcile_finished_ = false;  // FinishReconcile runs once.
+
+  // Replay-phase wall times; written before/by the (joined) recovery
+  // workers, read-only once Recover() returns.
+  uint64_t recovery_replay_ns_ = 0;
+  std::vector<uint64_t> recovery_worker_ns_;
 };
 
 }  // namespace kamino::txn

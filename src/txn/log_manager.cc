@@ -129,6 +129,7 @@ Status LogManager::Format(uint64_t region_size, const LogOptions& options) {
   hdr->slot_size = slot_size_;
   hdr->max_records = max_records_;
   hdr->checksum = Crc64(hdr, offsetof(LogHeader, checksum));
+  hdr->reconcile_cursor = kReconcileDone;
   pool_->Persist(hdr, sizeof(LogHeader));
   return Status::Ok();
 }
@@ -533,6 +534,40 @@ SlotHandle LogManager::HandleForRecovered(const RecoveredTx& tx) const {
   s.txid = tx.txid;
   s.num_records = tx.intents.size();
   return s;
+}
+
+std::vector<std::vector<RecoveredTx>> LogManager::PartitionForRecovery(
+    std::vector<RecoveredTx> txs, size_t queues) {
+  if (queues == 0) {
+    queues = 1;
+  }
+  std::vector<std::vector<RecoveredTx>> out(queues);
+  for (auto& tx : txs) {
+    size_t q = 0;
+    if (!tx.intents.empty()) {
+      // Mix the high bits down so queues don't alias on chunk-aligned
+      // allocations; any deterministic function of the tx is safe here
+      // (disjoint write sets make every partition valid).
+      const uint64_t key = tx.intents.front().offset;
+      q = static_cast<size_t>((key ^ (key >> 17) ^ (key >> 31)) % queues);
+    }
+    out[q].push_back(std::move(tx));
+  }
+  // ScanForRecovery returned txid order; the single forward pass above
+  // preserves it within each queue.
+  return out;
+}
+
+uint64_t LogManager::reconcile_cursor() const {
+  const auto* hdr = static_cast<const LogHeader*>(pool_->At(region_offset_));
+  return hdr->reconcile_cursor;
+}
+
+void LogManager::SetReconcileCursor(uint64_t chunk) {
+  nvm::PersistSiteScope site("engine/recover/cursor");
+  auto* hdr = static_cast<LogHeader*>(pool_->At(region_offset_));
+  hdr->reconcile_cursor = chunk;
+  pool_->PersistU64(&hdr->reconcile_cursor);
 }
 
 LogStats LogManager::stats() const {

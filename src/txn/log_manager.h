@@ -187,6 +187,28 @@ class LogManager {
   std::vector<RecoveredTx> ScanForRecovery();
   SlotHandle HandleForRecovered(const RecoveredTx& tx) const;
 
+  // Partitions recovered transactions into `queues` disjoint replay queues,
+  // keyed by each transaction's first intent offset (its lock-stripe-like
+  // identity). The disjoint-write-set invariant — any two non-free slots at
+  // crash time hold transactions with pairwise disjoint write sets — makes
+  // every partition safe to replay in parallel; this one just balances load
+  // while keeping each queue in txid order. Transactions without intents
+  // land in queue 0.
+  static std::vector<std::vector<RecoveredTx>> PartitionForRecovery(
+      std::vector<RecoveredTx> txs, size_t queues);
+
+  // --- Backup-reconcile cursor (online recovery, DESIGN.md §10) -------------
+  // Persistent resume point for the post-replay backup reconcile sweep:
+  // dirty-map chunks [0, cursor) were already reconciled by an interrupted
+  // recovery and stay trusted across the next crash (replay only ever
+  // re-applies ranges main -> backup, which preserves mirror equality).
+  // kReconcileDone means no sweep is in progress. The field lives in the log
+  // header block but outside its checksum, updated failure-atomically with
+  // an 8-byte persist at the "engine/recover/cursor" site.
+  static constexpr uint64_t kReconcileDone = ~0ull;
+  uint64_t reconcile_cursor() const;
+  void SetReconcileCursor(uint64_t chunk);
+
   // Largest txid present in the log at Open() time (0 for a fresh log).
   uint64_t max_recovered_txid() const { return max_recovered_txid_; }
 
@@ -214,7 +236,12 @@ class LogManager {
     uint64_t slot_size;
     uint64_t max_records;
     uint64_t checksum;
+    // Not checksum-covered (mutated after format, like Heap's root): the
+    // backup-reconcile resume cursor, persisted as a single 8-byte store.
+    uint64_t reconcile_cursor;
   };
+  static_assert(sizeof(LogHeader) <= kSlotHeaderSize,
+                "log header must fit its 64-byte block");
 
   struct SlotHeader {
     uint64_t state;  // TxState.

@@ -272,7 +272,8 @@ Status TxManager::Init(bool attach_existing) {
     }
     engine_ = std::make_unique<KaminoEngine>(
         heap_, log_.get(), locks_.get(), backup_store_.get(),
-        options_.engine == EngineType::kKaminoDynamic, options_.applier_threads);
+        options_.engine == EngineType::kKaminoDynamic, options_.applier_threads,
+        options_.recovery);
     return Status::Ok();
   }
 
@@ -281,7 +282,7 @@ Status TxManager::Init(bool attach_existing) {
       backup_store_ = std::make_unique<NullBackupStore>();
       engine_ = std::make_unique<KaminoEngine>(heap_, log_.get(), locks_.get(),
                                                backup_store_.get(), /*dynamic=*/false,
-                                               options_.applier_threads);
+                                               options_.applier_threads, options_.recovery);
       return Status::Ok();
     case EngineType::kUndoLog:
       engine_ = std::make_unique<UndoLogEngine>(heap_, log_.get(), locks_.get());

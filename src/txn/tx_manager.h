@@ -69,6 +69,10 @@ struct TxManagerOptions {
   // replicas, whose recovery needs a neighbour's state (paper §5.3) and is
   // driven by the chain layer instead.
   bool skip_recovery = false;
+
+  // Recovery pipeline shape (parallel replay, online backup reconcile).
+  // Defaults reproduce the classic offline single-threaded recovery.
+  RecoveryOptions recovery;
 };
 
 class TxManager;
@@ -181,6 +185,10 @@ class TxManager {
 
   // Blocks until all committed transactions are fully applied.
   void WaitIdle() { engine_->WaitIdle(); }
+
+  // Blocks until online recovery (background backup reconcile) has drained.
+  // Returns immediately for offline recovery or non-Kamino engines.
+  void WaitForRecovery() { engine_->WaitForRecovery(); }
 
   heap::Heap* heap() { return heap_; }
   AtomicityEngine* engine() { return engine_.get(); }

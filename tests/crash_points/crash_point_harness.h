@@ -53,7 +53,20 @@ struct CrashPointOptions {
   uint64_t max_points = 0;
 
   uint64_t pool_size = 24ull << 20;
-  int applier_threads = 1;  // >1 breaks event-stream determinism.
+  // With the default global-ordinal coordinates, >1 breaks event-stream
+  // determinism; set `per_site` to sweep multi-applier configurations.
+  int applier_threads = 1;
+
+  // Per-site crash coordinates: injection point k crashes at the
+  // (kind, site, occurrence) triple of count-pass event k instead of at
+  // global ordinal k. Per-site occurrence streams stay meaningful when
+  // multiple applier threads interleave unrelated sites nondeterministically,
+  // so this unlocks applier_threads > 1 sweeps. The determinism and
+  // durability invariants (which are defined over the global ordinal stream)
+  // are skipped; recovery, structural and atomicity invariants still hold.
+  // A coordinate that never fires in its injection run (a benign interleave
+  // gave that site fewer events) is recorded as not fired, not a failure.
+  bool per_site = false;
 
   // Weak tier: skip tree attach / data checks after recovery.
   bool check_data = true;
@@ -74,6 +87,7 @@ struct CrashPointFailure {
 struct CrashPointReport {
   uint64_t total_events = 0;   // Size of the event space (count pass).
   uint64_t points_tested = 0;  // Injection runs actually performed.
+  uint64_t points_fired = 0;   // Runs where the crash point actually hit.
   std::vector<CrashPointFailure> failures;
 
   bool ok() const { return failures.empty(); }
@@ -82,6 +96,47 @@ struct CrashPointReport {
 
 // Runs the count pass + injection sweep described above.
 CrashPointReport EnumerateCrashPoints(const CrashPointOptions& options);
+
+// --- Crash-during-recovery enumeration (DESIGN.md §10) -----------------------
+//
+// Stages a crashed system with real recovery work pending — committed-and-
+// applied transactions, committed-but-unapplied ones (Kamino engines, via
+// PauseApplier), and one in-flight transaction leaked mid-write — then
+// enumerates power failures *inside recovery itself*: a count pass over
+// Attach + Open + WaitForRecovery + WaitIdle discovers recovery's own
+// persistence-event space, and each injection run kills the machine at
+// event k of a fresh recovery, recovers again cleanly, and asserts the
+// second recovery converges to the exact same state (progress markers, tree
+// contents, structural invariants). This is the crash-idempotence contract:
+// every persist site reached during recovery ("engine/recover/*",
+// "backup/reconcile/*", and the log/backup sites recovery calls into) must
+// be safe to lose.
+struct RecoveryCrashOptions {
+  txn::EngineType engine = txn::EngineType::kKaminoSimple;
+
+  // Staged work: `num_ops` fully applied ops, then `unapplied_ops` committed
+  // ops frozen before the applier ran (Kamino engines only — inline engines
+  // have no committed-unapplied window), then one leaked running
+  // transaction.
+  uint64_t num_ops = 4;
+  uint64_t unapplied_ops = 2;
+
+  uint64_t pool_size = 24ull << 20;
+  int applier_threads = 1;
+
+  // Recovery pipeline shape under test (workers, online, reconcile_backup).
+  // Nondeterministic shapes (workers > 1, online) are still sound to sweep:
+  // an ordinal-k power cut is a legitimate crash of *that* run, and the
+  // invariant checked is convergence, not event-stream equality.
+  txn::RecoveryOptions recovery;
+
+  // Sweep budget, as in CrashPointOptions.
+  uint64_t start = 1;
+  uint64_t stride = 1;
+  uint64_t max_points = 0;
+};
+
+CrashPointReport EnumerateRecoveryCrashPoints(const RecoveryCrashOptions& options);
 
 const char* EngineName(txn::EngineType engine);
 

@@ -1,0 +1,129 @@
+// Crash-during-recovery enumeration (DESIGN.md §10): recovery itself is a
+// sequence of persistence events ("engine/recover/*", "backup/reconcile/*",
+// and the log/backup sites it calls into), and a machine can lose power at
+// any of them. Each sweep stages real recovery work (applied ops, committed-
+// but-unapplied ops, one leaked in-flight transaction), kills a fresh
+// recovery at event k, recovers again cleanly, and asserts the second
+// recovery converges to the exact same state — the crash-idempotence
+// contract of ISSUE satellite 4, across all five engines and across the new
+// recovery pipeline shapes (parallel replay, online backup reconciliation).
+//
+// KAMINO_CRASH_POINT_STRIDE=N (env) tests every N-th crash point instead of
+// all of them — the CI smoke mode. Default is full enumeration.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "tests/crash_points/crash_point_harness.h"
+
+namespace kamino::testing {
+namespace {
+
+uint64_t StrideFromEnv() {
+  const char* s = std::getenv("KAMINO_CRASH_POINT_STRIDE");
+  if (s == nullptr) {
+    return 1;
+  }
+  const long v = std::atol(s);
+  return v > 1 ? static_cast<uint64_t>(v) : 1;
+}
+
+class RecoveryCrashEnumTest : public ::testing::TestWithParam<txn::EngineType> {};
+
+// Baseline shape: offline recovery, one replay worker — the classic
+// single-threaded recovery event stream every engine supports.
+TEST_P(RecoveryCrashEnumTest, CrashAtEveryRecoveryEventConverges) {
+  RecoveryCrashOptions options;
+  options.engine = GetParam();
+  options.stride = StrideFromEnv();
+  CrashPointReport report = EnumerateRecoveryCrashPoints(options);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_GT(report.points_tested, 0u);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, RecoveryCrashEnumTest,
+                         ::testing::Values(txn::EngineType::kKaminoSimple,
+                                           txn::EngineType::kKaminoDynamic,
+                                           txn::EngineType::kUndoLog, txn::EngineType::kCow,
+                                           txn::EngineType::kRedoLog),
+                         [](const ::testing::TestParamInfo<txn::EngineType>& info) {
+                           switch (info.param) {
+                             case txn::EngineType::kKaminoSimple:
+                               return "KaminoSimple";
+                             case txn::EngineType::kKaminoDynamic:
+                               return "KaminoDynamic";
+                             case txn::EngineType::kUndoLog:
+                               return "UndoLog";
+                             case txn::EngineType::kCow:
+                               return "Cow";
+                             case txn::EngineType::kRedoLog:
+                               return "RedoLog";
+                             default:
+                               return "Unknown";
+                           }
+                         });
+
+// Parallel replay: four workers partitioned by lock stripe. The ordinal-k
+// power cut lands at a nondeterministic logical moment run to run, but every
+// cut of every run must still converge.
+TEST(RecoveryCrashShapes, ParallelReplayConvergesAtEveryCut) {
+  RecoveryCrashOptions options;
+  options.engine = txn::EngineType::kKaminoSimple;
+  options.unapplied_ops = 4;  // More roll-forward work to spread over workers.
+  options.recovery.workers = 4;
+  options.stride = StrideFromEnv();
+  CrashPointReport report = EnumerateRecoveryCrashPoints(options);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// Offline backup reconciliation: the full-mirror engine re-copies every
+// allocated chunk main→backup before opening, persisting the reconcile
+// cursor ("engine/recover/cursor") as it goes. A crash between any two
+// cursor advances must resume or restart reconciliation harmlessly.
+TEST(RecoveryCrashShapes, OfflineReconcileConvergesAtEveryCut) {
+  RecoveryCrashOptions options;
+  options.engine = txn::EngineType::kKaminoSimple;
+  options.recovery.reconcile_backup = true;
+  options.stride = StrideFromEnv();
+  CrashPointReport report = EnumerateRecoveryCrashPoints(options);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// Online recovery: the engine opens right after replay while background
+// reconcilers drain the dirty map ("backup/reconcile/*"). The sweep's
+// recovery window spans WaitForRecovery, so reconcile-worker persists are in
+// the enumerated space; cuts inside them must also converge.
+TEST(RecoveryCrashShapes, OnlineReconcileConvergesAtEveryCut) {
+  RecoveryCrashOptions options;
+  options.engine = txn::EngineType::kKaminoSimple;
+  options.recovery.online = true;
+  options.recovery.reconcile_backup = true;
+  options.recovery.workers = 2;
+  options.recovery.reconcile_workers = 2;
+  options.stride = StrideFromEnv();
+  CrashPointReport report = EnumerateRecoveryCrashPoints(options);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// Online recovery for the dynamic-backup engine: no mirror to reconcile
+// (reconcile_backup stays false — DynamicBackupStore copies are made on
+// demand), but handed-off roll-forward work drains through the applier after
+// the engine opens.
+TEST(RecoveryCrashShapes, DynamicOnlineConvergesAtEveryCut) {
+  RecoveryCrashOptions options;
+  options.engine = txn::EngineType::kKaminoDynamic;
+  options.recovery.online = true;
+  options.recovery.workers = 2;
+  options.stride = StrideFromEnv();
+  CrashPointReport report = EnumerateRecoveryCrashPoints(options);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+}  // namespace
+}  // namespace kamino::testing

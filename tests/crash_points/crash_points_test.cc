@@ -58,6 +58,40 @@ INSTANTIATE_TEST_SUITE_P(Engines, CrashPointEnumTest,
                            }
                          });
 
+// Multi-applier enumeration under per-site coordinates: with two applier
+// threads the global ordinal stream is nondeterministic, so crash points are
+// named (kind, site, occurrence) instead. Recovery, structural and atomicity
+// invariants still hold at every coordinate; stream-equality checks are
+// skipped by design.
+TEST(CrashPointPerSite, MultiApplierSweepRecoversAtEveryCoordinate) {
+  CrashPointOptions options;
+  options.engine = txn::EngineType::kKaminoSimple;
+  options.num_ops = 6;
+  options.applier_threads = 2;
+  options.per_site = true;
+  options.stride = StrideFromEnv();
+  CrashPointReport report = EnumerateCrashPoints(options);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_GT(report.points_tested, 0u);
+  // Most coordinates must actually fire; a benign interleave may starve a
+  // few, and those are recorded as skipped rather than failed.
+  EXPECT_GT(report.points_fired, 0u);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(CrashPointPerSite, DynamicEngineMultiApplierSweep) {
+  CrashPointOptions options;
+  options.engine = txn::EngineType::kKaminoDynamic;
+  options.num_ops = 4;
+  options.applier_threads = 2;
+  options.per_site = true;
+  options.stride = StrideFromEnv() * 2;  // Budgeted: this config is slower.
+  CrashPointReport report = EnumerateCrashPoints(options);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_GT(report.points_fired, 0u);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
 // NoLogging provides no atomicity by design: it is swept at the weak tier
 // (recovery machinery must still come back up; data checks are skipped).
 TEST(CrashPointWeakTier, NoLoggingSurvivesEveryCrashPointStructurally) {

@@ -2,24 +2,39 @@
 
 namespace kamino::testing {
 
-void CrashScheduler::ArmCounting() {
-  std::lock_guard<std::mutex> lk(mu_);
-  mode_ = Mode::kCounting;
+void CrashScheduler::ResetLocked() {
   next_ordinal_ = 0;
   crash_at_ = 0;
   crashed_ = false;
+  crashed_at_ordinal_ = 0;
+  crash_site_.clear();
+  crash_site_occurrence_ = 0;
+  occurrences_.clear();
   suppress_enabled_ = false;
   trace_.clear();
+}
+
+void CrashScheduler::ArmCounting() {
+  std::lock_guard<std::mutex> lk(mu_);
+  mode_ = Mode::kCounting;
+  ResetLocked();
 }
 
 void CrashScheduler::ArmInjection(uint64_t crash_at) {
   std::lock_guard<std::mutex> lk(mu_);
   mode_ = Mode::kInjection;
-  next_ordinal_ = 0;
+  ResetLocked();
   crash_at_ = crash_at;
-  crashed_ = false;
-  suppress_enabled_ = false;
-  trace_.clear();
+}
+
+void CrashScheduler::ArmInjectionAtSite(nvm::PersistEventKind kind, std::string site,
+                                        uint64_t occurrence) {
+  std::lock_guard<std::mutex> lk(mu_);
+  mode_ = Mode::kInjection;
+  ResetLocked();
+  crash_site_kind_ = kind;
+  crash_site_ = std::move(site);
+  crash_site_occurrence_ = occurrence;
 }
 
 void CrashScheduler::SuppressSite(std::string site, nvm::PersistEventKind kind) {
@@ -33,6 +48,8 @@ void CrashScheduler::Disarm() {
   std::lock_guard<std::mutex> lk(mu_);
   mode_ = Mode::kDisarmed;
   crash_at_ = 0;
+  crash_site_.clear();
+  crash_site_occurrence_ = 0;
   suppress_enabled_ = false;
 }
 
@@ -45,12 +62,25 @@ bool CrashScheduler::OnPersistEvent(const nvm::PersistEvent& event) {
   EventRecord rec;
   rec.kind = event.kind;
   rec.site = event.site;
+  rec.occurrence = ++occurrences_[{static_cast<int>(event.kind), std::string(event.site)}];
 
   bool allow = true;
-  if (mode_ == Mode::kInjection && crash_at_ != 0 && ordinal >= crash_at_) {
-    // The machine lost power at event crash_at_; nothing after it persists.
-    crashed_ = true;
-    allow = false;
+  if (mode_ == Mode::kInjection) {
+    if (!crashed_) {
+      if (crash_at_ != 0 && ordinal >= crash_at_) {
+        crashed_ = true;
+      } else if (!crash_site_.empty() && event.kind == crash_site_kind_ &&
+                 crash_site_ == event.site && rec.occurrence >= crash_site_occurrence_) {
+        crashed_ = true;
+      }
+      if (crashed_) {
+        crashed_at_ordinal_ = ordinal;
+      }
+    }
+    // The machine lost power at the injection point; nothing after persists.
+    if (crashed_) {
+      allow = false;
+    }
   }
   if (allow && suppress_enabled_ && event.kind == suppress_kind_ &&
       suppress_site_ == event.site) {
@@ -69,6 +99,11 @@ uint64_t CrashScheduler::event_count() const {
 bool CrashScheduler::crashed() const {
   std::lock_guard<std::mutex> lk(mu_);
   return crashed_;
+}
+
+uint64_t CrashScheduler::crashed_at_ordinal() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return crashed_at_ordinal_;
 }
 
 std::vector<CrashScheduler::EventRecord> CrashScheduler::trace() const {

@@ -30,8 +30,10 @@
 #define TESTS_CRASH_POINTS_CRASH_SCHEDULER_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/nvm/persist_hook.h"
@@ -43,6 +45,12 @@ class CrashScheduler : public nvm::PersistenceObserver {
   struct EventRecord {
     nvm::PersistEventKind kind;
     std::string site;
+    // 1-based occurrence index of this (kind, site) pair — the per-site crash
+    // coordinate. Unlike the global ordinal, it is stable under benign
+    // cross-thread interleaving (multi-applier runs): the k-th
+    // "log/release-slot" drain is the same logical event no matter how
+    // unrelated sites interleave around it.
+    uint64_t occurrence = 0;
     bool suppressed = false;  // Vetoed by injection or site suppression.
   };
 
@@ -57,6 +65,13 @@ class CrashScheduler : public nvm::PersistenceObserver {
   // later one is vetoed. Resets all state; site suppression survives only if
   // re-set afterwards.
   void ArmInjection(uint64_t crash_at);
+
+  // Crash at the `occurrence`-th event matching (kind, site) — the per-site
+  // coordinate. From that event on, everything is vetoed (power is gone for
+  // the whole machine, not just that site). Use when the global ordinal
+  // stream is not deterministic (applier_threads > 1) but per-site streams
+  // are (each site's events come from one logical actor in order).
+  void ArmInjectionAtSite(nvm::PersistEventKind kind, std::string site, uint64_t occurrence);
 
   // Additionally veto every event of `kind` whose site tag equals `site`.
   // Composes with either mode; set after Arm*().
@@ -74,6 +89,11 @@ class CrashScheduler : public nvm::PersistenceObserver {
   // True once the injection point has fired.
   bool crashed() const;
 
+  // Global ordinal at which the injection fired (0 if it has not). For
+  // per-site injections this reports where in the global stream the
+  // coordinate landed.
+  uint64_t crashed_at_ordinal() const;
+
   // Events observed since the last Arm*(), in ordinal order (index 0 is
   // ordinal 1).
   std::vector<EventRecord> trace() const;
@@ -81,11 +101,20 @@ class CrashScheduler : public nvm::PersistenceObserver {
  private:
   enum class Mode { kDisarmed, kCounting, kInjection };
 
+  void ResetLocked();
+
   mutable std::mutex mu_;
   Mode mode_ = Mode::kDisarmed;
   uint64_t next_ordinal_ = 0;
   uint64_t crash_at_ = 0;
   bool crashed_ = false;
+  uint64_t crashed_at_ordinal_ = 0;
+  // Per-site injection coordinate (crash_site_ empty = ordinal mode).
+  std::string crash_site_;
+  nvm::PersistEventKind crash_site_kind_ = nvm::PersistEventKind::kFlush;
+  uint64_t crash_site_occurrence_ = 0;
+  // Running per-(kind, site) occurrence counters since the last Arm*().
+  std::map<std::pair<int, std::string>, uint64_t> occurrences_;
   std::string suppress_site_;
   nvm::PersistEventKind suppress_kind_ = nvm::PersistEventKind::kFlush;
   bool suppress_enabled_ = false;

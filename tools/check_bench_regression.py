@@ -114,9 +114,69 @@ def check_commit_path(baseline, candidate, threshold):
     return failures
 
 
+MIN_REPLAY_SPEEDUP = 2.0
+MAX_ONLINE_FIRST_OP_SPREAD = 3.0
+MIN_OFFLINE_FIRST_OP_SPREAD = 1.5
+
+
+def check_recovery(baseline, candidate, threshold):
+    """Restart latency per sweep point; higher candidate is a regression.
+    Also enforces each file's internal acceptance gates: parallel replay must
+    speed up >= 2x from 1 to 4 workers, online restart-to-first-op must stay
+    roughly flat across heap sizes (bounded by the dirty set, not the heap),
+    and offline restart-to-first-op must visibly grow with the heap (it pays
+    the whole reconcile sweep up front — that contrast is the point)."""
+
+    def rows(doc, path):
+        out = {}
+        for r in doc.get("results", []):
+            key = (r["sweep"], r["engine"], r["mode"], int(r["heap_mb"]),
+                   int(r["dirty_txs"]), int(r["workers"]))
+            out[key] = float(r["restart_to_full_ms"])
+        if not out:
+            sys.exit(f"error: {path} has no sweep points under 'results'")
+        return out
+
+    failures = []
+    for doc, path in (baseline, candidate):
+        s = doc.get("summary", {})
+        speedup = float(s.get("replay_speedup_1_to_4", 0.0))
+        online = float(s.get("online_first_op_spread", 0.0))
+        offline = float(s.get("offline_first_op_spread", 0.0))
+        print(f"{path}: replay speedup 1->4 {speedup:.2f}x, first-op spread "
+              f"online {online:.2f}x / offline {offline:.2f}x")
+        if speedup < MIN_REPLAY_SPEEDUP:
+            failures.append(f"{path}: replay speedup {speedup:.2f}x "
+                            f"< {MIN_REPLAY_SPEEDUP:.1f}x (1 -> 4 workers)")
+        if online > MAX_ONLINE_FIRST_OP_SPREAD:
+            failures.append(f"{path}: online first-op spread {online:.2f}x "
+                            f"> {MAX_ONLINE_FIRST_OP_SPREAD:.1f}x across heap sizes")
+        if offline < MIN_OFFLINE_FIRST_OP_SPREAD:
+            failures.append(f"{path}: offline first-op spread {offline:.2f}x "
+                            f"< {MIN_OFFLINE_FIRST_OP_SPREAD:.1f}x — the offline/online "
+                            "contrast vanished")
+
+    base = rows(*baseline)
+    cand = rows(*candidate)
+    print(f"{'sweep point':>44} {'baseline':>9} {'candidate':>10} {'ratio':>7}")
+    for key in sorted(base):
+        label = f"{key[0]}/{key[1]}/{key[2]}/{key[3]}MB/d{key[4]}/w{key[5]}"
+        if key not in cand:
+            print(f"{label:>44} {base[key]:>9.1f} {'missing':>10} {'-':>7}")
+            continue
+        ratio = cand[key] / base[key] if base[key] > 0 else 1.0
+        flag = ""
+        if ratio > 1.0 + threshold:
+            failures.append(f"{label} restart_to_full at {ratio:.2f}x baseline")
+            flag = "  << REGRESSION"
+        print(f"{label:>44} {base[key]:>9.1f} {cand[key]:>10.1f} {ratio:>7.2f}{flag}")
+    return failures
+
+
 CHECKERS = {
     "applier_scaling": check_applier_scaling,
     "commit_path": check_commit_path,
+    "recovery": check_recovery,
 }
 
 
