@@ -1,0 +1,306 @@
+// Keyspace-sharding sweep (ISSUE 7 acceptance benchmark).
+//
+// Measures end-to-end YCSB-A (zipfian) throughput against a ShardedStore as
+// the shard count grows (1/2/4/8) at a fixed client count, with the
+// cross-shard MultiUpdate fraction swept (0% / 5% / 20%).
+//
+// The pools inject per-line flush and per-fence drain latency that *sleeps*
+// instead of spinning, so independent shards overlap their persistence
+// stalls even on a small host. The serialized resource sharding multiplies
+// is the per-shard applier: each shard has exactly one applier thread whose
+// backup write-back (the Kamino mirror sync) is one serial persistence
+// stream — one shard is one stream, N shards are N. Throughput is measured
+// commit-to-applied (clients done AND every backup in sync), the same
+// sustained metric the applier_scaling bench gates on: a store cannot
+// sustain commits faster than its backup drains, and write locks are held
+// until the backup syncs, so apply lag feeds straight back into the
+// zipfian-hot keys. That feedback is also why scaling is sub-linear: the
+// shard owning the scrambled-zipfian hot key absorbs ~10% of all updates on
+// top of its 1/N share, so its applier saturates first (the output's
+// per-shard imbalance column makes this visible).
+//
+// Per-shard EngineStats expose queue depth and commit imbalance so the
+// router's key spreading is visible in the output.
+//
+// Not a google-benchmark binary: the sweep is the product, and the JSON
+// schema (BENCH_sharding.json) is what tools/check_bench_regression.py
+// gates on.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/shard/sharded_store.h"
+#include "src/stats/histogram.h"
+#include "src/workload/ycsb.h"
+
+namespace {
+
+using kamino::Status;
+using kamino::StatusCode;
+
+uint64_t EnvOr(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : def;
+}
+
+struct SweepPoint {
+  int shards = 0;
+  int cross_pct = 0;
+  uint64_t ops = 0;
+  double elapsed_s = 0;
+  double ops_per_sec = 0;
+  uint64_t cross_shard_commits = 0;
+  uint64_t committed_min = 0;
+  uint64_t committed_max = 0;
+  double imbalance = 0;  // max committed / mean committed across shards.
+  uint64_t max_queue_depth = 0;  // Summed across shards at the worst sample.
+};
+
+SweepPoint RunOnce(int shards, int cross_pct, uint64_t nkeys, uint64_t ops_per_thread,
+                   int client_threads, uint64_t value_size, uint32_t flush_ns,
+                   uint32_t drain_ns, uint32_t backup_flush_ns, uint32_t backup_drain_ns) {
+  kamino::shard::ShardedStoreOptions sopts;
+  sopts.num_shards = shards;
+  sopts.pool_size =
+      nkeys * value_size * 3 / static_cast<uint64_t>(shards) + (48ull << 20);
+  sopts.log_region_size = 8ull << 20;
+  sopts.lock.timeout_ms = 30'000;
+  sopts.applier_threads = 1;
+  sopts.sleep_latency = true;  // Overlappable stalls (see header note).
+  sopts.flush_latency_ns = flush_ns;
+  sopts.drain_latency_ns = drain_ns;
+  auto store = std::move(kamino::shard::ShardedStore::Create(sopts).value());
+
+  // Parallel load: the injected latency applies here too, so spread it.
+  {
+    std::vector<std::thread> loaders;
+    const uint64_t per = (nkeys + static_cast<uint64_t>(client_threads) - 1) /
+                         static_cast<uint64_t>(client_threads);
+    for (int t = 0; t < client_threads; ++t) {
+      loaders.emplace_back([&, t] {
+        const uint64_t lo = static_cast<uint64_t>(t) * per;
+        const uint64_t hi = std::min(nkeys, lo + per);
+        for (uint64_t k = lo; k < hi; ++k) {
+          Status st = store->Upsert(k, kamino::workload::YcsbValue(k, value_size));
+          if (!st.ok()) {
+            std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+            std::abort();
+          }
+        }
+      });
+    }
+    for (auto& l : loaders) {
+      l.join();
+    }
+  }
+  store->WaitIdle();
+
+  // Aim the backup write-back cost only now: the load phase above runs with a
+  // free mirror so the sweep's measured window starts from a synced store.
+  for (int s = 0; s < shards; ++s) {
+    store->shard_manager(s)->backup_pool()->set_latency(backup_flush_ns, backup_drain_ns,
+                                                        /*sleep=*/true);
+  }
+
+  std::vector<uint64_t> committed_before(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    committed_before[static_cast<size_t>(s)] = store->ShardStats(s).committed;
+  }
+
+  std::atomic<bool> running{true};
+  std::atomic<uint64_t> max_depth{0};
+  std::thread sampler([&] {
+    while (running.load(std::memory_order_relaxed)) {
+      uint64_t d = 0;
+      for (int s = 0; s < shards; ++s) {
+        d += store->ShardStats(s).applier_queue_depth;
+      }
+      uint64_t cur = max_depth.load(std::memory_order_relaxed);
+      while (d > cur && !max_depth.compare_exchange_weak(cur, d)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const uint64_t start_ns = kamino::stats::NowNanos();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(client_threads));
+  std::atomic<uint64_t> key_count{nkeys};
+  for (int t = 0; t < client_threads; ++t) {
+    clients.emplace_back([&, t] {
+      kamino::workload::YcsbGenerator gen(kamino::workload::YcsbWorkload::kA, nkeys,
+                                          &key_count, 0x452821E6u + static_cast<uint64_t>(t));
+      const std::string value =
+          kamino::workload::YcsbValue(static_cast<uint64_t>(t), value_size);
+      uint64_t rng = 0x9E3779B9u * (static_cast<uint64_t>(t) + 1);
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        const auto req = gen.Next();
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        Status st;
+        if (cross_pct > 0 && static_cast<int>((rng >> 33) % 100) < cross_pct) {
+          // Multi-key atomic update over two distinct keys — usually landing
+          // on two different shards, exercising the 2PC commit.
+          uint64_t other = (req.key * 2654435761ull + 1) % nkeys;
+          if (other == req.key) {
+            other = (other + 1) % nkeys;
+          }
+          st = store->MultiUpdate({{req.key, value}, {other, value}});
+        } else if (req.op == kamino::workload::YcsbOp::kRead) {
+          st = store->Read(req.key).status();
+        } else {
+          st = store->Update(req.key, value);
+        }
+        if (!st.ok() && st.code() != StatusCode::kNotFound) {
+          std::fprintf(stderr, "op failed: %s\n", st.ToString().c_str());
+          std::abort();
+        }
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  store->WaitIdle();
+  // Commit-to-applied: the clock stops when every backup is in sync, so the
+  // number reflects the sustained rate the applier streams can absorb, not a
+  // burst the queues would still be digesting.
+  const uint64_t elapsed_ns = kamino::stats::NowNanos() - start_ns;
+  running.store(false, std::memory_order_relaxed);
+  sampler.join();
+
+  SweepPoint p;
+  p.shards = shards;
+  p.cross_pct = cross_pct;
+  p.ops = ops_per_thread * static_cast<uint64_t>(client_threads);
+  p.elapsed_s = static_cast<double>(elapsed_ns) / 1e9;
+  p.ops_per_sec = p.elapsed_s > 0 ? static_cast<double>(p.ops) / p.elapsed_s : 0;
+  p.cross_shard_commits = store->cross_shard_stats().cross_shard_commits;
+  p.committed_min = ~0ull;
+  uint64_t total = 0;
+  for (int s = 0; s < shards; ++s) {
+    const uint64_t c =
+        store->ShardStats(s).committed - committed_before[static_cast<size_t>(s)];
+    p.committed_min = std::min(p.committed_min, c);
+    p.committed_max = std::max(p.committed_max, c);
+    total += c;
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(shards);
+  p.imbalance = mean > 0 ? static_cast<double>(p.committed_max) / mean : 0;
+  p.max_queue_depth = max_depth.load();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t nkeys = EnvOr("KAMINO_BENCH_KEYS", 8192);
+  const uint64_t ops_per_thread = EnvOr("KAMINO_BENCH_OPS", 2000);
+  const int client_threads = static_cast<int>(EnvOr("KAMINO_BENCH_CLIENTS", 8));
+  const uint64_t value_size = EnvOr("KAMINO_BENCH_VALUE", 1024);
+  const uint32_t flush_ns = static_cast<uint32_t>(EnvOr("KAMINO_BENCH_FLUSH_NS", 2'000));
+  const uint32_t drain_ns = static_cast<uint32_t>(EnvOr("KAMINO_BENCH_DRAIN_NS", 20'000));
+  const uint32_t backup_flush_ns =
+      static_cast<uint32_t>(EnvOr("KAMINO_BENCH_BACKUP_FLUSH_NS", 35'000));
+  const uint32_t backup_drain_ns =
+      static_cast<uint32_t>(EnvOr("KAMINO_BENCH_BACKUP_DRAIN_NS", 20'000));
+  const char* out_path = std::getenv("KAMINO_BENCH_JSON");
+  if (out_path == nullptr) {
+    out_path = "BENCH_sharding.json";
+  }
+  if (nkeys == 0 || ops_per_thread == 0 || client_threads <= 0 || value_size == 0) {
+    std::fprintf(stderr,
+                 "invalid knobs: KAMINO_BENCH_KEYS/OPS/CLIENTS/VALUE must be "
+                 "positive integers (unparsable values read as 0)\n");
+    return 2;
+  }
+
+  const int shard_sweep[] = {1, 2, 4, 8};
+  const int cross_sweep[] = {0, 5, 20};
+  std::vector<SweepPoint> points;
+  for (int shards : shard_sweep) {
+    for (int cross : cross_sweep) {
+      std::fprintf(stderr, "shards=%d cross=%d%% ...\n", shards, cross);
+      points.push_back(RunOnce(shards, cross, nkeys, ops_per_thread, client_threads,
+                               value_size, flush_ns, drain_ns, backup_flush_ns,
+                               backup_drain_ns));
+      const SweepPoint& p = points.back();
+      std::fprintf(stderr,
+                   "  %.0f ops/s  (%.2fs, %llu cross-shard commits, "
+                   "committed %llu..%llu per shard, imbalance %.2f, "
+                   "max queue depth %llu)\n",
+                   p.ops_per_sec, p.elapsed_s,
+                   static_cast<unsigned long long>(p.cross_shard_commits),
+                   static_cast<unsigned long long>(p.committed_min),
+                   static_cast<unsigned long long>(p.committed_max), p.imbalance,
+                   static_cast<unsigned long long>(p.max_queue_depth));
+    }
+  }
+
+  auto find = [&](int shards, int cross) -> const SweepPoint* {
+    for (const SweepPoint& p : points) {
+      if (p.shards == shards && p.cross_pct == cross) {
+        return &p;
+      }
+    }
+    return nullptr;
+  };
+  const SweepPoint* s1c0 = find(1, 0);
+  const SweepPoint* s4c0 = find(4, 0);
+  const SweepPoint* s4c20 = find(4, 20);
+  const double speedup =
+      s1c0 != nullptr && s4c0 != nullptr && s1c0->ops_per_sec > 0
+          ? s4c0->ops_per_sec / s1c0->ops_per_sec
+          : 0;
+  const double penalty =
+      s4c0 != nullptr && s4c20 != nullptr && s4c20->ops_per_sec > 0
+          ? s4c0->ops_per_sec / s4c20->ops_per_sec
+          : 0;
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"sharding\",\n");
+  std::fprintf(f, "  \"workload\": \"ycsb-a\",\n");
+  std::fprintf(f, "  \"engine\": \"kamino-simple\",\n");
+  std::fprintf(f, "  \"keys\": %llu,\n", static_cast<unsigned long long>(nkeys));
+  std::fprintf(f, "  \"ops_per_client\": %llu,\n",
+               static_cast<unsigned long long>(ops_per_thread));
+  std::fprintf(f, "  \"client_threads\": %d,\n", client_threads);
+  std::fprintf(f, "  \"value_size\": %llu,\n", static_cast<unsigned long long>(value_size));
+  std::fprintf(f, "  \"flush_ns\": %u,\n", flush_ns);
+  std::fprintf(f, "  \"drain_ns\": %u,\n", drain_ns);
+  std::fprintf(f, "  \"backup_flush_ns\": %u,\n", backup_flush_ns);
+  std::fprintf(f, "  \"backup_drain_ns\": %u,\n", backup_drain_ns);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"shards\": %d, \"cross_shard_pct\": %d, \"ops_per_sec\": %.1f, "
+                 "\"ops\": %llu, \"elapsed_s\": %.3f, \"cross_shard_commits\": %llu, "
+                 "\"committed_min\": %llu, \"committed_max\": %llu, "
+                 "\"imbalance\": %.3f, \"max_queue_depth\": %llu}%s\n",
+                 p.shards, p.cross_pct, p.ops_per_sec,
+                 static_cast<unsigned long long>(p.ops), p.elapsed_s,
+                 static_cast<unsigned long long>(p.cross_shard_commits),
+                 static_cast<unsigned long long>(p.committed_min),
+                 static_cast<unsigned long long>(p.committed_max), p.imbalance,
+                 static_cast<unsigned long long>(p.max_queue_depth),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_1_to_4_shards\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"cross_shard_penalty_20pct\": %.2f\n", penalty);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (speedup 1->4 shards: %.2fx, 20%% cross penalty: %.2fx)\n",
+               out_path, speedup, penalty);
+  return 0;
+}

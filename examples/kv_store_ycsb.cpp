@@ -4,11 +4,18 @@
 // many NVM cache lines each engine writes back on the critical path per
 // operation.
 //
-// Build & run:  ./build/examples/kv_store_ycsb
+// Build & run:  ./build/examples/kv_store_ycsb [--shards=N]
+//
+// With --shards=N each workload additionally runs against a ShardedStore
+// (N kamino-simple engine instances behind the router), so the table shows
+// what key-space sharding adds on top of the single-engine rows.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/kv/kv_store.h"
+#include "src/shard/sharded_store.h"
 #include "src/stats/histogram.h"
 #include "src/workload/ycsb.h"
 
@@ -69,9 +76,68 @@ void RunOne(txn::EngineType engine, workload::YcsbWorkload w) {
               static_cast<double>(ps.lines_flushed) / static_cast<double>(kOps));
 }
 
+void RunSharded(int shards, workload::YcsbWorkload w) {
+  shard::ShardedStoreOptions sopts;
+  sopts.num_shards = shards;
+  sopts.pool_size = 64ull << 20;
+  sopts.flush_latency_ns = 150;  // Matches the single-engine rows.
+  auto store = shard::ShardedStore::Create(sopts).value();
+
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    (void)store->Upsert(k, workload::YcsbValue(k, kValueSize));
+  }
+  store->WaitIdle();
+  for (int s = 0; s < shards; ++s) {
+    store->shard_manager(s)->heap()->pool()->ResetStats();
+  }
+
+  std::atomic<uint64_t> count{kKeys};
+  workload::YcsbGenerator gen(w, kKeys, &count, 7);
+  stats::LatencyHistogram hist;
+  const std::string value = workload::YcsbValue(1, kValueSize);
+  const uint64_t start = stats::NowNanos();
+  for (uint64_t i = 0; i < kOps; ++i) {
+    const auto req = gen.Next();
+    stats::ScopedLatency timer(&hist);
+    switch (req.op) {
+      case workload::YcsbOp::kRead:
+        (void)store->Read(req.key);
+        break;
+      case workload::YcsbOp::kUpdate:
+        (void)store->Update(req.key, value);
+        break;
+      case workload::YcsbOp::kInsert:
+        (void)store->Upsert(req.key, value);
+        break;
+      case workload::YcsbOp::kReadModifyWrite:
+        (void)store->ReadModifyWrite(req.key, [](std::string& v) { ++v[0]; });
+        break;
+    }
+  }
+  const double secs = static_cast<double>(stats::NowNanos() - start) / 1e9;
+  store->WaitIdle();
+  uint64_t lines = 0;
+  for (int s = 0; s < shards; ++s) {
+    lines += store->shard_manager(s)->heap()->pool()->stats().lines_flushed;
+  }
+  char label[32];
+  std::snprintf(label, sizeof(label), "kamino x%d shards", shards);
+  std::printf("  %-16s %8.0f ops/s   mean %6.2f us   p99 %6.2f us   "
+              "critical-path lines/op %5.1f\n",
+              label, static_cast<double>(kOps) / secs, hist.MeanNs() / 1000.0,
+              static_cast<double>(hist.PercentileNs(99)) / 1000.0,
+              static_cast<double>(lines) / static_cast<double>(kOps));
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int shards = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
+    }
+  }
   std::printf("KV store, %llu x %zuB records, %llu ops per run\n\n",
               static_cast<unsigned long long>(kKeys), kValueSize,
               static_cast<unsigned long long>(kOps));
@@ -82,6 +148,9 @@ int main() {
     RunOne(txn::EngineType::kUndoLog, w);
     RunOne(txn::EngineType::kCow, w);
     RunOne(txn::EngineType::kNoLogging, w);
+    if (shards > 0) {
+      RunSharded(shards, w);
+    }
     std::printf("\n");
   }
   return 0;

@@ -14,6 +14,7 @@ Result<std::unique_ptr<Heap>> Heap::Create(const HeapOptions& options) {
   popts.drain_latency_ns = options.drain_latency_ns;
   popts.track_stats = options.track_stats;
   popts.sleep_latency = options.sleep_latency;
+  popts.site_prefix = options.site_prefix;
   Result<std::unique_ptr<nvm::Pool>> pool = nvm::Pool::Create(popts);
   if (!pool.ok()) {
     return pool.status();

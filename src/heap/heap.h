@@ -63,6 +63,7 @@ struct HeapOptions {
   uint32_t drain_latency_ns = 0;
   bool track_stats = true;
   bool sleep_latency = false;
+  std::string site_prefix;
 
   // Intent-log region size (shared by all engines' log managers).
   uint64_t log_region_size = 16ull << 20;

@@ -22,6 +22,24 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(txn::TxManager* mgr) {
   if (anchor == 0) {
     return Status::NotFound("heap root holds no store anchor");
   }
+  return Attach(mgr, anchor);
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::CreateDetached(txn::TxManager* mgr) {
+  if (mgr == nullptr) {
+    return Status::InvalidArgument("null manager");
+  }
+  Result<std::unique_ptr<pds::BPlusTree>> tree = pds::BPlusTree::Create(mgr);
+  if (!tree.ok()) {
+    return tree.status();
+  }
+  return std::unique_ptr<KvStore>(new KvStore(mgr, std::move(*tree)));
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::Attach(txn::TxManager* mgr, uint64_t anchor) {
+  if (mgr == nullptr) {
+    return Status::InvalidArgument("null manager");
+  }
   Result<std::unique_ptr<pds::BPlusTree>> tree = pds::BPlusTree::Attach(mgr, anchor);
   if (!tree.ok()) {
     return tree.status();

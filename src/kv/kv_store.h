@@ -30,6 +30,19 @@ class KvStore {
   // restart/recovery path; run after TxManager::Open).
   static Result<std::unique_ptr<KvStore>> Open(txn::TxManager* mgr);
 
+  // Creates a fresh store WITHOUT touching the heap root: the caller owns the
+  // anchor (read it back via anchor()) and its persistence — e.g.
+  // shard::ShardedStore roots each shard's tree inside its persistent shard
+  // anchor block rather than at the heap root.
+  static Result<std::unique_ptr<KvStore>> CreateDetached(txn::TxManager* mgr);
+
+  // Reattaches to a store whose tree header lives at `anchor` (the
+  // CreateDetached counterpart of Open).
+  static Result<std::unique_ptr<KvStore>> Attach(txn::TxManager* mgr, uint64_t anchor);
+
+  // Offset of the tree header (persistent; stable across re-open).
+  uint64_t anchor() const { return tree_->anchor(); }
+
   // YCSB READ.
   Result<std::string> Read(uint64_t key);
   // YCSB UPDATE (key must exist).

@@ -47,6 +47,12 @@ struct PersistEvent {
   // Innermost PersistSiteScope tag on the calling thread ("untagged" when no
   // scope is active). Always a string literal — safe to retain.
   const char* site = nullptr;
+  // The emitting pool's PoolOptions::site_prefix ("" when unset). A sharded
+  // store gives every shard's pools a distinct prefix (e.g. "shard3"), so one
+  // observer over many shards can attribute each event to its shard without
+  // threading shard identity through every engine thread. Points at the
+  // pool's own string — valid for the duration of the callback.
+  const char* shard = "";
   // Flush only: the covered byte range (pool offset). Zero for drains.
   uint64_t offset = 0;
   uint64_t len = 0;

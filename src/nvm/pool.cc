@@ -36,6 +36,7 @@ Result<std::unique_ptr<Pool>> Pool::OpenFile(const PoolOptions& options) {
   pool->drain_latency_ns_ = options.drain_latency_ns;
   pool->track_stats_ = options.track_stats;
   pool->sleep_latency_ = options.sleep_latency;
+  pool->site_prefix_ = options.site_prefix;
 
   pool->fd_ = ::open(options.path.c_str(), O_RDWR);
   if (pool->fd_ < 0) {
@@ -63,6 +64,7 @@ Status Pool::Init(const PoolOptions& options) {
   drain_latency_ns_ = options.drain_latency_ns;
   track_stats_ = options.track_stats;
   sleep_latency_ = options.sleep_latency;
+  site_prefix_ = options.site_prefix;
 
   if (!options.path.empty()) {
     fd_ = ::open(options.path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
@@ -129,6 +131,7 @@ void Pool::Flush(const void* addr, uint64_t len) {
     PersistEvent ev;
     ev.kind = PersistEventKind::kFlush;
     ev.site = CurrentPersistSite();
+    ev.shard = site_prefix_.c_str();
     ev.offset = OffsetOf(addr);
     ev.len = len;
     ev.pool = this;
@@ -164,6 +167,7 @@ void Pool::Drain() {
     PersistEvent ev;
     ev.kind = PersistEventKind::kDrain;
     ev.site = CurrentPersistSite();
+    ev.shard = site_prefix_.c_str();
     ev.pool = this;
     if (!obs->OnPersistEvent(ev)) {
       return;  // Vetoed: staged lines stay undurable, as if the fence never ran.

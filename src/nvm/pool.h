@@ -67,6 +67,13 @@ struct PoolOptions {
   // the default because it preserves cache/TLB behaviour for latency
   // microbenchmarks.
   bool sleep_latency = false;
+
+  // Attached to every PersistEvent this pool emits (PersistEvent::shard).
+  // A sharded store names each shard's pools (e.g. "shard3") so crash-point
+  // observers can qualify site tags per shard ("shard3/log/commit-record")
+  // — including events from applier/reconciler threads, which carry no
+  // thread-local shard identity. Empty = unsharded.
+  std::string site_prefix;
 };
 
 // How Crash() treats dirty lines that were never flushed.
@@ -116,6 +123,7 @@ class Pool {
   const uint8_t* base() const { return base_; }
   uint64_t size() const { return size_; }
   bool crash_sim_enabled() const { return crash_sim_; }
+  const std::string& site_prefix() const { return site_prefix_; }
 
   // Offset <-> pointer translation. Offsets are the stable persistent
   // representation (pointers change across re-open).
@@ -232,6 +240,7 @@ class Pool {
   std::atomic<uint32_t> drain_latency_ns_{0};
   bool track_stats_ = true;
   std::atomic<bool> sleep_latency_{false};
+  std::string site_prefix_;
 
   // Crash-sim state. `persistent_` mirrors `base_`; `staged_` holds snapshots
   // of flushed-but-not-fenced lines keyed by line offset. Guarded by `mu_`

@@ -171,6 +171,37 @@ class AtomicityEngine {
   // Aborts, rolling back every declared intent, and releases all locks.
   virtual Status Abort(TxContext* ctx) = 0;
 
+  // --- Cross-shard 2PC (Kamino engines only; see DESIGN.md §11) -------------
+  // Prepare: flush the write set and durably persist a prepared record
+  // carrying (gtxid, coord_shard) instead of a commit record. The context
+  // stays owned by the caller; write locks remain held. After a successful
+  // Prepare the transaction may only be finished via FinishPrepared.
+  virtual Status Prepare(TxContext* ctx, uint64_t gtxid, uint64_t coord_shard) {
+    (void)ctx;
+    (void)gtxid;
+    (void)coord_shard;
+    return Status::NotSupported("engine does not support cross-shard prepare");
+  }
+
+  // Coordinator only: durably persist the commit decision on the already-
+  // prepared context's slot (exactly one drain) WITHOUT handing the context
+  // to the applier — the coordinator's slot must stay occupied until every
+  // participant is durably committed, or presumed-abort breaks.
+  virtual Status PersistDecision(TxContext* ctx) {
+    (void)ctx;
+    return Status::NotSupported("engine does not support cross-shard decisions");
+  }
+
+  // Resolves a prepared transaction per the coordinator's decision: commit
+  // hands it to the applier like a normal commit (skipping the commit-record
+  // persist when the slot already carries the decision record); abort rolls
+  // back from the backup exactly like Abort.
+  virtual Status FinishPrepared(std::unique_ptr<TxContext> ctx, bool commit) {
+    (void)ctx;
+    (void)commit;
+    return Status::NotSupported("engine does not support cross-shard finish");
+  }
+
   // Crash recovery: resolves every transaction left in the intent log
   // (incomplete transactions are treated as aborted, paper §3).
   virtual Status Recover() = 0;

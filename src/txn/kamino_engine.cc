@@ -213,6 +213,73 @@ Status KaminoEngine::Commit(std::unique_ptr<TxContext> ctx) {
   return Status::Ok();
 }
 
+Status KaminoEngine::Prepare(TxContext* ctx, uint64_t gtxid, uint64_t coord_shard) {
+  ctx->gtxid = gtxid;
+  ctx->coord_shard = coord_shard;
+  if (ctx->slot.valid()) {
+    // Same critical-path persistence as Commit, except the durable mark is a
+    // prepared record (carrying the coordinator pointer) instead of a commit
+    // record. The write set is already in the log — no data is copied.
+    FlushWriteRanges(ctx);
+    log_->SetPrepared(ctx->slot, gtxid, coord_shard);
+  }
+  // Read-only participants have nothing in doubt: no slot, no record — the
+  // vote is an implicit yes and FinishPrepared only releases locks.
+  ctx->prepared = true;
+  return Status::Ok();
+}
+
+Status KaminoEngine::PersistDecision(TxContext* ctx) {
+  if (!ctx->prepared) {
+    return Status::InvalidArgument("decision on an unprepared context");
+  }
+  if (ctx->slot.valid()) {
+    log_->SetDecision(ctx->slot);
+  }
+  // The context is deliberately NOT handed to the applier here: the
+  // coordinator's slot is the decision record every participant's recovery
+  // consults, so it must stay occupied (un-releasable) until all participants
+  // have durably left kPrepared. The caller enqueues it via FinishPrepared
+  // once that holds.
+  ctx->decided = true;
+  return Status::Ok();
+}
+
+Status KaminoEngine::FinishPrepared(std::unique_ptr<TxContext> ctx, bool commit) {
+  if (!ctx->prepared) {
+    return Status::InvalidArgument("finish on an unprepared context");
+  }
+  if (!commit) {
+    // Prepared-then-aborted rolls back exactly like a live abort: the
+    // prepared slot takes a durable Aborted mark, the backup restores the
+    // pre-images, locks and slot are released.
+    return Abort(ctx.get());
+  }
+  if (!ctx->slot.valid()) {
+    ReleaseWriteLocks(ctx.get());
+    committed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  if (!ctx->decided) {
+    // Participant: durably convert the prepared record into a commit record
+    // so this shard's recovery no longer depends on the coordinator.
+    log_->SetState(ctx->slot, TxState::kCommitted);
+  }
+  // The decision (or the commit record above) is durable: same tail as
+  // Commit — count it and hand the context to the Transaction Coordinator.
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  ctx->commit_enqueue_ns = stats::NowNanos();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  ApplierShard& shard =
+      *shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.queue.push_back(std::move(ctx));
+  }
+  shard.cv.notify_one();
+  return Status::Ok();
+}
+
 void KaminoEngine::ApplyCommitted(TxContext* ctx) {
   // Roll the whole write set forward in one batched apply: per-range flushes
   // and a single drain inside the store, instead of a full Persist per
@@ -514,6 +581,19 @@ Status KaminoEngine::ReplayPartition(const std::vector<RecoveredTx>& txs,
                                      std::vector<std::unique_ptr<TxContext>>* handoff) {
   Status result = Status::Ok();
   for (const RecoveredTx& tx : txs) {
+    if (tx.state == TxState::kPrepared) {
+      // In doubt: the outcome lives in the coordinator shard's decision
+      // record, which a standalone engine cannot consult — and the main heap
+      // holds the transaction's uncommitted in-place data, so neither rolling
+      // forward nor back is safe unilaterally. Keep the slot and report;
+      // ShardedStore::Open durably resolves every in-doubt slot across all
+      // shards *before* running per-shard recovery (DESIGN.md §11).
+      if (result.ok()) {
+        result = Status::Unavailable(
+            "in-doubt prepared transaction requires sharded open to resolve");
+      }
+      continue;
+    }
     if (tx.state == TxState::kCommitted) {
       if (recovery_.online && handoff != nullptr) {
         Result<std::unique_ptr<TxContext>> ctx = BuildHandoff(tx);

@@ -62,6 +62,15 @@ class KaminoEngine : public EngineBase {
   Status Free(TxContext* ctx, uint64_t offset) override;
   Status Commit(std::unique_ptr<TxContext> ctx) override;
   Status Abort(TxContext* ctx) override;
+  // Cross-shard 2PC (DESIGN.md §11): Prepare persists a prepared record in
+  // place of the commit record; PersistDecision durably flips the
+  // coordinator's own slot to Committed without touching the applier;
+  // FinishPrepared resolves a prepared context per the decision — commit
+  // follows the normal commit tail (hand to applier), abort follows Abort's
+  // backup rollback.
+  Status Prepare(TxContext* ctx, uint64_t gtxid, uint64_t coord_shard) override;
+  Status PersistDecision(TxContext* ctx) override;
+  Status FinishPrepared(std::unique_ptr<TxContext> ctx, bool commit) override;
   // Two-phase recovery (DESIGN.md §10): parallel log replay, then backup
   // reconciliation — inline (offline) or in the background behind dirty-map
   // fences (online). Errors are aggregated, never early-returned: every

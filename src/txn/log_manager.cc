@@ -388,6 +388,33 @@ void LogManager::SetState(const SlotHandle& slot, TxState state) {
   GroupCommitDrain();
 }
 
+void LogManager::SetPrepared(const SlotHandle& slot, uint64_t gtxid, uint64_t coord_shard) {
+  SlotHeader* h = SlotHeaderAt(slot.slot_index);
+  h->reserved[0] = gtxid;
+  h->reserved[1] = coord_shard;
+  h->state = static_cast<uint64_t>(TxState::kPrepared);
+  // Whole-header persist (not PersistU64 of state alone): slot acquisition
+  // only flushed the txid, so this drain is also what makes the txid — and
+  // with it every record's txid_tag validity — durable together with the
+  // prepared mark.
+  nvm::PersistSiteScope site("log/prepare-record");
+  pool_->Persist(h, sizeof(SlotHeader));
+}
+
+void LogManager::SetDecision(const SlotHandle& slot) {
+  SlotHeader* h = SlotHeaderAt(slot.slot_index);
+  h->state = static_cast<uint64_t>(TxState::kCommitted);
+  nvm::PersistSiteScope site("log/decide-record");
+  pool_->PersistU64(&h->state);
+}
+
+void LogManager::ResolvePrepared(const RecoveredTx& tx, bool commit) {
+  SlotHeader* h = SlotHeaderAt(tx.slot_index);
+  h->state = static_cast<uint64_t>(commit ? TxState::kCommitted : TxState::kAborted);
+  nvm::PersistSiteScope site("log/resolve-in-doubt");
+  pool_->PersistU64(&h->state);
+}
+
 void LogManager::GroupCommitDrain() {
   std::unique_lock<std::mutex> lk(gc_mu_);
   // Ticket taken under gc_mu_ strictly after our commit-record flush: any
@@ -504,6 +531,10 @@ std::vector<RecoveredTx> LogManager::ScanForRecovery() {
     tx.slot_index = i;
     tx.txid = h->txid;
     tx.state = state;
+    if (state == TxState::kPrepared) {
+      tx.gtxid = h->reserved[0];
+      tx.coord_shard = h->reserved[1];
+    }
     for (uint64_t rix = 0; rix < max_records_; ++rix) {
       const Record* r = RecordAt(i, rix);
       if (!RecordValid(*r, h->txid, rix)) {

@@ -58,6 +58,11 @@ enum class TxState : uint64_t {
   kRunning = 1,
   kCommitted = 2,
   kAborted = 3,
+  // Cross-shard 2PC (DESIGN.md §11): the write set is fully logged and the
+  // participant votes yes, but the outcome belongs to the coordinator shard's
+  // decision record. A kPrepared slot found at recovery is *in doubt* — it
+  // must be resolved by consulting the coordinator's log, never unilaterally.
+  kPrepared = 4,
 };
 
 enum class IntentKind : uint64_t {
@@ -113,6 +118,10 @@ struct RecoveredTx {
   uint64_t slot_index = 0;
   uint64_t txid = 0;
   TxState state = TxState::kFree;
+  // kPrepared only: the cross-shard transaction id (the coordinator's local
+  // txid) and the coordinator's shard index, read back from the slot header.
+  uint64_t gtxid = 0;
+  uint64_t coord_shard = ~0ull;
   std::vector<Intent> intents;
 };
 
@@ -169,6 +178,29 @@ class LogManager {
   // Durably transitions the slot's state (the commit/abort point). Commits
   // go through leader-based group commit unless legacy_fences is set.
   void SetState(const SlotHandle& slot, TxState state);
+
+  // --- Cross-shard 2PC records (DESIGN.md §11) ------------------------------
+  // Durably marks the slot Prepared, recording the cross-shard transaction id
+  // and the coordinator's shard index in the header's reserved words. One
+  // flush + one drain: the 64-byte header carries state, txid, gtxid and
+  // coordinator atomically (a cache line cannot tear), so a crash either
+  // leaves the slot's prior state or a fully-formed prepared record — never a
+  // prepared record with a dangling coordinator pointer. Site
+  // "log/prepare-record".
+  void SetPrepared(const SlotHandle& slot, uint64_t gtxid, uint64_t coord_shard);
+
+  // The coordinator's commit decision: durably flips its own prepared slot to
+  // Committed with a single 8-byte persist (exactly one drain — this is the
+  // cross-shard commit point; see DESIGN.md §11 for why it must not be
+  // batched or split). Site "log/decide-record".
+  void SetDecision(const SlotHandle& slot);
+
+  // Recovery-side resolution of an in-doubt prepared slot: durably converts
+  // it to Committed or Aborted once the coordinator's outcome is known, so
+  // the shard's ordinary recovery (roll forward / roll back) can proceed and
+  // a crash *during* recovery re-finds a resolved slot, not an in-doubt one.
+  // Site "log/resolve-in-doubt".
+  void ResolvePrepared(const RecoveredTx& tx, bool commit);
 
   // Durably frees the slot and returns it to the free list. The kFree
   // persist here is load-bearing: without it, recovery would re-roll-forward

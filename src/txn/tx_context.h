@@ -37,6 +37,15 @@ struct TxContext {
   uint64_t commit_enqueue_ns = 0;
 
   bool active = true;
+
+  // Cross-shard 2PC (DESIGN.md §11). `prepared` is set once the engine has
+  // durably persisted the prepared record; `decided` marks a coordinator
+  // context whose slot already carries the durable decision record, so
+  // FinishPrepared must not persist a second commit mark for it.
+  bool prepared = false;
+  bool decided = false;
+  uint64_t gtxid = 0;
+  uint64_t coord_shard = ~0ull;
 };
 
 }  // namespace kamino::txn

@@ -30,22 +30,33 @@ const char* EngineTypeName(EngineType type) {
 
 // --- Tx ---------------------------------------------------------------------
 
+void Tx::ResolveAbandoned() {
+  if (ctx_ == nullptr) {
+    return;
+  }
+  if (ctx_->prepared) {
+    // A dropped prepared handle must still be resolved or its slot and write
+    // locks leak. Commit only if the decision record is already durable
+    // (coordinator); otherwise presumed abort — the same rule recovery uses.
+    const bool commit = ctx_->decided;
+    (void)mgr_->engine_->FinishPrepared(std::move(ctx_), commit);
+    return;
+  }
+  if (ctx_->active) {
+    (void)Abort();
+  }
+}
+
 Tx& Tx::operator=(Tx&& other) noexcept {
   if (this != &other) {
-    if (active()) {
-      (void)Abort();
-    }
+    ResolveAbandoned();
     mgr_ = other.mgr_;
     ctx_ = std::move(other.ctx_);
   }
   return *this;
 }
 
-Tx::~Tx() {
-  if (active()) {
-    (void)Abort();
-  }
-}
+Tx::~Tx() { ResolveAbandoned(); }
 
 Result<void*> Tx::OpenWrite(uint64_t offset, uint64_t size) {
   if (!active()) {
@@ -134,6 +145,33 @@ Status Tx::Abort() {
   Status st = mgr_->engine_->Abort(ctx_.get());
   ctx_.reset();
   return st;
+}
+
+Status Tx::Prepare(uint64_t gtxid, uint64_t coord_shard) {
+  if (!active()) {
+    return Status::Internal("transaction not active");
+  }
+  ReleaseReadLocks();
+  ctx_->active = false;
+  Status st = mgr_->engine_->Prepare(ctx_.get(), gtxid, coord_shard);
+  if (!st.ok()) {
+    ctx_->active = true;  // Nothing durable happened; still abortable.
+  }
+  return st;
+}
+
+Status Tx::PersistDecision() {
+  if (ctx_ == nullptr || !ctx_->prepared) {
+    return Status::Internal("transaction not prepared");
+  }
+  return mgr_->engine_->PersistDecision(ctx_.get());
+}
+
+Status Tx::FinishPrepared(bool commit) {
+  if (ctx_ == nullptr || !ctx_->prepared) {
+    return Status::Internal("transaction not prepared");
+  }
+  return mgr_->engine_->FinishPrepared(std::move(ctx_), commit);
 }
 
 // --- TxManager ----------------------------------------------------------------
@@ -228,6 +266,7 @@ Status TxManager::Init(bool attach_existing) {
       popts.drain_latency_ns = options_.backup_drain_latency_ns;
       popts.track_stats = options_.backup_track_stats;
       popts.sleep_latency = options_.backup_sleep_latency;
+      popts.site_prefix = options_.site_prefix;
       if (options_.engine == EngineType::kKaminoSimple) {
         popts.size = heap_->pool()->size();
       } else {

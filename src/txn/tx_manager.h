@@ -64,6 +64,10 @@ struct TxManagerOptions {
   // nvm::PoolOptions.
   bool backup_track_stats = true;
   bool backup_sleep_latency = false;
+  // Forwarded to an internally created backup pool's PoolOptions::site_prefix
+  // so a sharded store's backup events are shard-attributed like the main
+  // pool's (external pools carry their own prefix).
+  std::string site_prefix;
 
   // Open() only: attach without running engine recovery. Used by chain
   // replicas, whose recovery needs a neighbour's state (paper §5.3) and is
@@ -136,6 +140,21 @@ class Tx {
   Status Commit();
   Status Abort();
 
+  // --- Cross-shard 2PC (driven by shard::ShardedStore; DESIGN.md §11) -------
+  // Prepare durably votes yes: the write set is flushed and a prepared record
+  // (carrying the cross-shard txid and the coordinator's shard index) is
+  // persisted in place of a commit record. The handle stays alive in the
+  // prepared state — it must be resolved with FinishPrepared. On failure the
+  // transaction returns to the active state and may be aborted normally.
+  Status Prepare(uint64_t gtxid, uint64_t coord_shard);
+  // Coordinator only: durably persist the commit decision on this prepared
+  // transaction's slot (the cross-shard commit point) without releasing it.
+  Status PersistDecision();
+  // Resolves a prepared transaction: commit hands it to the applier, abort
+  // rolls it back. Consumes the handle.
+  Status FinishPrepared(bool commit);
+  bool prepared() const { return ctx_ != nullptr && ctx_->prepared; }
+
   bool active() const { return ctx_ != nullptr && ctx_->active; }
   uint64_t txid() const { return ctx_ ? ctx_->txid : 0; }
 
@@ -154,6 +173,10 @@ class Tx {
   Tx(TxManager* mgr, std::unique_ptr<TxContext> ctx) : mgr_(mgr), ctx_(std::move(ctx)) {}
 
   void ReleaseReadLocks();
+  // Destructor/move-assign path: resolves a still-owned context — prepared
+  // ones via FinishPrepared (commit iff the decision record is durable,
+  // presumed abort otherwise), active ones via Abort.
+  void ResolveAbandoned();
 
   TxManager* mgr_ = nullptr;
   std::unique_ptr<TxContext> ctx_;

@@ -2,6 +2,37 @@
 
 namespace kamino::testing {
 
+namespace {
+
+// Glob match where '*' matches any (possibly empty) substring; every other
+// character matches literally. Iterative with single-star backtracking.
+bool SiteMatches(const std::string& pattern, const std::string& site) {
+  const char* pat = pattern.c_str();
+  const char* str = site.c_str();
+  const char* star = nullptr;
+  const char* backtrack = nullptr;
+  while (*str != '\0') {
+    if (*pat == *str) {
+      ++pat;
+      ++str;
+    } else if (*pat == '*') {
+      star = pat++;
+      backtrack = str;
+    } else if (star != nullptr) {
+      pat = star + 1;
+      str = ++backtrack;
+    } else {
+      return false;
+    }
+  }
+  while (*pat == '*') {
+    ++pat;
+  }
+  return *pat == '\0';
+}
+
+}  // namespace
+
 void CrashScheduler::ResetLocked() {
   next_ordinal_ = 0;
   crash_at_ = 0;
@@ -9,6 +40,7 @@ void CrashScheduler::ResetLocked() {
   crashed_at_ordinal_ = 0;
   crash_site_.clear();
   crash_site_occurrence_ = 0;
+  crash_site_matches_ = 0;
   occurrences_.clear();
   suppress_enabled_ = false;
   trace_.clear();
@@ -50,6 +82,7 @@ void CrashScheduler::Disarm() {
   crash_at_ = 0;
   crash_site_.clear();
   crash_site_occurrence_ = 0;
+  crash_site_matches_ = 0;
   suppress_enabled_ = false;
 }
 
@@ -61,19 +94,30 @@ bool CrashScheduler::OnPersistEvent(const nvm::PersistEvent& event) {
   const uint64_t ordinal = ++next_ordinal_;
   EventRecord rec;
   rec.kind = event.kind;
-  rec.site = event.site;
-  rec.occurrence = ++occurrences_[{static_cast<int>(event.kind), std::string(event.site)}];
+  // Record the shard-qualified site: pools carrying a site_prefix attribute
+  // their events per shard, so coordinates and traces distinguish
+  // "shard0/log/commit-record" from "shard1/log/commit-record".
+  if (event.shard != nullptr && event.shard[0] != '\0') {
+    rec.site.reserve(std::char_traits<char>::length(event.shard) + 1 +
+                     std::char_traits<char>::length(event.site));
+    rec.site.append(event.shard);
+    rec.site.push_back('/');
+    rec.site.append(event.site);
+  } else {
+    rec.site = event.site;
+  }
+  rec.occurrence = ++occurrences_[{static_cast<int>(event.kind), rec.site}];
 
   bool allow = true;
   if (mode_ == Mode::kInjection) {
     if (!crashed_) {
-      if (crash_at_ != 0 && ordinal >= crash_at_) {
-        crashed_ = true;
-      } else if (!crash_site_.empty() && event.kind == crash_site_kind_ &&
-                 crash_site_ == event.site && rec.occurrence >= crash_site_occurrence_) {
-        crashed_ = true;
+      bool site_hit = false;
+      if (!crash_site_.empty() && event.kind == crash_site_kind_ &&
+          SiteMatches(crash_site_, rec.site)) {
+        site_hit = ++crash_site_matches_ >= crash_site_occurrence_;
       }
-      if (crashed_) {
+      if ((crash_at_ != 0 && ordinal >= crash_at_) || site_hit) {
+        crashed_ = true;
         crashed_at_ordinal_ = ordinal;
       }
     }
@@ -83,7 +127,7 @@ bool CrashScheduler::OnPersistEvent(const nvm::PersistEvent& event) {
     }
   }
   if (allow && suppress_enabled_ && event.kind == suppress_kind_ &&
-      suppress_site_ == event.site) {
+      SiteMatches(suppress_site_, rec.site)) {
     allow = false;
   }
   rec.suppressed = !allow;

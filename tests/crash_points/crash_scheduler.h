@@ -71,10 +71,18 @@ class CrashScheduler : public nvm::PersistenceObserver {
   // the whole machine, not just that site). Use when the global ordinal
   // stream is not deterministic (applier_threads > 1) but per-site streams
   // are (each site's events come from one logical actor in order).
+  //
+  // `site` may contain '*' wildcards (each matches any substring) and is
+  // matched against the *recorded* site, which for pools carrying a
+  // PoolOptions::site_prefix is shard-qualified ("shard3/log/commit-record").
+  // A multi-shard sweep can therefore target one shard's sites
+  // ("shard1/log/*") without depending on the racy global ordinal stream.
+  // With a wildcard pattern, `occurrence` counts events matching the pattern.
   void ArmInjectionAtSite(nvm::PersistEventKind kind, std::string site, uint64_t occurrence);
 
-  // Additionally veto every event of `kind` whose site tag equals `site`.
-  // Composes with either mode; set after Arm*().
+  // Additionally veto every event of `kind` whose (shard-qualified) site tag
+  // matches `site` ('*' wildcards allowed). Composes with either mode; set
+  // after Arm*().
   void SuppressSite(std::string site, nvm::PersistEventKind kind);
 
   // Stop vetoing and stop recording; subsequent events pass untouched.
@@ -113,6 +121,10 @@ class CrashScheduler : public nvm::PersistenceObserver {
   std::string crash_site_;
   nvm::PersistEventKind crash_site_kind_ = nvm::PersistEventKind::kFlush;
   uint64_t crash_site_occurrence_ = 0;
+  // Events so far matching (crash_site_kind_, crash_site_); for an exact
+  // site this equals its occurrence counter, for a wildcard pattern it counts
+  // across every matching site.
+  uint64_t crash_site_matches_ = 0;
   // Running per-(kind, site) occurrence counters since the last Arm*().
   std::map<std::pair<int, std::string>, uint64_t> occurrences_;
   std::string suppress_site_;

@@ -173,10 +173,61 @@ def check_recovery(baseline, candidate, threshold):
     return failures
 
 
+MIN_SHARD_SPEEDUP = 2.5
+MAX_CROSS_SHARD_PENALTY = 3.0
+
+
+def check_sharding(baseline, candidate, threshold):
+    """Throughput per (shards, cross_shard_pct); lower candidate is a
+    regression. Also enforces each file's internal acceptance gates: going
+    from 1 to 4 shards at 0% cross-shard must speed throughput up >= 2.5x
+    (the point of sharding the commit front-end), and a 20% cross-shard mix
+    at 4 shards must cost no more than 3x vs the 0% mix (the 2PC tax stays
+    bounded)."""
+
+    def points(doc, path):
+        out = {}
+        for p in doc.get("results", []):
+            out[(int(p["shards"]), int(p["cross_shard_pct"]))] = float(p["ops_per_sec"])
+        if not out:
+            sys.exit(f"error: {path} has no sweep points under 'results'")
+        return out
+
+    failures = []
+    for doc, path in (baseline, candidate):
+        speedup = float(doc.get("speedup_1_to_4_shards", 0.0))
+        penalty = float(doc.get("cross_shard_penalty_20pct", 0.0))
+        print(f"{path}: 1->4 shard speedup {speedup:.2f}x, "
+              f"20% cross-shard penalty {penalty:.2f}x")
+        if speedup < MIN_SHARD_SPEEDUP:
+            failures.append(f"{path}: shard speedup {speedup:.2f}x "
+                            f"< {MIN_SHARD_SPEEDUP:.1f}x (1 -> 4 shards, 0% cross)")
+        if penalty > MAX_CROSS_SHARD_PENALTY:
+            failures.append(f"{path}: 20% cross-shard penalty {penalty:.2f}x "
+                            f"> {MAX_CROSS_SHARD_PENALTY:.1f}x at 4 shards")
+
+    base = points(*baseline)
+    cand = points(*candidate)
+    print(f"{'shards/cross%':>14} {'baseline':>12} {'candidate':>12} {'ratio':>7}")
+    for key in sorted(base):
+        label = f"{key[0]}/{key[1]}%"
+        if key not in cand:
+            print(f"{label:>14} {base[key]:>12.1f} {'missing':>12} {'-':>7}")
+            continue
+        ratio = cand[key] / base[key] if base[key] > 0 else 1.0
+        flag = ""
+        if ratio < 1.0 - threshold:
+            failures.append(f"{label} ops/sec at {ratio:.2f}x baseline")
+            flag = "  << REGRESSION"
+        print(f"{label:>14} {base[key]:>12.1f} {cand[key]:>12.1f} {ratio:>7.2f}{flag}")
+    return failures
+
+
 CHECKERS = {
     "applier_scaling": check_applier_scaling,
     "commit_path": check_commit_path,
     "recovery": check_recovery,
+    "sharding": check_sharding,
 }
 
 

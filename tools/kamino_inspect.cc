@@ -2,17 +2,22 @@
 //
 // Dumps the heap superblock, allocator occupancy, intent-log state (slot
 // states + intent records, i.e. what recovery would see), and — when the
-// heap root anchors a KV store — the B+Tree's shape. Intended for debugging
-// pools left behind by crashed processes:
+// heap root anchors a KV store or a shard anchor — the B+Tree's shape.
+// Accepts several pools at once, so a sharded store's shards can be dumped
+// in one invocation; prepared (in-doubt) slots print their gtxid and the
+// coordinator shard whose slot decides them. Intended for debugging pools
+// left behind by crashed processes:
 //
-//   ./build/tools/kamino_inspect /path/to/heap.pool [--verify]
+//   ./build/tools/kamino_inspect /path/to/heap.pool [shard1.pool ...] [--verify]
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 
 #include "src/kv/kv_store.h"
 #include "src/nvm/pool.h"
+#include "src/shard/sharded_store.h"
 #include "src/txn/tx_manager.h"
 
 using namespace kamino;
@@ -29,6 +34,8 @@ const char* StateName(txn::TxState s) {
       return "COMMITTED";
     case txn::TxState::kAborted:
       return "ABORTED";
+    case txn::TxState::kPrepared:
+      return "PREPARED";
   }
   return "?";
 }
@@ -89,17 +96,45 @@ int Run(const char* path, bool verify) {
     std::printf("  all slots free — clean shutdown, nothing for recovery to do\n");
   }
   for (const txn::RecoveredTx& tx : txs) {
-    std::printf("  slot %" PRIu64 ": txid=%" PRIu64 " state=%s, %zu intent(s)%s\n",
-                tx.slot_index, tx.txid, StateName(tx.state), tx.intents.size(),
-                tx.state == txn::TxState::kCommitted ? "  [recovery: roll forward]"
-                                                     : "  [recovery: roll back]");
+    if (tx.state == txn::TxState::kPrepared) {
+      // In doubt: this shard voted yes in a cross-shard commit and crashed
+      // before learning the outcome. Only the coordinator's slot decides —
+      // sharded recovery commits iff that slot (same txid as our gtxid) is
+      // durably COMMITTED, and presumes abort otherwise.
+      std::printf("  slot %" PRIu64 ": txid=%" PRIu64 " state=%s gtxid=%" PRIu64
+                  " coord_shard=%" PRIu64 ", %zu intent(s)"
+                  "  [recovery: IN DOUBT — decided by coordinator shard %" PRIu64 "]\n",
+                  tx.slot_index, tx.txid, StateName(tx.state), tx.gtxid, tx.coord_shard,
+                  tx.intents.size(), tx.coord_shard);
+    } else {
+      std::printf("  slot %" PRIu64 ": txid=%" PRIu64 " state=%s, %zu intent(s)%s\n",
+                  tx.slot_index, tx.txid, StateName(tx.state), tx.intents.size(),
+                  tx.state == txn::TxState::kCommitted ? "  [recovery: roll forward]"
+                                                       : "  [recovery: roll back]");
+    }
     for (const txn::Intent& in : tx.intents) {
       std::printf("    %-12s off=%-12" PRIu64 " size=%-8" PRIu64 " aux=%" PRIu64 "\n",
                   KindName(in.kind), in.offset, in.size, in.aux);
     }
   }
 
-  if (verify && (*heap)->root() != 0) {
+  // The root either anchors a KV store's B+Tree directly, or — for a pool
+  // that is one shard of a ShardedStore — a shard anchor pointing at it.
+  uint64_t tree_root = (*heap)->root();
+  if (tree_root != 0 &&
+      tree_root + sizeof(shard::ShardAnchor) <= (*pool)->size()) {
+    const auto* anchor =
+        static_cast<const shard::ShardAnchor*>((*pool)->At(tree_root));
+    if (anchor->magic == shard::kShardAnchorMagic) {
+      std::printf("shard anchor: shard %" PRIu64 " of %" PRIu64 " (version %" PRIu64
+                  "), tree @%" PRIu64 "\n",
+                  anchor->shard_index, anchor->num_shards, anchor->version,
+                  anchor->tree_anchor);
+      tree_root = anchor->tree_anchor;
+    }
+  }
+
+  if (verify && tree_root != 0) {
     // Heuristic: the root may anchor a KV store's B+Tree. Attach read-only
     // machinery (no recovery — we are inspecting, not repairing).
     txn::TxManagerOptions mopts;
@@ -108,7 +143,7 @@ int Run(const char* path, bool verify) {
     Result<std::unique_ptr<txn::TxManager>> mgr = txn::TxManager::Open(heap->get(), mopts);
     if (mgr.ok()) {
       Result<std::unique_ptr<pds::BPlusTree>> tree =
-          pds::BPlusTree::Attach(mgr->get(), (*heap)->root());
+          pds::BPlusTree::Attach(mgr->get(), tree_root);
       if (tree.ok()) {
         const Status v = (*tree)->Validate();
         const pds::BPlusTree::TreeStats ts = (*tree)->Stats();
@@ -129,9 +164,26 @@ int Run(const char* path, bool verify) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <pool-file> [--verify]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <pool-file> [pool-file ...] [--verify]\n", argv[0]);
     return 2;
   }
-  const bool verify = argc > 2 && std::strcmp(argv[2], "--verify") == 0;
-  return Run(argv[1], verify);
+  bool verify = false;
+  int rc = 0, pools = 0;
+  for (int i = 1; i < argc; ++i) {
+    verify = verify || std::strcmp(argv[i], "--verify") == 0;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      continue;
+    }
+    if (pools++ > 0) {
+      std::printf("\n");
+    }
+    rc = std::max(rc, Run(argv[i], verify));
+  }
+  if (pools == 0) {
+    std::fprintf(stderr, "usage: %s <pool-file> [pool-file ...] [--verify]\n", argv[0]);
+    return 2;
+  }
+  return rc;
 }
