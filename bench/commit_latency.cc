@@ -20,12 +20,26 @@
 // wait before draining, which only pays off when drains are cheap relative
 // to the kernel's sleep granularity (~60us on small hosts).
 //
+// Epoch rows (LogOptions::epoch_commit) model the persist-behind client the
+// pipeline is built for: updates go through KvStore::UpdateAsync and their
+// latency is recorded at DRAM-commit return, while acknowledgements ride
+// behind on the epoch durability tickets, bounded to KAMINO_BENCH_ACK_WINDOW
+// (default 8) outstanding per client — a full window stalls the client on
+// the oldest ticket's drain, and every issued update is settled durable
+// before the run's clock stops. The ack-side stall is reported per row as
+// ack_stall_p50/p99_us. Crash safety of exactly this window (acked commits
+// survive, unacked ones never half-apply) is what
+// tests/crash_points/crash_points_epoch_test.cc enumerates.
+//
 // Emits BENCH_commit_path.json. The summary block records the acceptance
-// numbers: Kamino drains-per-update-txn at 8 clients, legacy vs new, the
-// relative reduction (gate: >= 0.30), and the update p50s. Read transactions
-// never take a log slot (zero drains), so per-txn accounting divides by the
-// number of UPDATE transactions; both fence schedules are divided the same
-// way, so the reduction is unaffected by the read half of YCSB-A.
+// numbers: Kamino drains-per-update-txn at 8 clients, legacy vs new vs
+// epoch, the relative legacy->new reduction (gate: >= 0.30), the update
+// p50s, and the epoch-vs-no-logging p50 ratio (epoch gates: drains/txn <=
+// 1.5 and p50 <= 1.5x no-logging, enforced by the "epoch" checker in
+// tools/check_bench_regression.py). Read transactions never take a log slot
+// (zero drains), so per-txn accounting divides by the number of UPDATE
+// transactions; all fence schedules are divided the same way, so the
+// reduction is unaffected by the read half of YCSB-A.
 //
 // Not a google-benchmark binary: the sweep is the product, and the JSON
 // schema feeds tools/check_bench_regression.py.
@@ -34,6 +48,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <string>
 #include <thread>
@@ -56,10 +71,26 @@ uint64_t EnvOr(const char* name, uint64_t def) {
   return v != nullptr ? std::strtoull(v, nullptr, 10) : def;
 }
 
+// Which commit-path fence schedule a row runs under; all three regimes are
+// built into the binary (LogOptions::legacy_fences / epoch_commit).
+enum class FenceRegime { kLegacy, kNew, kEpoch };
+
+const char* FenceName(FenceRegime f) {
+  switch (f) {
+    case FenceRegime::kLegacy:
+      return "legacy";
+    case FenceRegime::kNew:
+      return "new";
+    case FenceRegime::kEpoch:
+      return "epoch";
+  }
+  return "unknown";
+}
+
 struct EngineRow {
   const char* label;
   kamino::txn::EngineType engine;
-  bool legacy_fences;
+  FenceRegime fences;
 };
 
 struct RunResult {
@@ -70,6 +101,11 @@ struct RunResult {
   uint64_t update_txns = 0;
   double update_p50_us = 0;
   double update_p99_us = 0;
+  // Epoch rows only: the client-side stall per acknowledgement
+  // (WaitCommitDurable on the oldest outstanding ticket once the window
+  // fills) — the persist-behind cost that moved off the commit return path.
+  double ack_stall_p50_us = 0;
+  double ack_stall_p99_us = 0;
   double flushes_per_txn = 0;
   double drains_per_txn = 0;
   uint64_t blocked_acquires = 0;
@@ -81,7 +117,7 @@ struct RunResult {
 
 RunResult RunOnce(const EngineRow& row, int clients, uint64_t nkeys,
                   uint64_t ops_per_thread, uint64_t value_size, uint32_t drain_ns,
-                  uint64_t gc_window_ns) {
+                  uint64_t gc_window_ns, uint64_t ack_window) {
   kamino::heap::HeapOptions hopts;
   hopts.pool_size = nkeys * value_size * 3 + (96ull << 20);
   hopts.flush_latency_ns = 0;  // Isolate the fences: only drains cost time.
@@ -90,8 +126,10 @@ RunResult RunOnce(const EngineRow& row, int clients, uint64_t nkeys,
   kamino::txn::TxManagerOptions mopts;
   mopts.engine = row.engine;
   mopts.lock.timeout_ms = 30'000;
-  mopts.log.legacy_fences = row.legacy_fences;
-  mopts.log.group_commit_window_ns = row.legacy_fences ? 0 : gc_window_ns;
+  mopts.log.legacy_fences = row.fences == FenceRegime::kLegacy;
+  mopts.log.epoch_commit = row.fences == FenceRegime::kEpoch;
+  mopts.log.group_commit_window_ns =
+      row.fences == FenceRegime::kLegacy ? 0 : gc_window_ns;
   // A single applier shard so the queue concentrates and the batched slot
   // release (one fence per apply batch, LogManager::ReleaseSlots) gets
   // batches bigger than one; the backup drains sleep like the main pool's,
@@ -119,8 +157,10 @@ RunResult RunOnce(const EngineRow& row, int clients, uint64_t nkeys,
   const kamino::txn::EngineStats engine_before = mgr->engine()->stats();
 
   kamino::stats::LatencyHistogram update_hist;
+  kamino::stats::LatencyHistogram ack_hist;
   std::atomic<uint64_t> update_txns{0};
   std::atomic<uint64_t> key_count{nkeys};
+  const bool epoch = row.fences == FenceRegime::kEpoch;
 
   const uint64_t start_ns = kamino::stats::NowNanos();
   std::vector<std::thread> workers;
@@ -132,11 +172,35 @@ RunResult RunOnce(const EngineRow& row, int clients, uint64_t nkeys,
       const std::string value =
           kamino::workload::YcsbValue(static_cast<uint64_t>(t), value_size);
       uint64_t updates = 0;
+      // Epoch rows model the persist-behind client: updates return at
+      // DRAM-commit (that is the latency recorded) and acknowledgements ride
+      // behind, bounded to `ack_window` outstanding tickets per client —
+      // once the window fills, the client stalls on the oldest ticket's
+      // epoch drain before issuing the next op.
+      std::deque<kamino::txn::CommitAck> pending;
+      auto settle_oldest = [&] {
+        const uint64_t w0 = kamino::stats::NowNanos();
+        mgr->WaitCommitDurable(pending.front());
+        ack_hist.Record(kamino::stats::NowNanos() - w0);
+        pending.pop_front();
+      };
       for (uint64_t i = 0; i < ops_per_thread; ++i) {
         const auto req = gen.Next();
         Status st;
         if (req.op == kamino::workload::YcsbOp::kRead) {
           st = store->Read(req.key).status();
+        } else if (epoch) {
+          while (pending.size() >= ack_window) {
+            settle_oldest();
+          }
+          kamino::txn::CommitAck ack;
+          const uint64_t op_start = kamino::stats::NowNanos();
+          st = store->UpdateAsync(req.key, value, &ack);
+          update_hist.Record(kamino::stats::NowNanos() - op_start);
+          if (st.ok() && ack.ticket != 0) {
+            pending.push_back(ack);
+          }
+          ++updates;
         } else {
           const uint64_t op_start = kamino::stats::NowNanos();
           st = store->Update(req.key, value);
@@ -147,6 +211,9 @@ RunResult RunOnce(const EngineRow& row, int clients, uint64_t nkeys,
           std::fprintf(stderr, "op failed: %s\n", st.ToString().c_str());
           std::abort();
         }
+      }
+      while (!pending.empty()) {
+        settle_oldest();  // Every issued update is acknowledged durable.
       }
       update_txns.fetch_add(updates, std::memory_order_relaxed);
     });
@@ -165,7 +232,7 @@ RunResult RunOnce(const EngineRow& row, int clients, uint64_t nkeys,
 
   RunResult r;
   r.engine = row.label;
-  r.fences = row.legacy_fences ? "legacy" : "new";
+  r.fences = FenceName(row.fences);
   r.clients = clients;
   const double secs = static_cast<double>(elapsed_ns) / 1e9;
   r.ops_per_sec =
@@ -173,6 +240,10 @@ RunResult RunOnce(const EngineRow& row, int clients, uint64_t nkeys,
   r.update_txns = update_txns.load();
   r.update_p50_us = static_cast<double>(update_hist.PercentileNs(50)) / 1000.0;
   r.update_p99_us = static_cast<double>(update_hist.PercentileNs(99)) / 1000.0;
+  if (epoch) {
+    r.ack_stall_p50_us = static_cast<double>(ack_hist.PercentileNs(50)) / 1000.0;
+    r.ack_stall_p99_us = static_cast<double>(ack_hist.PercentileNs(99)) / 1000.0;
+  }
   const double txns = static_cast<double>(r.update_txns);
   if (txns > 0) {
     r.flushes_per_txn =
@@ -285,12 +356,14 @@ void PrintRow(std::FILE* f, const RunResult& r, bool last) {
                "    {\"engine\": \"%s\", \"fences\": \"%s\", \"clients\": %d, "
                "\"ops_per_sec\": %.1f, \"update_txns\": %llu, "
                "\"update_p50_us\": %.2f, \"update_p99_us\": %.2f, "
+               "\"ack_stall_p50_us\": %.2f, \"ack_stall_p99_us\": %.2f, "
                "\"flushes_per_txn\": %.3f, \"drains_per_txn\": %.3f, "
                "\"blocked_acquires\": %llu, \"group_commit_commits\": %llu, "
                "\"group_commit_leader_drains\": %llu, \"site_drains_per_txn\": {",
                r.engine.c_str(), r.fences, r.clients, r.ops_per_sec,
                static_cast<unsigned long long>(r.update_txns), r.update_p50_us,
-               r.update_p99_us, r.flushes_per_txn, r.drains_per_txn,
+               r.update_p99_us, r.ack_stall_p50_us, r.ack_stall_p99_us,
+               r.flushes_per_txn, r.drains_per_txn,
                static_cast<unsigned long long>(r.blocked_acquires),
                static_cast<unsigned long long>(r.group_commit_commits),
                static_cast<unsigned long long>(r.group_commit_leader_drains));
@@ -309,6 +382,7 @@ int main() {
   const uint64_t value_size = EnvOr("KAMINO_BENCH_VALUE", 1024);
   const uint32_t drain_ns = static_cast<uint32_t>(EnvOr("KAMINO_BENCH_DRAIN_NS", 40'000));
   const uint64_t gc_window_ns = EnvOr("KAMINO_BENCH_GC_WINDOW_NS", 0);
+  const uint64_t ack_window = EnvOr("KAMINO_BENCH_ACK_WINDOW", 8);
   const char* out_path = std::getenv("KAMINO_BENCH_JSON");
   if (out_path == nullptr) {
     out_path = "BENCH_commit_path.json";
@@ -323,23 +397,28 @@ int main() {
   const EngineRow rows[] = {
       // The pre-change fence schedule, rebuilt in-binary: the baseline the
       // acceptance gate compares against.
-      {"kamino-simple", kamino::txn::EngineType::kKaminoSimple, /*legacy=*/true},
-      {"kamino-simple", kamino::txn::EngineType::kKaminoSimple, /*legacy=*/false},
-      {"kamino-dynamic", kamino::txn::EngineType::kKaminoDynamic, /*legacy=*/false},
-      {"undo-logging", kamino::txn::EngineType::kUndoLog, /*legacy=*/false},
-      {"copy-on-write", kamino::txn::EngineType::kCow, /*legacy=*/false},
-      {"redo-logging", kamino::txn::EngineType::kRedoLog, /*legacy=*/false},
-      {"no-logging", kamino::txn::EngineType::kNoLogging, /*legacy=*/false},
+      {"kamino-simple", kamino::txn::EngineType::kKaminoSimple, FenceRegime::kLegacy},
+      {"kamino-simple", kamino::txn::EngineType::kKaminoSimple, FenceRegime::kNew},
+      // Epoch/persist-behind commit (DESIGN.md §8): all commit-path fences
+      // ride one shared epoch drain; gated at <= 1.5 drains/txn at 8 clients
+      // and p50 within 1.5x of no-logging by the "epoch" checker.
+      {"kamino-simple", kamino::txn::EngineType::kKaminoSimple, FenceRegime::kEpoch},
+      {"kamino-dynamic", kamino::txn::EngineType::kKaminoDynamic, FenceRegime::kNew},
+      {"kamino-dynamic", kamino::txn::EngineType::kKaminoDynamic, FenceRegime::kEpoch},
+      {"undo-logging", kamino::txn::EngineType::kUndoLog, FenceRegime::kNew},
+      {"copy-on-write", kamino::txn::EngineType::kCow, FenceRegime::kNew},
+      {"redo-logging", kamino::txn::EngineType::kRedoLog, FenceRegime::kNew},
+      {"no-logging", kamino::txn::EngineType::kNoLogging, FenceRegime::kNew},
   };
   const int sweep[] = {1, 2, 4, 8};
 
   std::vector<RunResult> results;
   for (const EngineRow& row : rows) {
     for (int clients : sweep) {
-      std::fprintf(stderr, "%s/%s clients=%d ...\n", row.label,
-                   row.legacy_fences ? "legacy" : "new", clients);
-      results.push_back(
-          RunOnce(row, clients, nkeys, ops_per_thread, value_size, drain_ns, gc_window_ns));
+      std::fprintf(stderr, "%s/%s clients=%d ...\n", row.label, FenceName(row.fences),
+                   clients);
+      results.push_back(RunOnce(row, clients, nkeys, ops_per_thread, value_size, drain_ns,
+                                gc_window_ns, ack_window));
       const RunResult& r = results.back();
       std::fprintf(stderr,
                    "  %.0f ops/s  p50 %.1fus p99 %.1fus  %.2f flushes/txn "
@@ -356,17 +435,35 @@ int main() {
                static_cast<unsigned long long>(micro.loop_drains),
                static_cast<unsigned long long>(micro.batch_drains));
 
-  // Acceptance numbers: Kamino-Tx-Simple at 8 clients, legacy vs new.
+  // Acceptance numbers: Kamino-Tx-Simple at 8 clients, legacy vs new vs
+  // epoch, plus the no-logging reference the epoch gate is measured against.
   const RunResult* legacy8 = nullptr;
   const RunResult* new8 = nullptr;
+  const RunResult* epoch8 = nullptr;
+  const RunResult* nolog8 = nullptr;
   for (const RunResult& r : results) {
-    if (r.engine == "kamino-simple" && r.clients == 8) {
-      (std::strcmp(r.fences, "legacy") == 0 ? legacy8 : new8) = &r;
+    if (r.clients != 8) {
+      continue;
+    }
+    if (r.engine == "kamino-simple") {
+      if (std::strcmp(r.fences, "legacy") == 0) {
+        legacy8 = &r;
+      } else if (std::strcmp(r.fences, "epoch") == 0) {
+        epoch8 = &r;
+      } else {
+        new8 = &r;
+      }
+    } else if (r.engine == "no-logging") {
+      nolog8 = &r;
     }
   }
   const double reduction =
       (legacy8 != nullptr && new8 != nullptr && legacy8->drains_per_txn > 0)
           ? 1.0 - new8->drains_per_txn / legacy8->drains_per_txn
+          : 0;
+  const double epoch_p50_vs_nolog =
+      (epoch8 != nullptr && nolog8 != nullptr && nolog8->update_p50_us > 0)
+          ? epoch8->update_p50_us / nolog8->update_p50_us
           : 0;
 
   std::FILE* f = std::fopen(out_path, "w");
@@ -403,13 +500,26 @@ int main() {
   std::fprintf(f, "    \"drains_reduction\": %.3f,\n", reduction);
   std::fprintf(f, "    \"kamino_update_p50_legacy_8c_us\": %.2f,\n",
                legacy8 != nullptr ? legacy8->update_p50_us : 0);
-  std::fprintf(f, "    \"kamino_update_p50_new_8c_us\": %.2f\n",
+  std::fprintf(f, "    \"kamino_update_p50_new_8c_us\": %.2f,\n",
                new8 != nullptr ? new8->update_p50_us : 0);
+  std::fprintf(f, "    \"kamino_drains_per_txn_epoch_8c\": %.3f,\n",
+               epoch8 != nullptr ? epoch8->drains_per_txn : 0);
+  std::fprintf(f, "    \"kamino_update_p50_epoch_8c_us\": %.2f,\n",
+               epoch8 != nullptr ? epoch8->update_p50_us : 0);
+  std::fprintf(f, "    \"nolog_drains_per_txn_8c\": %.3f,\n",
+               nolog8 != nullptr ? nolog8->drains_per_txn : 0);
+  std::fprintf(f, "    \"nolog_update_p50_8c_us\": %.2f,\n",
+               nolog8 != nullptr ? nolog8->update_p50_us : 0);
+  std::fprintf(f, "    \"epoch_p50_vs_nolog\": %.3f\n", epoch_p50_vs_nolog);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
-  std::fprintf(stderr, "wrote %s (drains/txn 8c: legacy %.2f -> new %.2f, -%.0f%%)\n",
+  std::fprintf(stderr,
+               "wrote %s (drains/txn 8c: legacy %.2f -> new %.2f -> epoch %.2f; "
+               "epoch p50 %.1fus = %.2fx no-logging)\n",
                out_path, legacy8 != nullptr ? legacy8->drains_per_txn : 0,
-               new8 != nullptr ? new8->drains_per_txn : 0, reduction * 100.0);
+               new8 != nullptr ? new8->drains_per_txn : 0,
+               epoch8 != nullptr ? epoch8->drains_per_txn : 0,
+               epoch8 != nullptr ? epoch8->update_p50_us : 0, epoch_p50_vs_nolog);
   return 0;
 }

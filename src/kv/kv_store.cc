@@ -53,6 +53,10 @@ Status KvStore::Update(uint64_t key, std::string_view value) {
   return tree_->Update(key, value);
 }
 
+Status KvStore::UpdateAsync(uint64_t key, std::string_view value, txn::CommitAck* ack) {
+  return tree_->UpdateAsync(key, value, ack);
+}
+
 Status KvStore::Insert(uint64_t key, std::string_view value) {
   return tree_->Insert(key, value);
 }

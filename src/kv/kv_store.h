@@ -47,6 +47,11 @@ class KvStore {
   Result<std::string> Read(uint64_t key);
   // YCSB UPDATE (key must exist).
   Status Update(uint64_t key, std::string_view value);
+  // Persist-behind UPDATE (LogOptions::epoch_commit, DESIGN.md §8): returns
+  // at DRAM-commit; the update may only be acknowledged to the client after
+  // TxManager::WaitCommitDurable(*ack). Durable on return when `ack` comes
+  // back with ticket 0 (epoch mode off, or the structural retry path ran).
+  Status UpdateAsync(uint64_t key, std::string_view value, txn::CommitAck* ack);
   // YCSB INSERT (fails if present).
   Status Insert(uint64_t key, std::string_view value);
   // Insert-or-replace (bulk loads).

@@ -226,7 +226,11 @@ void Network::DeliveryLoop() {
     }
     const auto now = std::chrono::steady_clock::now();
     if (pending_.top().deliver_at > now) {
-      cv_.wait_until(lk, pending_.top().deliver_at);
+      // Copy the deadline: wait_until keeps a reference to it across the
+      // unlocked sleep, and a concurrent Submit can reallocate the queue's
+      // backing vector, leaving a reference into pending_ dangling.
+      const auto deliver_at = pending_.top().deliver_at;
+      cv_.wait_until(lk, deliver_at);
       continue;
     }
     Pending p = std::move(const_cast<Pending&>(pending_.top()));

@@ -687,6 +687,29 @@ Status BPlusTree::Update(uint64_t key, std::string_view value) {
   });
 }
 
+Status BPlusTree::UpdateAsync(uint64_t key, std::string_view value, txn::CommitAck* ack) {
+  if (ack != nullptr) {
+    ack->ticket = 0;
+  }
+  {
+    auto guard = LockShared();
+    Status st = mgr_->RunWithRetriesAsync(
+        [&](txn::Tx& tx) { return UpdateInTx(tx, key, value); }, ack);
+    if (st.code() != StatusCode::kNotSupported) {
+      return st;
+    }
+  }
+  // Structural path: synchronous (durable on return, ticket 0) — regrows are
+  // rare enough that pipelining them buys nothing.
+  if (ack != nullptr) {
+    ack->ticket = 0;
+  }
+  auto guard = LockExclusive();
+  return mgr_->RunWithRetries([&](txn::Tx& tx) {
+    return DoInsert(tx, key, value, /*allow_update=*/true, /*require_existing=*/true);
+  });
+}
+
 Result<std::string> BPlusTree::Get(uint64_t key) {
   auto guard = LockShared();
   std::string out;

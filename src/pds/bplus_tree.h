@@ -73,6 +73,11 @@ class BPlusTree {
   Status Insert(uint64_t key, std::string_view value);
   // Overwrites an existing key's value; kNotFound if absent.
   Status Update(uint64_t key, std::string_view value);
+  // Persist-behind Update (LogOptions::epoch_commit, DESIGN.md §8): returns
+  // at DRAM-commit with `ack` carrying the epoch durability ticket; the
+  // caller acknowledges via TxManager::WaitCommitDurable(*ack). The rare
+  // structural retry (blob regrow) stays synchronous and returns ticket 0.
+  Status UpdateAsync(uint64_t key, std::string_view value, txn::CommitAck* ack);
   // Insert-or-update.
   Status Upsert(uint64_t key, std::string_view value);
   // Point lookup.

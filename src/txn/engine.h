@@ -123,6 +123,16 @@ struct WriteSpan {
   uint64_t size = 0;  // 0 = the whole object at `offset`.
 };
 
+// Durability receipt of a CommitAsync (epoch pipeline, DESIGN.md §8): the
+// transaction is committed in DRAM order when CommitAsync returns, but its
+// acknowledgement — TxManager::WaitCommitDurable(ack) — blocks until the
+// epoch drain covering the commit has completed. ticket == 0 means the
+// commit was already durable at return (read-only transactions, engines
+// without an epoch pipeline, LogOptions::epoch_commit off).
+struct CommitAck {
+  uint64_t ticket = 0;
+};
+
 class AtomicityEngine {
  public:
   virtual ~AtomicityEngine() = default;
@@ -165,8 +175,22 @@ class AtomicityEngine {
 
   // Commits. Takes ownership of the context: the Kamino engines hand it to
   // the asynchronous applier, which later syncs the backup and releases the
-  // write locks; other engines resolve everything inline.
+  // write locks; other engines resolve everything inline. Durable on return.
   virtual Status Commit(std::unique_ptr<TxContext> ctx) = 0;
+
+  // Epoch-pipeline commit: returns at DRAM-commit and fills `ack` with the
+  // epoch durability ticket; the caller acknowledges only after
+  // WaitCommitDurable(ack). Dependent transactions are safe without waiting:
+  // write locks release only after the (durability-gated) backup apply, so
+  // any txn the lock table marks as reading the write set blocks on the
+  // epoch ticket structurally. Engines without an epoch pipeline are fully
+  // durable on return and fill ticket 0.
+  virtual Status CommitAsync(std::unique_ptr<TxContext> ctx, CommitAck* ack) {
+    if (ack != nullptr) {
+      ack->ticket = 0;
+    }
+    return Commit(std::move(ctx));
+  }
 
   // Aborts, rolling back every declared intent, and releases all locks.
   virtual Status Abort(TxContext* ctx) = 0;

@@ -6,6 +6,7 @@
 
 #include <atomic>
 
+#include "src/common/checksum.h"
 #include "src/heap/heap.h"
 #include "src/txn/engine.h"
 #include "src/txn/lock_manager.h"
@@ -97,6 +98,27 @@ class EngineBase : public AtomicityEngine {
     if (flushed) {
       pool()->Drain();
     }
+  }
+
+  // Epoch-commit variant: flushes the write set WITHOUT draining (the epoch
+  // drain covers it) and computes the CRC the checked commit record carries
+  // — recovery's roll-forward gate. Returns the CRC; `*range_count` gets the
+  // number of kWrite/kAlloc ranges, in intent order — the same order
+  // ScanForRecovery recomputes in.
+  uint64_t FlushWriteRangesChecked(TxContext* ctx, uint64_t* range_count) {
+    nvm::PersistSiteScope site("engine/flush-write-set");
+    uint64_t crc = 0;
+    uint64_t ranges = 0;
+    for (const Intent& in : ctx->intents) {
+      if (in.kind == IntentKind::kWrite || in.kind == IntentKind::kAlloc) {
+        void* p = pool()->At(in.offset);
+        pool()->Flush(p, in.size);
+        crc = Crc64(p, in.size, crc);
+        ++ranges;
+      }
+    }
+    *range_count = ranges;
+    return crc;
   }
 
   heap::Heap* heap_;

@@ -21,6 +21,16 @@ KaminoEngine::KaminoEngine(heap::Heap* heap, LogManager* log, LockManager* locks
   for (int i = 0; i < applier_threads; ++i) {
     appliers_.emplace_back([this, i] { ApplierLoop(static_cast<size_t>(i)); });
   }
+  // Persist-behind dependency rule (DESIGN.md §8): write locks are held until
+  // the durability-gated backup apply, so a blocked acquirer may be waiting
+  // on a commit parked in the open epoch. The lock table is the dependency
+  // tracker — have the waiter drive the epoch drain (a no-op once the epoch
+  // is durable) rather than idle until the lock timeout: with every client
+  // blocked, nobody else would ever seal the epoch.
+  if (log_ != nullptr && log_->epoch_commit() && locks_ != nullptr) {
+    LogManager* log = log_;
+    locks_->SetContentionHook([log] { log->DrainEpoch(); });
+  }
 }
 
 KaminoEngine::~KaminoEngine() {
@@ -35,6 +45,14 @@ KaminoEngine::~KaminoEngine() {
   }
   reconcile_done_cv_.notify_all();
 
+  // Seal any open epoch: parked durability callbacks own committed contexts,
+  // and must run before the applier pool shuts down. With the appliers
+  // paused the contexts merely land in the shard queues and are freed with
+  // them — no leak either way.
+  if (log_ != nullptr && log_->epoch_commit()) {
+    log_->DrainEpoch();
+  }
+
   stop_.store(true, std::memory_order_seq_cst);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard->mu);
@@ -44,6 +62,9 @@ KaminoEngine::~KaminoEngine() {
   }
   for (auto& t : appliers_) {
     t.join();
+  }
+  if (locks_ != nullptr) {
+    locks_->SetContentionHook(nullptr);
   }
 }
 
@@ -185,24 +206,14 @@ Status KaminoEngine::OpenWriteBatch(TxContext* ctx, const WriteSpan* spans, size
 }
 
 Status KaminoEngine::Commit(std::unique_ptr<TxContext> ctx) {
-  if (!ctx->slot.valid()) {
-    // Read-only transaction: nothing persistent happened; no applier trip.
-    ReleaseWriteLocks(ctx.get());
-    committed_.fetch_add(1, std::memory_order_relaxed);
-    return Status::Ok();
-  }
-  // 1. Make the in-place edits durable (batched: one drain).
-  FlushWriteRanges(ctx.get());
-  // 2. Durable commit point.
-  log_->SetState(ctx->slot, TxState::kCommitted);
-  committed_.fetch_add(1, std::memory_order_relaxed);
-  // 3. Hand the context to the asynchronous Transaction Coordinator. The
-  //    write locks remain held until the backup is in sync — the transaction
-  //    itself is done: no data was copied on this thread. Round-robin across
-  //    applier shards; the disjoint-write-set invariant makes the resulting
-  //    cross-shard apply order irrelevant.
-  ctx->commit_enqueue_ns = stats::NowNanos();
-  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  return CommitImpl(std::move(ctx), nullptr);
+}
+
+Status KaminoEngine::CommitAsync(std::unique_ptr<TxContext> ctx, CommitAck* ack) {
+  return CommitImpl(std::move(ctx), ack);
+}
+
+void KaminoEngine::EnqueueCommitted(std::unique_ptr<TxContext> ctx) {
   ApplierShard& shard =
       *shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size()];
   {
@@ -210,6 +221,71 @@ Status KaminoEngine::Commit(std::unique_ptr<TxContext> ctx) {
     shard.queue.push_back(std::move(ctx));
   }
   shard.cv.notify_one();
+}
+
+Status KaminoEngine::CommitImpl(std::unique_ptr<TxContext> ctx, CommitAck* ack) {
+  if (ack != nullptr) {
+    ack->ticket = 0;  // Durable-on-return unless the epoch path says otherwise.
+  }
+  if (!ctx->slot.valid()) {
+    // Read-only transaction: nothing persistent happened; no applier trip.
+    ReleaseWriteLocks(ctx.get());
+    committed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  if (!log_->epoch_commit()) {
+    // PR 4 schedule: write-set drain, then the commit record's group-commit
+    // drain. Durable before the applier ever sees the context.
+    // 1. Make the in-place edits durable (batched: one drain).
+    FlushWriteRanges(ctx.get());
+    // 2. Durable commit point.
+    log_->SetState(ctx->slot, TxState::kCommitted);
+    committed_.fetch_add(1, std::memory_order_relaxed);
+    // 3. Hand the context to the asynchronous Transaction Coordinator. The
+    //    write locks remain held until the backup is in sync — the
+    //    transaction itself is done: no data was copied on this thread.
+    //    Round-robin across applier shards; the disjoint-write-set invariant
+    //    makes the resulting cross-shard apply order irrelevant.
+    ctx->commit_enqueue_ns = stats::NowNanos();
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    EnqueueCommitted(std::move(ctx));
+    return Status::Ok();
+  }
+  // Epoch pipeline (DESIGN.md §8): flush everything, drain nothing — the
+  // commit is in DRAM order once the checked mark is staged, and exactly one
+  // shared epoch drain ("log/epoch-drain") later covers intents, write set
+  // and mark together. The mark carries the write-set CRC so recovery can
+  // tell a durable commit from a mark that leaked ahead of torn data.
+  uint64_t ranges = 0;
+  const uint64_t crc = FlushWriteRangesChecked(ctx.get(), &ranges);
+  log_->SetCommittedChecked(ctx->slot, crc, ranges);
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  ctx->commit_enqueue_ns = stats::NowNanos();
+  // Counted here, not in the callback: WaitIdle must see this transaction as
+  // in flight from the moment it committed, even while its epoch is open.
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  // The applier consumes only durable epochs: the enqueue lives in the
+  // durability callback, run by the epoch leader after the covering drain —
+  // the backup can never run ahead of the log. The callback owns the context
+  // (released to a raw pointer: std::function requires copyable captures)
+  // and runs exactly once; WaitIdle/shutdown seal the epoch via DrainEpoch.
+  TxContext* raw = ctx.release();
+  // The callback may run (on a concurrent leader) before RegisterEpochCommit
+  // returns here — `raw` must not be touched after this call, so the ticket
+  // reaches the context through the callback argument.
+  const uint64_t ticket = log_->RegisterEpochCommit([this, raw](uint64_t t) {
+    raw->epoch_ticket = t;
+    EnqueueCommitted(std::unique_ptr<TxContext>(raw));
+  });
+  if (ack != nullptr) {
+    // DRAM-commit return: the caller acknowledges only after
+    // TxManager::WaitCommitDurable(ack). Dependent transactions are gated
+    // structurally — write locks release only after the durability-gated
+    // backup apply.
+    ack->ticket = ticket;
+    return Status::Ok();
+  }
+  log_->EpochWait(ticket);
   return Status::Ok();
 }
 
@@ -270,13 +346,7 @@ Status KaminoEngine::FinishPrepared(std::unique_ptr<TxContext> ctx, bool commit)
   committed_.fetch_add(1, std::memory_order_relaxed);
   ctx->commit_enqueue_ns = stats::NowNanos();
   in_flight_.fetch_add(1, std::memory_order_relaxed);
-  ApplierShard& shard =
-      *shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size()];
-  {
-    std::lock_guard<std::mutex> lk(shard.mu);
-    shard.queue.push_back(std::move(ctx));
-  }
-  shard.cv.notify_one();
+  EnqueueCommitted(std::move(ctx));
   return Status::Ok();
 }
 
@@ -394,6 +464,12 @@ void KaminoEngine::ApplierLoop(size_t shard_index) {
 }
 
 void KaminoEngine::WaitIdle() {
+  if (log_ != nullptr && log_->epoch_commit()) {
+    // Seal the open epoch first: parked durability callbacks hold committed
+    // contexts that are already counted in in_flight_ but have not reached
+    // the appliers yet — waiting without sealing could block forever.
+    log_->DrainEpoch();
+  }
   std::unique_lock<std::mutex> lk(idle_mu_);
   idle_cv_.wait(lk, [&] {
     return paused_.load(std::memory_order_relaxed) ||

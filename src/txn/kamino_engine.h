@@ -61,6 +61,11 @@ class KaminoEngine : public EngineBase {
   Result<uint64_t> Alloc(TxContext* ctx, uint64_t size) override;
   Status Free(TxContext* ctx, uint64_t offset) override;
   Status Commit(std::unique_ptr<TxContext> ctx) override;
+  // Epoch pipeline (LogOptions::epoch_commit, DESIGN.md §8): returns at
+  // DRAM-commit with `ack` carrying the epoch durability ticket. The context
+  // reaches the applier only through the epoch's durability callback, so the
+  // backup never runs ahead of the log. Without epoch_commit this is Commit.
+  Status CommitAsync(std::unique_ptr<TxContext> ctx, CommitAck* ack) override;
   Status Abort(TxContext* ctx) override;
   // Cross-shard 2PC (DESIGN.md §11): Prepare persists a prepared record in
   // place of the commit record; PersistDecision durably flips the
@@ -109,6 +114,12 @@ class KaminoEngine : public EngineBase {
   };
 
   void ApplierLoop(size_t shard_index);
+  // Shared Commit/CommitAsync body; `ack == nullptr` means durable-on-return.
+  Status CommitImpl(std::unique_ptr<TxContext> ctx, CommitAck* ack);
+  // Round-robins a committed context across the applier shards. In epoch
+  // mode this runs inside the epoch's durability callback (on the leader
+  // thread); in_flight_ was already counted at commit time.
+  void EnqueueCommitted(std::unique_ptr<TxContext> ctx);
   // Rolls a committed transaction forward into the backup (one batched
   // apply, at most one drain). The applier loop then releases the whole
   // batch's slots behind one fence and calls FinishApplied per transaction

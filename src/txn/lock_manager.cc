@@ -1,10 +1,50 @@
 #include "src/txn/lock_manager.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace kamino::txn {
 
 LockManager::LockManager(const LockOptions& options) : options_(options) {}
+
+void LockManager::SetContentionHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lk(hook_mu_);
+  contention_hook_ = std::move(hook);
+}
+
+bool LockManager::BlockedWait(Shard& shard, std::unique_lock<std::mutex>& lk,
+                              const std::function<bool()>& ready) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.timeout_ms);
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> hl(hook_mu_);
+    hook = contention_hook_;
+  }
+  if (!hook) {
+    return shard.cv.wait_until(lk, deadline, ready);
+  }
+  // Sliced wait: the hook runs outside shard.mu (it may take the log's
+  // sequencer mutex and applier locks), and runs repeatedly because the
+  // blocker may commit into a *new* epoch after an earlier slice drained
+  // the previous one.
+  constexpr auto kSlice = std::chrono::milliseconds(5);
+  for (;;) {
+    lk.unlock();
+    hook();
+    lk.lock();
+    if (ready()) {
+      return true;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return false;
+    }
+    if (shard.cv.wait_until(lk, std::min(deadline, now + kSlice), ready)) {
+      return true;
+    }
+  }
+}
 
 Status LockManager::AcquireWrite(uint64_t key, uint64_t txid) {
   Shard& shard = ShardFor(key);
@@ -24,7 +64,7 @@ Status LockManager::AcquireWrite(uint64_t key, uint64_t txid) {
   blocked_acquires_.fetch_add(1, std::memory_order_relaxed);
   const auto start = std::chrono::steady_clock::now();
   ++e.waiters;
-  const bool got = shard.cv.wait_for(lk, std::chrono::milliseconds(options_.timeout_ms), [&] {
+  const bool got = BlockedWait(shard, lk, [&] {
     Entry& cur = shard.entries[key];
     return cur.writer_txid == 0 && cur.readers == 0;
   });
@@ -62,7 +102,7 @@ Status LockManager::AcquireRead(uint64_t key, uint64_t txid) {
   blocked_acquires_.fetch_add(1, std::memory_order_relaxed);
   const auto start = std::chrono::steady_clock::now();
   ++e.waiters;
-  const bool got = shard.cv.wait_for(lk, std::chrono::milliseconds(options_.timeout_ms), [&] {
+  const bool got = BlockedWait(shard, lk, [&] {
     return shard.entries[key].writer_txid == 0;
   });
   Entry& cur = shard.entries[key];

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 
@@ -64,6 +65,17 @@ class LockManager {
   // hook; racy by nature).
   bool IsWriteLocked(uint64_t key) const;
 
+  // Installs a hook invoked — with no internal mutex held — whenever an
+  // acquisition is about to block, and again periodically while it waits.
+  // The lock table doubles as the dependency tracker: under the epoch
+  // pipeline (LogOptions::epoch_commit) a blocked acquirer is a dependent
+  // transaction whose blocker may be parked on the open epoch, so the hook
+  // drives LogManager::DrainEpoch — the waiter pays for the drain that
+  // releases its dependency instead of deadlocking against other blocked
+  // clients until the lock timeout. Install before concurrent use (the
+  // engine constructor); pass nullptr to clear.
+  void SetContentionHook(std::function<void()> hook);
+
   LockStats stats() const;
 
  private:
@@ -84,8 +96,18 @@ class LockManager {
   Shard& ShardFor(uint64_t key) { return shards_[(key >> 6) & (kNumShards - 1)]; }
   const Shard& ShardFor(uint64_t key) const { return shards_[(key >> 6) & (kNumShards - 1)]; }
 
+  // Waits on `shard.cv` until `ready()` (evaluated under shard.mu) or the
+  // lock timeout. With a contention hook installed the wait runs in short
+  // slices, dropping shard.mu and invoking the hook between slices; `ready`
+  // must re-look-up its Entry each call (the map may rehash while unlocked).
+  bool BlockedWait(Shard& shard, std::unique_lock<std::mutex>& lk,
+                   const std::function<bool()>& ready);
+
   LockOptions options_;
   Shard shards_[kNumShards];
+
+  mutable std::mutex hook_mu_;
+  std::function<void()> contention_hook_;
 
   std::atomic<uint64_t> write_acquires_{0};
   std::atomic<uint64_t> read_acquires_{0};

@@ -68,6 +68,7 @@ Result<std::unique_ptr<LogManager>> LogManager::Open(nvm::Pool* pool, uint64_t r
     lm->num_stripes_ = runtime_options->freelist_stripes;
     lm->group_commit_window_ns_ = runtime_options->group_commit_window_ns;
     lm->legacy_fences_ = runtime_options->legacy_fences;
+    lm->epoch_commit_ = runtime_options->epoch_commit;
   } else {
     lm->num_stripes_ = LogOptions{}.freelist_stripes;
   }
@@ -82,6 +83,9 @@ void LogManager::InitFreelists(const LogOptions& options) {
   num_stripes_ = std::max<uint64_t>(1, std::min(options.freelist_stripes, num_slots_));
   group_commit_window_ns_ = options.group_commit_window_ns;
   legacy_fences_ = options.legacy_fences;
+  // Legacy wins: the pre-PR4 schedule drained everywhere, so the epoch
+  // pipeline (which removes drains) would not reproduce it.
+  epoch_commit_ = options.epoch_commit && !options.legacy_fences;
   stripes_ = std::make_unique<Stripe[]>(num_stripes_);
   for (uint64_t s = 0; s < num_stripes_; ++s) {
     stripes_[s].head.store(kNilIndex, std::memory_order_relaxed);
@@ -153,6 +157,7 @@ Status LogManager::Attach() {
     runtime.freelist_stripes = num_stripes_;
     runtime.group_commit_window_ns = group_commit_window_ns_;
     runtime.legacy_fences = legacy_fences_;
+    runtime.epoch_commit = epoch_commit_;
     InitFreelists(runtime);
   }
 
@@ -346,8 +351,18 @@ Status LogManager::AppendRecord(SlotHandle& slot, IntentKind kind, uint64_t offs
   {
     nvm::PersistSiteScope site("log/append-intent");
     pool_->Flush(r, kRecordSize);
-    if (drain || legacy_fences_) {
+    if (legacy_fences_) {
       pool_->Drain();
+    } else if (drain) {
+      if (epoch_commit_) {
+        // The intent must still be durable before the caller's first
+        // in-place store (rollback must know every range that may have been
+        // touched) — but the fence is shared: ride the epoch drain instead
+        // of paying a private one.
+        EpochRide();
+      } else {
+        pool_->Drain();
+      }
     }
   }
   ++slot.num_records;
@@ -359,6 +374,10 @@ void LogManager::DrainAppends() {
     return;  // Every append already drained individually.
   }
   nvm::PersistSiteScope site("log/append-intent");
+  if (epoch_commit_) {
+    EpochRide();  // One shared ride covers the whole flushed batch.
+    return;
+  }
   pool_->Drain();
 }
 
@@ -421,13 +440,36 @@ void LogManager::GroupCommitDrain() {
   // leader that reads cover >= my after this point drains a pool state that
   // already has our record staged.
   const uint64_t my = ++gc_ticket_;
+  SequencerWait(lk, my);
+  gc_commits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LogManager::SequencerWait(std::unique_lock<std::mutex>& lk, uint64_t ticket) {
+  // The PR 4 regime serializes leaders; the epoch pipeline overlaps two.
+  // Drains are overlappable waits (queue drain, not computation), so while
+  // epoch N's drain is in flight a newly arrived ticket may elect itself
+  // leader of epoch N+1 and start the covering drain immediately — its wait
+  // is one drain, not remaining-of-current plus one. Two in flight is the
+  // steady-state maximum useful depth: a third leader's cover would be
+  // superseded by the second's before its drain could retire anything new.
+  const int max_inflight = epoch_commit_ ? 2 : 1;
+  // An overlap leader (electing while a drain is in flight) must see at
+  // least this many uncovered tickets. Firing on a single ticket minimizes
+  // that rider's wait but shrinks every batch to ~1, inflating drains/txn;
+  // waiting for a second uncovered ticket restores coalescing at a latency
+  // cost of one ticket inter-arrival. The first leader is exempt, so a solo
+  // committer still pays exactly one immediate drain.
+  constexpr uint64_t kMinOverlapBacklog = 2;
   for (;;) {
-    if (gc_durable_ >= my) {
-      gc_commits_.fetch_add(1, std::memory_order_relaxed);
+    if (gc_durable_ >= ticket) {
       return;
     }
-    if (!gc_leader_active_) {
-      gc_leader_active_ = true;
+    const bool can_lead =
+        gc_drains_inflight_ < max_inflight && gc_cover_pending_ < ticket &&
+        (gc_drains_inflight_ == 0 ||
+         gc_ticket_ - gc_cover_pending_ >= kMinOverlapBacklog);
+    if (can_lead) {
+      ++gc_drains_inflight_;
       if (group_commit_window_ns_ > 0) {
         // Bounded coalescing window: give concurrent committers a chance to
         // flush + ticket before we pay the drain. Spurious wakeups just
@@ -435,17 +477,99 @@ void LogManager::GroupCommitDrain() {
         gc_cv_.wait_for(lk, std::chrono::nanoseconds(group_commit_window_ns_));
       }
       const uint64_t cover = gc_ticket_;
+      gc_cover_pending_ = std::max(gc_cover_pending_, cover);
       lk.unlock();
-      pool_->Drain();
+      if (epoch_commit_) {
+        // The epoch boundary: one drain covers every rider's intents, every
+        // committer's write set, and their commit marks. Attributed to its
+        // own site so the DESIGN.md §8 ledger can prove which drains moved
+        // off the per-transaction path.
+        nvm::PersistSiteScope site("log/epoch-drain");
+        pool_->Drain();
+      } else {
+        pool_->Drain();  // Attributed to the caller's active site.
+      }
       lk.lock();
+      // Overlapped drains may retire out of order; cover is monotone in
+      // start order (a later drain's cover is a superset), so max() is the
+      // durable frontier either way.
       gc_durable_ = std::max(gc_durable_, cover);
-      gc_leader_active_ = false;
       gc_leader_drains_.fetch_add(1, std::memory_order_relaxed);
+      // Extract the callback prefix this drain covered; run it outside the
+      // lock (callbacks enqueue applier work and take other mutexes). The
+      // extraction happens before the lock is released, so no other thread
+      // can ever observe a parked callback whose ticket is already durable.
+      std::vector<std::pair<uint64_t, std::function<void(uint64_t)>>> ready;
+      while (!epoch_callbacks_.empty() && epoch_callbacks_.front().first <= gc_durable_) {
+        ready.push_back(std::move(epoch_callbacks_.front()));
+        epoch_callbacks_.pop_front();
+      }
+      --gc_drains_inflight_;
       gc_cv_.notify_all();
-      continue;  // gc_durable_ >= my now holds; account + return above.
+      if (!ready.empty()) {
+        lk.unlock();
+        for (auto& cb : ready) {
+          cb.second(cb.first);
+        }
+        lk.lock();
+      }
+      continue;  // gc_durable_ >= ticket now holds; return above.
     }
-    gc_cv_.wait(lk, [&] { return gc_durable_ >= my || !gc_leader_active_; });
+    gc_cv_.wait(lk, [&] {
+      return gc_durable_ >= ticket ||
+             (gc_drains_inflight_ < max_inflight && gc_cover_pending_ < ticket &&
+              (gc_drains_inflight_ == 0 ||
+               gc_ticket_ - gc_cover_pending_ >= kMinOverlapBacklog));
+    });
   }
+}
+
+void LogManager::EpochRide() {
+  std::unique_lock<std::mutex> lk(gc_mu_);
+  const uint64_t my = ++gc_ticket_;
+  SequencerWait(lk, my);
+}
+
+void LogManager::SetCommittedChecked(const SlotHandle& slot, uint64_t write_set_crc,
+                                     uint64_t range_count) {
+  SlotHeader* h = SlotHeaderAt(slot.slot_index);
+  // CRC, range count and state live in one 64-byte header line: the flush
+  // stages them atomically (a line cannot tear), so recovery sees either the
+  // prior state or a fully-formed checked mark — never a mark without its
+  // validation data. reserved[0]/[1] stay untouched (2PC gtxid/coordinator).
+  h->reserved[2] = write_set_crc;
+  h->reserved[3] = range_count;
+  h->state = static_cast<uint64_t>(TxState::kEpochCommitted);
+  nvm::PersistSiteScope site("log/commit-record");
+  pool_->Flush(h, sizeof(SlotHeader));
+}
+
+uint64_t LogManager::RegisterEpochCommit(std::function<void(uint64_t)> on_durable) {
+  std::unique_lock<std::mutex> lk(gc_mu_);
+  // Ticket strictly after the caller's flushes (same argument as
+  // GroupCommitDrain): any covering drain has the write set, intents and
+  // checked mark staged.
+  const uint64_t my = ++gc_ticket_;
+  if (on_durable) {
+    epoch_callbacks_.emplace_back(my, std::move(on_durable));
+  }
+  gc_commits_.fetch_add(1, std::memory_order_relaxed);
+  // This registration never waits, but it may have just pushed the uncovered
+  // backlog past the overlap-leader threshold — wake sleeping candidates so
+  // the next epoch's drain starts now rather than at the current one's end.
+  gc_cv_.notify_all();
+  return my;
+}
+
+void LogManager::EpochWait(uint64_t ticket) {
+  std::unique_lock<std::mutex> lk(gc_mu_);
+  SequencerWait(lk, ticket);
+}
+
+void LogManager::DrainEpoch() {
+  std::unique_lock<std::mutex> lk(gc_mu_);
+  const uint64_t seal = gc_ticket_;
+  SequencerWait(lk, seal);
 }
 
 void LogManager::ReleaseSlot(SlotHandle& slot) { ReleaseSlots(&slot, 1); }
@@ -551,6 +675,27 @@ std::vector<RecoveredTx> LogManager::ScanForRecovery() {
       in.aux = r->aux;
       in.aux2 = r->aux2;
       tx.intents.push_back(in);
+    }
+    if (state == TxState::kEpochCommitted) {
+      // The epoch mark shared its drain with the data it covers, so it is
+      // only evidence of commit if the data actually made it: recompute the
+      // write-set CRC over the main heap. A match proves the heap holds
+      // exactly the committed bytes (kWrite/kAlloc intents were durable
+      // before their first store, the ranges stayed write-locked until
+      // post-apply, and the slot is durably freed before lock release), so
+      // roll-forward is safe and atomic. A mismatch means random eviction
+      // persisted the mark ahead of torn data — treat as aborted and roll
+      // back from the backup. Engines never see state 5.
+      uint64_t crc = 0;
+      uint64_t ranges = 0;
+      for (const Intent& in : tx.intents) {
+        if (in.kind == IntentKind::kWrite || in.kind == IntentKind::kAlloc) {
+          crc = Crc64(pool_->At(in.offset), in.size, crc);
+          ++ranges;
+        }
+      }
+      const bool intact = ranges == h->reserved[3] && crc == h->reserved[2];
+      tx.state = intact ? TxState::kCommitted : TxState::kAborted;
     }
     out.push_back(std::move(tx));
   }

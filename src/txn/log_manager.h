@@ -34,9 +34,24 @@
 //     "log/commit-record" site, so the crash-point enumeration harness sees
 //     a deterministic event stream for single-mutator workloads.
 //
+// Epoch pipeline (`LogOptions::epoch_commit`, DESIGN.md §8): the group-commit
+// ticket machinery generalises into an *epoch sequencer* shared by every
+// commit-path fence. Committers flush their write set and a CRC-carrying
+// kEpochCommitted header (no drains of their own), take a durability ticket,
+// and one elected leader pays a single covering drain per epoch at the
+// "log/epoch-drain" site — intent appends ride the same drain. Commit is the
+// DRAM-side ticket; only the *acknowledgement* (EpochWait) blocks on the
+// epoch's drain, and appliers consume a transaction only via its durability
+// callback, so the backup never runs ahead of the log. Recovery trusts a
+// kEpochCommitted slot only if the write-set CRC recomputed from the main
+// heap matches the header — the validation that makes merging the data and
+// mark drains sound under random cache eviction (a mark that leaked ahead of
+// torn data fails the CRC and rolls back).
+//
 // `LogOptions::legacy_fences` restores the pre-optimisation behaviour
-// (durable slot acquisition, one drain per append, solo commit drains) so
-// benchmarks can measure both fence regimes in one binary.
+// (durable slot acquisition, one drain per append, solo commit drains);
+// leaving both switches off reproduces the PR 4 schedule. All three fence
+// regimes are measurable in one binary.
 
 #ifndef SRC_TXN_LOG_MANAGER_H_
 #define SRC_TXN_LOG_MANAGER_H_
@@ -44,8 +59,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -63,6 +81,12 @@ enum class TxState : uint64_t {
   // decision record. A kPrepared slot found at recovery is *in doubt* — it
   // must be resolved by consulting the coordinator's log, never unilaterally.
   kPrepared = 4,
+  // Epoch pipeline (LogOptions::epoch_commit): committed in DRAM order, with
+  // the write-set CRC and range count in the header's reserved words. The
+  // mark shares the epoch drain with the data it covers, so recovery trusts
+  // it only after recomputing the CRC over the intent ranges — a mismatch
+  // (mark persisted ahead of torn data by random eviction) rolls back.
+  kEpochCommitted = 5,
 };
 
 enum class IntentKind : uint64_t {
@@ -101,6 +125,12 @@ struct LogOptions {
   // Pre-optimisation fence behaviour: durable slot acquisition, a drain on
   // every append (batching requests ignored), and solo commit drains.
   bool legacy_fences = false;
+  // Epoch/persist-behind commit (see file comment): merge append, commit and
+  // write-set drains into one shared epoch drain; commit records carry a
+  // write-set CRC and acknowledgements block on the epoch's durability
+  // ticket. Off (together with legacy_fences off) reproduces the PR 4
+  // schedule in-binary. Ignored when legacy_fences is set.
+  bool epoch_commit = false;
 };
 
 // Handle to an acquired slot; owned by a TxContext.
@@ -179,6 +209,40 @@ class LogManager {
   // go through leader-based group commit unless legacy_fences is set.
   void SetState(const SlotHandle& slot, TxState state);
 
+  // --- Epoch pipeline (LogOptions::epoch_commit; DESIGN.md §8) --------------
+  // Writes the epoch commit mark: state = kEpochCommitted plus the write-set
+  // CRC and kWrite/kAlloc range count in the header's reserved words, all in
+  // one header-line flush at "log/commit-record" — NO drain. The mark becomes
+  // durable with the epoch drain covering the write set it validates; until
+  // then recovery sees either the prior state or a mark whose CRC check
+  // decides roll-forward vs roll-back (see ScanForRecovery).
+  void SetCommittedChecked(const SlotHandle& slot, uint64_t write_set_crc,
+                           uint64_t range_count);
+
+  // Stages an epoch commit: takes a durability ticket for everything the
+  // caller already flushed (intents, write set, commit mark) and parks
+  // `on_durable` to run exactly once — on the epoch leader's thread, outside
+  // the sequencer lock — after a drain covering the ticket completes. This is
+  // how appliers consume only durable epochs: the enqueue lives in the
+  // callback, which receives its own ticket (the callback may run — on
+  // another committer acting as leader — before this call even returns, so
+  // the ticket cannot be delivered through the return value alone). Returns
+  // the ticket for EpochWait. Does not block or drain.
+  uint64_t RegisterEpochCommit(std::function<void(uint64_t)> on_durable);
+
+  // Blocks until a drain covers `ticket` (the acknowledgement fence). The
+  // caller may be elected epoch leader and pay the drain itself, at the
+  // "log/epoch-drain" site.
+  void EpochWait(uint64_t ticket);
+
+  // Seals the current epoch: drains until every ticket issued so far is
+  // covered (and therefore every parked callback has been handed off). Used
+  // by WaitIdle/shutdown so unacknowledged commits cannot wedge the applier
+  // pipeline. Emits no pool events when the epoch is already durable.
+  void DrainEpoch();
+
+  bool epoch_commit() const { return epoch_commit_; }
+
   // --- Cross-shard 2PC records (DESIGN.md §11) ------------------------------
   // Durably marks the slot Prepared, recording the cross-shard transaction id
   // and the coordinator's shard index in the header's reserved words. One
@@ -215,7 +279,13 @@ class LogManager {
 
   // Recovery: returns every non-free transaction in the log, sorted by txid.
   // Slots remain held; the engine resolves each and calls ReleaseSlot (via a
-  // handle rebuilt with HandleForRecovered).
+  // handle rebuilt with HandleForRecovered). kEpochCommitted slots are
+  // resolved here: the write-set CRC is recomputed from the main heap over
+  // the slot's kWrite/kAlloc intents and the transaction is presented as
+  // kCommitted on a match (the main heap provably holds exactly the
+  // committed bytes — roll-forward is safe and atomic) or kAborted on a
+  // mismatch (the mark outran its data; roll back from the backup). Engines
+  // never see state 5.
   std::vector<RecoveredTx> ScanForRecovery();
   SlotHandle HandleForRecovered(const RecoveredTx& tx) const;
 
@@ -355,6 +425,16 @@ class LogManager {
   CacheCell* MyCellOrRegister();
 
   void GroupCommitDrain();
+  // Core of the sequencer: blocks until gc_durable_ >= ticket, electing one
+  // waiter as leader to pay the covering drain (epoch mode tags it
+  // "log/epoch-drain"; otherwise the caller's active site wins) and to run
+  // parked epoch callbacks whose tickets the drain covered. gc_mu_ must be
+  // held on entry and is held again on return.
+  void SequencerWait(std::unique_lock<std::mutex>& lk, uint64_t ticket);
+  // Epoch mode: take a ticket for the caller's own flushed lines and wait
+  // for a covering drain — the shared ride intent appends use in place of a
+  // private drain.
+  void EpochRide();
   void PublishFreeSlot(uint32_t index);
 
   nvm::Pool* pool_;
@@ -368,6 +448,7 @@ class LogManager {
   uint64_t num_stripes_ = 1;
   uint64_t group_commit_window_ns_ = 0;
   bool legacy_fences_ = false;
+  bool epoch_commit_ = false;
 
   // Striped freelists + per-slot next links.
   std::unique_ptr<Stripe[]> stripes_;
@@ -390,15 +471,24 @@ class LogManager {
   std::atomic<uint64_t> blocked_acquires_{0};
   std::atomic<uint64_t> blocked_wait_ns_{0};
 
-  // Leader-based group commit state (all guarded by gc_mu_ except the
-  // counters). Tickets are taken under gc_mu_ *after* the committer's own
-  // commit-record flush, so a leader that observed cover = gc_ticket_ before
-  // draining is guaranteed every covered committer's record was staged.
+  // Epoch sequencer / leader-based group commit state (all guarded by gc_mu_
+  // except the counters). Tickets are taken under gc_mu_ *after* the caller's
+  // own flushes, so a leader that observed cover = gc_ticket_ before draining
+  // is guaranteed every covered caller's lines were staged. epoch_callbacks_
+  // is ticket-ordered by construction (tickets issue under the same lock);
+  // the leader extracts the prefix its drain covered and runs it unlocked.
   std::mutex gc_mu_;
   std::condition_variable gc_cv_;
   uint64_t gc_ticket_ = 0;
   uint64_t gc_durable_ = 0;
-  bool gc_leader_active_ = false;
+  // In-flight leader drains and the highest ticket any of them will cover.
+  // The PR 4 group-commit regime serializes leaders (one drain at a time);
+  // the epoch pipeline lets a second leader start the next epoch's drain
+  // while the current one is in flight (drains are overlappable device
+  // waits), so a rider's wait is one drain, not remaining-plus-one.
+  int gc_drains_inflight_ = 0;
+  uint64_t gc_cover_pending_ = 0;
+  std::deque<std::pair<uint64_t, std::function<void(uint64_t)>>> epoch_callbacks_;
   std::atomic<uint64_t> gc_commits_{0};
   std::atomic<uint64_t> gc_leader_drains_{0};
 };

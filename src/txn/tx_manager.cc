@@ -136,6 +136,18 @@ Status Tx::Commit() {
   return mgr_->engine_->Commit(std::move(ctx_));
 }
 
+Status Tx::CommitAsync(CommitAck* ack) {
+  if (ack == nullptr) {
+    return Commit();
+  }
+  if (!active()) {
+    return Status::Internal("transaction not active");
+  }
+  ReleaseReadLocks();
+  ctx_->active = false;
+  return mgr_->engine_->CommitAsync(std::move(ctx_), ack);
+}
+
 Status Tx::Abort() {
   if (!active()) {
     return Status::Internal("transaction not active");
@@ -370,6 +382,37 @@ Status TxManager::RunWithRetries(const std::function<Status(Tx&)>& body, int max
   Status st = Status::Internal("RunWithRetries: zero attempts");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     st = Run(body);
+    if (st.code() != StatusCode::kTxConflict) {
+      return st;
+    }
+  }
+  return st;
+}
+
+Status TxManager::RunAsync(const std::function<Status(Tx&)>& body, CommitAck* ack) {
+  if (ack != nullptr) {
+    ack->ticket = 0;
+  }
+  Result<Tx> tx = Begin();
+  if (!tx.ok()) {
+    return tx.status();
+  }
+  Status st = body(*tx);
+  if (!tx->active()) {
+    return st;  // Body committed or aborted explicitly; ticket stays 0.
+  }
+  if (st.ok()) {
+    return tx->CommitAsync(ack);
+  }
+  (void)tx->Abort();
+  return st;
+}
+
+Status TxManager::RunWithRetriesAsync(const std::function<Status(Tx&)>& body, CommitAck* ack,
+                                      int max_attempts) {
+  Status st = Status::Internal("RunWithRetriesAsync: zero attempts");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    st = RunAsync(body, ack);
     if (st.code() != StatusCode::kTxConflict) {
       return st;
     }

@@ -138,6 +138,13 @@ class Tx {
   Status Free(uint64_t offset);
 
   Status Commit();
+  // Epoch-pipeline commit (LogOptions::epoch_commit, DESIGN.md §8): returns
+  // at DRAM-commit; `ack` carries the epoch durability ticket. The commit
+  // must not be acknowledged to any external party before
+  // TxManager::WaitCommitDurable(*ack) returns. Outside epoch mode (or for
+  // read-only transactions) the commit is durable on return and the ticket
+  // is 0. Identical to Commit() when `ack` is nullptr.
+  Status CommitAsync(CommitAck* ack);
   Status Abort();
 
   // --- Cross-shard 2PC (driven by shard::ShardedStore; DESIGN.md §11) -------
@@ -206,8 +213,29 @@ class TxManager {
   // up to `max_attempts` times.
   Status RunWithRetries(const std::function<Status(Tx&)>& body, int max_attempts = 8);
 
+  // Persist-behind variants (LogOptions::epoch_commit, DESIGN.md §8): commit
+  // via Tx::CommitAsync, returning at DRAM-commit with `ack` carrying the
+  // epoch durability ticket. The caller owns the acknowledgement: nothing may
+  // be reported durable to an external party before WaitCommitDurable(*ack).
+  // A body that commits or aborts explicitly gets ticket 0 (its own call
+  // decided durability). Outside epoch mode these are Run/RunWithRetries
+  // with ticket 0 — durable on return.
+  Status RunAsync(const std::function<Status(Tx&)>& body, CommitAck* ack);
+  Status RunWithRetriesAsync(const std::function<Status(Tx&)>& body, CommitAck* ack,
+                             int max_attempts = 8);
+
   // Blocks until all committed transactions are fully applied.
   void WaitIdle() { engine_->WaitIdle(); }
+
+  // Blocks until the epoch drain covering `ack` has completed — the
+  // acknowledgement fence of Tx::CommitAsync. The caller may be elected
+  // epoch leader and pay the drain itself. Returns immediately for ticket 0
+  // (commit was durable on return).
+  void WaitCommitDurable(const CommitAck& ack) {
+    if (ack.ticket != 0) {
+      log_->EpochWait(ack.ticket);
+    }
+  }
 
   // Blocks until online recovery (background backup reconcile) has drained.
   // Returns immediately for offline recovery or non-Kamino engines.

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -287,6 +288,194 @@ TEST(CommitPathTest, GroupCommitCrashNeverLosesAckedCommit) {
       EXPECT_LE(n, must_survive[k] + 1) << "key " << k << " impossible value";
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch/persist-behind commit (LogOptions::epoch_commit): the ack-vs-persist
+// window. The acknowledgement point moves from Update's return to
+// WaitCommitDurable's return, and the safety contract splits in two: an
+// acknowledged commit survives any power failure, and an unacknowledged
+// DRAM-committed transaction may roll back wholesale but never half-applies.
+
+LogOptions EpochLog() {
+  LogOptions lopts;
+  lopts.epoch_commit = true;
+  return lopts;
+}
+
+// The epoch analogue of GroupCommitCrashNeverLosesAckedCommit, with the
+// client running persist-behind: each thread keeps a small window of
+// outstanding CommitAcks and only records an ack after WaitCommitDurable —
+// the epoch-mode client-visible acknowledgement. Threads cycle through more
+// keys than the window holds, so each key has at most one unacked update in
+// flight: the recovered counter must be >= the acked one (an acked commit
+// survived) and at most one ahead (the unacked in-flight update either
+// became durable whole or rolled back whole).
+TEST(CommitPathTest, EpochCrashNeverLosesAckedCommit) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeysPerThread = 8;
+  constexpr uint64_t kKeys = kThreads * kKeysPerThread;
+  constexpr uint64_t kOpsPerThread = 24;
+  constexpr size_t kAckWindow = 4;  // < kKeysPerThread: one unacked op per key.
+
+  for (uint64_t freeze_at : {30ull, 75ull, 150ull, 300ull}) {
+    SCOPED_TRACE("freeze_at=" + std::to_string(freeze_at));
+    auto sys = test::CrashableSystem::Create(EngineType::kKaminoSimple, 64ull << 20,
+                                             /*alpha=*/0.25, /*applier_threads=*/2,
+                                             EpochLog());
+    auto store = std::move(kv::KvStore::Create(sys.mgr.get()).value());
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      ASSERT_TRUE(store->Insert(k, ValueFor(k, 0)).ok());
+    }
+    sys.mgr->WaitIdle();
+
+    std::vector<uint64_t> acked(kKeys, 0);
+    FreezeObserver observer(freeze_at, &acked);
+    sys.main_pool->SetPersistenceObserver(&observer);
+    if (sys.backup_pool) {
+      sys.backup_pool->SetPersistenceObserver(&observer);
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        struct Pending {
+          CommitAck ack;
+          uint64_t key;
+          uint64_t n;
+        };
+        std::deque<Pending> pending;
+        auto settle_oldest = [&] {
+          Pending p = pending.front();
+          pending.pop_front();
+          sys.mgr->WaitCommitDurable(p.ack);
+          // Durability fence passed: only now may the client be told.
+          observer.RecordAck(p.key, p.n);
+        };
+        for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+          const uint64_t key = t * kKeysPerThread + (i % kKeysPerThread);
+          const uint64_t n = i / kKeysPerThread + 1;
+          CommitAck ack;
+          ASSERT_TRUE(store->UpdateAsync(key, ValueFor(key, n), &ack).ok());
+          pending.push_back({ack, key, n});
+          while (pending.size() > kAckWindow) {
+            settle_oldest();
+          }
+        }
+        while (!pending.empty()) {
+          settle_oldest();
+        }
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+
+    const std::vector<uint64_t> must_survive = observer.snapshot();
+    store.reset();
+    sys.mgr->WaitIdle();
+    observer.Disarm();
+    sys.main_pool->SetPersistenceObserver(nullptr);
+    if (sys.backup_pool) {
+      sys.backup_pool->SetPersistenceObserver(nullptr);
+    }
+    sys.CrashAndRecover(nvm::CrashMode::kDropUnflushed);
+
+    auto recovered_store = std::move(kv::KvStore::Open(sys.mgr.get()).value());
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      const std::string value = recovered_store->Read(k).value();
+      const uint64_t n = ParseN(value);
+      ASSERT_NE(n, ~0ull) << "key " << k << " recovered garbage: " << value;
+      EXPECT_GE(n, must_survive[k]) << "key " << k << " lost an acked commit";
+      EXPECT_LE(n, must_survive[k] + 1) << "key " << k << " impossible value";
+    }
+  }
+}
+
+// The other half of the contract: a DRAM-committed but unacknowledged
+// transaction may vanish in a crash — but only wholesale. Power fails while
+// the update's epoch is still open, with random cache-line eviction, so the
+// main heap can hold any torn mix of old and new lines next to a possibly-
+// evicted commit record. Recovery's CRC recomputation must resolve every such
+// transaction to exactly the old or exactly the new value; a hybrid is the
+// half-apply the checked commit record exists to prevent.
+TEST(CommitPathTest, EpochUnackedCommitNeverHalfApplies) {
+  constexpr uint64_t kKey = 7;
+  const std::string v0 = ValueFor(kKey, 1);
+
+  for (uint64_t freeze_at = 1; freeze_at <= 12; ++freeze_at) {
+    SCOPED_TRACE("freeze_at=" + std::to_string(freeze_at));
+    auto sys = test::CrashableSystem::Create(EngineType::kKaminoSimple, 64ull << 20,
+                                             /*alpha=*/0.25, /*applier_threads=*/1,
+                                             EpochLog());
+    auto store = std::move(kv::KvStore::Create(sys.mgr.get()).value());
+    ASSERT_TRUE(store->Insert(kKey, v0).ok());
+    sys.mgr->WaitIdle();
+
+    std::vector<uint64_t> acked(1, 0);
+    FreezeObserver observer(freeze_at, &acked);
+    sys.main_pool->SetPersistenceObserver(&observer);
+    if (sys.backup_pool) {
+      sys.backup_pool->SetPersistenceObserver(&observer);
+    }
+
+    // DRAM-commit only: the ack (WaitCommitDurable) is deliberately never
+    // issued, so this update is allowed to roll back after the crash.
+    const std::string v1 = ValueFor(kKey, 2);
+    CommitAck ack;
+    ASSERT_TRUE(store->UpdateAsync(kKey, v1, &ack).ok());
+
+    store.reset();
+    sys.mgr->WaitIdle();
+    observer.Disarm();
+    sys.main_pool->SetPersistenceObserver(nullptr);
+    if (sys.backup_pool) {
+      sys.backup_pool->SetPersistenceObserver(nullptr);
+    }
+    sys.CrashAndRecover(nvm::CrashMode::kEvictRandomly);
+
+    auto recovered_store = std::move(kv::KvStore::Open(sys.mgr.get()).value());
+    const std::string value = recovered_store->Read(kKey).value();
+    EXPECT_TRUE(value == v0 || value == v1)
+        << "half-applied value after crash: " << value;
+  }
+}
+
+// Dependent transactions gate on the epoch ticket: in epoch mode the write
+// lock is held past UpdateAsync's return, until the commit's epoch is durable
+// and the applier has synced the backup. A dependent reader must therefore
+// (a) observe the fully committed value, never the pre-image, and (b) get
+// unblocked by driving the epoch drain itself via the lock-contention hook —
+// long before the lock timeout — even though this thread never waited on the
+// ticket.
+TEST(CommitPathTest, DependentReadBlocksOnEpochTicketThenSeesCommit) {
+  constexpr uint64_t kKey = 3;
+  auto sys = test::CrashableSystem::Create(EngineType::kKaminoSimple, 64ull << 20,
+                                           /*alpha=*/0.25, /*applier_threads=*/1,
+                                           EpochLog());
+  auto store = std::move(kv::KvStore::Create(sys.mgr.get()).value());
+  ASSERT_TRUE(store->Insert(kKey, ValueFor(kKey, 1)).ok());
+  sys.mgr->WaitIdle();
+
+  const std::string v1 = ValueFor(kKey, 2);
+  CommitAck ack;
+  ASSERT_TRUE(store->UpdateAsync(kKey, v1, &ack).ok());
+  EXPECT_NE(ack.ticket, 0u) << "epoch mode must hand back a durability ticket";
+
+  // The dependent read: blocked on the held write lock while the commit sits
+  // in the open epoch. The reader's contention hook pays the drain, the
+  // durability callback hands the commit to the applier, the applier releases
+  // the lock — all well under the 2s lock timeout.
+  const auto start = std::chrono::steady_clock::now();
+  const std::string value = store->Read(kKey).value();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(value, v1) << "dependent read saw the pre-image";
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 1500)
+      << "dependent read only unblocked by the lock timeout";
+
+  // The ticket was drained on the reader's behalf: the ack fence is free now.
+  sys.mgr->WaitCommitDurable(ack);
 }
 
 }  // namespace

@@ -76,7 +76,8 @@ struct LiveSystem {
 Result<LiveSystem> StartSystem(const CrashPointOptions& options) {
   LiveSystem live;
   live.sys = test::CrashableSystem::Create(options.engine, options.pool_size,
-                                           /*alpha=*/0.25, options.applier_threads);
+                                           /*alpha=*/0.25, options.applier_threads,
+                                           options.log);
   Result<std::unique_ptr<pds::BPlusTree>> tree = pds::BPlusTree::Create(live.sys.mgr.get());
   if (!tree.ok()) {
     return tree.status();

@@ -57,6 +57,12 @@ struct CrashPointOptions {
   // determinism; set `per_site` to sweep multi-applier configurations.
   int applier_threads = 1;
 
+  // Commit-path shape under test (epoch_commit, legacy_fences,
+  // group_commit_window_ns). The default reproduces the PR 4 schedule. A
+  // solo committer in epoch mode elects itself leader deterministically, so
+  // global-ordinal sweeps stay valid with epoch_commit on.
+  txn::LogOptions log;
+
   // Per-site crash coordinates: injection point k crashes at the
   // (kind, site, occurrence) triple of count-pass event k instead of at
   // global ordinal k. Per-site occurrence streams stay meaningful when

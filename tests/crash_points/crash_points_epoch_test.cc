@@ -1,0 +1,106 @@
+// Crash-point enumeration over the epoch/persist-behind commit pipeline
+// (LogOptions::epoch_commit, DESIGN.md §8): the ack-vs-persist window adds
+// new persistence shapes — intent appends riding the shared epoch drain,
+// CRC-checked commit records that flush without draining, and the covering
+// "log/epoch-drain" itself — and every one of those moments must be a safe
+// place to lose power.
+//
+// The harness's workload acknowledges each operation synchronously (a commit
+// with no ack pointer waits on its epoch ticket), so the durability invariant
+// means exactly the PR 8 acceptance sentence: an acknowledged commit survives
+// every power-fail point. Atomicity at every point means a transaction caught
+// inside the window (commit record staged but epoch not drained) either
+// rolls forward whole — the CRC over the main heap matches — or rolls back
+// whole; it never half-applies.
+//
+// KAMINO_CRASH_POINT_STRIDE=N (env) tests every N-th crash point, as in
+// crash_points_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "tests/crash_points/crash_point_harness.h"
+
+namespace kamino::testing {
+namespace {
+
+uint64_t StrideFromEnv() {
+  const char* s = std::getenv("KAMINO_CRASH_POINT_STRIDE");
+  if (s == nullptr) {
+    return 1;
+  }
+  const long v = std::atol(s);
+  return v > 1 ? static_cast<uint64_t>(v) : 1;
+}
+
+class EpochCrashPointTest : public ::testing::TestWithParam<txn::EngineType> {};
+
+// A solo committer in epoch mode elects itself epoch leader deterministically,
+// so the global-ordinal sweep (with its event-stream determinism invariant)
+// stays valid with the pipeline on.
+TEST_P(EpochCrashPointTest, EveryCrashPointRecoversConsistently) {
+  CrashPointOptions options;
+  options.engine = GetParam();
+  options.num_ops = 6;
+  options.stride = StrideFromEnv();
+  options.log.epoch_commit = true;
+  CrashPointReport report = EnumerateCrashPoints(options);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_GT(report.points_tested, 0u);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EpochCrashPointTest,
+                         ::testing::Values(txn::EngineType::kKaminoSimple,
+                                           txn::EngineType::kKaminoDynamic),
+                         [](const ::testing::TestParamInfo<txn::EngineType>& info) {
+                           return info.param == txn::EngineType::kKaminoSimple
+                                      ? "KaminoSimple"
+                                      : "KaminoDynamic";
+                         });
+
+// Multi-applier epoch sweep under per-site coordinates: durability-gated
+// applier handoff (commits reach the shards only through their epoch's
+// durability callback) must hold up when two appliers interleave the
+// release-slot and backup traffic nondeterministically.
+TEST(EpochCrashPointPerSite, MultiApplierSweepRecoversAtEveryCoordinate) {
+  CrashPointOptions options;
+  options.engine = txn::EngineType::kKaminoSimple;
+  options.num_ops = 6;
+  options.applier_threads = 2;
+  options.per_site = true;
+  options.stride = StrideFromEnv();
+  options.log.epoch_commit = true;
+  CrashPointReport report = EnumerateCrashPoints(options);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_GT(report.points_fired, 0u);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// Negative control: the covering epoch drain is the only barrier between an
+// acknowledgement and lost state. Suppress every drain at "log/epoch-drain"
+// (as if the sequencer forgot its barrier) and the sweep must fail with
+// replayable traces. The first invariant to trip varies by ordinal — with
+// the covering drain gone, post-commit work (slot release, applier
+// roll-forward) runs against log state that a crash then rewinds, which
+// recovery surfaces as corruption or atomicity/durability violations — but
+// every caught point must name its crash ordinal and replay line.
+TEST(EpochCrashPointDetection, MissingEpochDrainIsCaughtWithReplayableTrace) {
+  CrashPointOptions options;
+  options.engine = txn::EngineType::kKaminoSimple;
+  options.num_ops = 4;
+  options.log.epoch_commit = true;
+  options.suppress_site = "log/epoch-drain";
+  options.suppress_kind = nvm::PersistEventKind::kDrain;
+  CrashPointReport report = EnumerateCrashPoints(options);
+  ASSERT_FALSE(report.ok()) << "suppressed epoch drain passed the sweep: "
+                            << report.Summary();
+  for (const CrashPointFailure& f : report.failures) {
+    EXPECT_NE(f.message.find("replay:"), std::string::npos) << f.message;
+    EXPECT_GT(f.crash_ordinal, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace kamino::testing

@@ -30,8 +30,11 @@ struct CrashableSystem {
 
   txn::TxManagerOptions options;
 
+  // `log` carries commit-path knobs (group_commit_window_ns, epoch_commit,
+  // legacy_fences) into the system under test; geometry defaults apply.
   static CrashableSystem Create(txn::EngineType engine, uint64_t pool_size = 64ull << 20,
-                                double alpha = 0.25, int applier_threads = 1) {
+                                double alpha = 0.25, int applier_threads = 1,
+                                const txn::LogOptions& log = {}) {
     CrashableSystem sys;
     nvm::PoolOptions popts;
     popts.size = pool_size;
@@ -39,6 +42,7 @@ struct CrashableSystem {
     sys.main_pool = std::move(nvm::Pool::Create(popts).value());
 
     sys.options.engine = engine;
+    sys.options.log = log;
     sys.options.alpha = alpha;
     sys.options.lock.timeout_ms = 2000;
     sys.options.applier_threads = applier_threads;

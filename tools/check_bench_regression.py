@@ -114,6 +114,67 @@ def check_commit_path(baseline, candidate, threshold):
     return failures
 
 
+MAX_EPOCH_DRAINS_PER_TXN = 1.5
+MAX_EPOCH_P50_VS_NOLOG = 1.5
+
+
+def check_epoch(baseline, candidate, threshold):
+    """Epoch/persist-behind acceptance gates (DESIGN.md §8) over commit_path
+    JSONs; select with --checker epoch. Absolute gates, enforced on both
+    files so a stale committed baseline cannot mask a regression: kamino
+    drains/txn at 8 clients with epochs on <= 1.5 main-pool drains, and the
+    epoch-mode update p50 (measured at DRAM-commit return, acks settled
+    against the bounded outstanding window) <= 1.5x the no-logging engine.
+    Per-row drift between the files still fails past --threshold."""
+
+    def rows(doc, path):
+        out = {}
+        for r in doc.get("results", []):
+            if r["fences"] != "epoch":
+                continue
+            out[(r["engine"], int(r["clients"]))] = float(r["drains_per_txn"])
+        if not out:
+            sys.exit(f"error: {path} has no epoch-fence rows under 'results'")
+        return out
+
+    failures = []
+    for doc, path in (baseline, candidate):
+        s = doc.get("summary", {})
+        drains = float(s.get("kamino_drains_per_txn_epoch_8c", 0.0))
+        ratio = float(s.get("epoch_p50_vs_nolog", 0.0))
+        p50 = float(s.get("kamino_update_p50_epoch_8c_us", 0.0))
+        nolog = float(s.get("nolog_update_p50_8c_us", 0.0))
+        print(f"{path}: epoch drains/txn 8c {drains:.3f}, "
+              f"epoch p50 {p50:.1f}us = {ratio:.2f}x no-logging ({nolog:.1f}us)")
+        if not drains or not ratio:
+            failures.append(f"{path}: missing epoch summary metrics "
+                            "(kamino_drains_per_txn_epoch_8c / epoch_p50_vs_nolog)")
+            continue
+        if drains > MAX_EPOCH_DRAINS_PER_TXN:
+            failures.append(f"{path}: epoch drains/txn at 8 clients {drains:.3f} "
+                            f"> {MAX_EPOCH_DRAINS_PER_TXN:.1f}")
+        if ratio > MAX_EPOCH_P50_VS_NOLOG:
+            failures.append(f"{path}: epoch update p50 {ratio:.2f}x no-logging "
+                            f"> {MAX_EPOCH_P50_VS_NOLOG:.1f}x at 8 clients")
+
+    base = rows(*baseline)
+    cand = rows(*candidate)
+    print(f"{'engine/epoch/clients':>28} {'baseline':>9} {'candidate':>10} {'ratio':>7}")
+    for key in sorted(base):
+        label = f"{key[0]}/epoch/{key[1]}"
+        if key not in cand:
+            failures.append(f"{label}: epoch row missing from candidate")
+            print(f"{label:>28} {base[key]:>9.3f} {'missing':>10} {'-':>7}")
+            continue
+        ratio = cand[key] / base[key] if base[key] > 0 else 1.0
+        flag = ""
+        if ratio > 1.0 + threshold:
+            failures.append(f"{label} drains/txn at {ratio:.2f}x baseline")
+            flag = "  << REGRESSION"
+        print(f"{label:>28} {base[key]:>9.3f} {cand[key]:>10.3f} {ratio:>7.2f}{flag}")
+    return failures
+
+
 MIN_REPLAY_SPEEDUP = 2.0
 MAX_ONLINE_FIRST_OP_SPREAD = 3.0
 MIN_OFFLINE_FIRST_OP_SPREAD = 1.5
@@ -226,6 +287,7 @@ def check_sharding(baseline, candidate, threshold):
 CHECKERS = {
     "applier_scaling": check_applier_scaling,
     "commit_path": check_commit_path,
+    "epoch": check_epoch,
     "recovery": check_recovery,
     "sharding": check_sharding,
 }
@@ -239,6 +301,10 @@ def main():
                     help="freshly produced JSON (repeatable, zipped with --baseline)")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="max allowed fractional change per point (default 0.25)")
+    ap.add_argument("--checker", choices=sorted(CHECKERS),
+                    help="run this checker for every pair instead of "
+                         "dispatching on the JSON 'bench' field (e.g. the "
+                         "epoch gates reuse commit_path files)")
     args = ap.parse_args()
 
     if len(args.baseline) != len(args.candidate):
@@ -253,11 +319,12 @@ def main():
         if cand.get("bench", "") != bench:
             sys.exit(f"error: bench mismatch: {base_path} is '{bench}', "
                      f"{cand_path} is '{cand.get('bench', '')}'")
-        checker = CHECKERS.get(bench)
+        name = args.checker if args.checker else bench
+        checker = CHECKERS.get(name)
         if checker is None:
-            sys.exit(f"error: {base_path}: unknown bench '{bench}' "
+            sys.exit(f"error: {base_path}: unknown bench '{name}' "
                      f"(known: {', '.join(sorted(CHECKERS))})")
-        print(f"== {bench}: {cand_path} vs {base_path}")
+        print(f"== {name}: {cand_path} vs {base_path}")
         failures += checker((base, base_path), (cand, cand_path), args.threshold)
         print()
 

@@ -36,6 +36,8 @@ const char* StateName(txn::TxState s) {
       return "ABORTED";
     case txn::TxState::kPrepared:
       return "PREPARED";
+    case txn::TxState::kEpochCommitted:
+      return "EPOCH-COMMITTED";
   }
   return "?";
 }
