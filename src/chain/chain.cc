@@ -264,6 +264,32 @@ Result<std::string> Chain::Read(uint64_t key) {
   }
 }
 
+Result<std::string> Chain::ReadStale(uint64_t key, uint64_t* applied_out) {
+  std::shared_lock<std::shared_mutex> g(gate_);
+  const View v = membership_->current();
+  if (v.nodes.empty()) {
+    return Status::Unavailable("empty view");
+  }
+  // Round-robin over the current view; skip dead replicas and fall through
+  // to the next one, so a mid-failover read degrades to fewer servers
+  // rather than an error.
+  const size_t n = v.nodes.size();
+  const size_t first = next_stale_.fetch_add(1, std::memory_order_relaxed) % n;
+  Status last = Status::Unavailable("no live replica");
+  for (size_t k = 0; k < n; ++k) {
+    Replica* r = replica_by_id(v.nodes[(first + k) % n]);
+    if (r == nullptr || !r->alive()) {
+      continue;
+    }
+    Result<std::string> res = r->StaleRead(key, applied_out);
+    if (res.ok() || res.status().code() == StatusCode::kNotFound) {
+      return res;
+    }
+    last = res.status();
+  }
+  return last;
+}
+
 // --- Failure handling --------------------------------------------------------------
 
 Status Chain::RepairLocked(uint64_t failed, const View& before) {

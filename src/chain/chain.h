@@ -84,6 +84,13 @@ class Chain {
   // One atomic multi-object transaction across the chain.
   Status MultiUpsert(std::vector<KvPair> pairs);
   Result<std::string> Read(uint64_t key);
+  // Stale-bounded read: answered by ANY live replica of the current view at
+  // its applied epoch, round-robined across the chain — read throughput
+  // scales with chain length instead of funnelling every read through the
+  // head->tail hop (DESIGN.md §12). *applied_out receives the serving
+  // replica's applied op watermark; see Replica::StaleRead for the exact
+  // consistency contract (read-admitted, propagation-lag bounded).
+  Result<std::string> ReadStale(uint64_t key, uint64_t* applied_out = nullptr);
 
   // --- Failure injection / repair ------------------------------------------
   // Fail-stop `node_id`: removes it from the view; promotes a new head if
@@ -136,6 +143,7 @@ class Chain {
   std::vector<std::unique_ptr<Replica>> replicas_;
   uint64_t next_node_id_ = 1;
   std::atomic<uint64_t> next_req_id_{0};
+  std::atomic<uint64_t> next_stale_{0};  // ReadStale round-robin cursor.
 
   // Detector-driven repair queue (fed by the membership listener from
   // replica threads; drained by repair_thread_).

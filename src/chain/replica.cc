@@ -597,6 +597,19 @@ Result<std::string> Replica::ClientRead(uint64_t key, uint64_t timeout_ms) {
   return pr.value;
 }
 
+Result<std::string> Replica::StaleRead(uint64_t key, uint64_t* applied_out) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica down");
+  }
+  // The watermark is sampled before the read: the value returned reflects at
+  // least this many applied ops (the tree read takes object read locks, so a
+  // key mid-apply is waited out, never torn).
+  if (applied_out != nullptr) {
+    *applied_out = applied_watermark_.load(std::memory_order_acquire);
+  }
+  return tree_->Get(key);
+}
+
 // --- Message loop ----------------------------------------------------------------
 
 void Replica::Loop() {

@@ -121,6 +121,18 @@ class Replica {
   // `timeout_ms` = 0 uses the configured client timeout.
   Result<std::string> ClientRead(uint64_t key, uint64_t timeout_ms = 0);
 
+  // Stale-bounded read served directly from this replica's local store at
+  // its applied op watermark — no head round-trip, no tail hop, no message
+  // loop involvement, so read throughput scales with chain length
+  // (DESIGN.md §12). The returned state reflects exactly the ops this
+  // replica has applied: at most the chain propagation lag behind the head,
+  // and possibly ahead of the tail-commit point by ops still in flight
+  // downstream (admitted ops survive up to f failures — the chain's
+  // durability contract — so this is read-admitted, not read-committed).
+  // Linearizable reads stay on ClientRead. *applied_out receives the applied
+  // watermark — the replica's epoch in the chain read model.
+  Result<std::string> StaleRead(uint64_t key, uint64_t* applied_out = nullptr);
+
   // --- Failure injection / recovery (driven by Chain) ----------------------
 
   // Fail-stop: thread killed, endpoint down, volatile state lost.

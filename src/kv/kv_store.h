@@ -64,6 +64,26 @@ class KvStore {
   Result<std::vector<std::pair<uint64_t, std::string>>> Scan(uint64_t start, size_t limit);
   Status Delete(uint64_t key);
 
+  // --- Backup-snapshot reads (DESIGN.md §12) -------------------------------
+  // Served entirely from the engine's backup copy at the published backup
+  // epoch: no transaction, no main-heap lock acquisition, no contention with
+  // writers beyond the bounded cut-gate handshake. Results are stale-bounded
+  // (transaction-consistent as of the epoch written to *epoch_out, at most
+  // the applier lag behind linearizable reads). NotSupported on engines
+  // without a readable backup (undo/redo/CoW/none).
+  Result<std::string> SnapshotRead(uint64_t key, uint64_t* epoch_out = nullptr);
+  // Whole scan under ONE view: fully transaction-consistent, but holds the
+  // cut gate for the duration — use for correctness-critical scans.
+  Result<std::vector<std::pair<uint64_t, std::string>>> SnapshotScan(
+      uint64_t start, size_t limit, uint64_t* epoch_out = nullptr);
+  // Analytics path: re-opens a view every `chunk_limit` pairs, bounding the
+  // applier stall per chunk (stalled appliers pin log slots and backpressure
+  // every writer). Each chunk is internally consistent; the whole result is
+  // a union of per-chunk cuts, resumed by key. *epoch_out gets the epoch of
+  // the final chunk.
+  Result<std::vector<std::pair<uint64_t, std::string>>> SnapshotScanChunked(
+      uint64_t start, size_t limit, size_t chunk_limit, uint64_t* epoch_out = nullptr);
+
   pds::BPlusTree* tree() { return tree_.get(); }
   txn::TxManager* manager() { return mgr_; }
 

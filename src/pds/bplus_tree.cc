@@ -750,6 +750,94 @@ Result<std::vector<std::pair<uint64_t, std::string>>> BPlusTree::Scan(uint64_t s
   return out;
 }
 
+// --- Backup-snapshot reads (DESIGN.md §12) ------------------------------------
+
+Result<std::string> BPlusTree::SnapshotReadBlob(txn::BackupStore::SnapshotView& view,
+                                                uint64_t blob_off) const {
+  // Two object-start reads: first the size prefix, then the whole blob. Both
+  // yield cut-state bytes even if a writer slips between them (a pre-image
+  // inserted in the window still holds the cut content), so the size and the
+  // payload are mutually consistent.
+  uint32_t size = 0;
+  KAMINO_RETURN_IF_ERROR(view.Read(blob_off, sizeof(uint32_t), &size));
+  if (size == 0) {
+    return std::string();
+  }
+  std::vector<uint8_t> buf(sizeof(uint32_t) + size);
+  KAMINO_RETURN_IF_ERROR(view.Read(blob_off, buf.size(), buf.data()));
+  return std::string(reinterpret_cast<const char*>(buf.data()) + sizeof(uint32_t), size);
+}
+
+Result<std::string> BPlusTree::SnapshotGet(txn::BackupStore::SnapshotView& view,
+                                           uint64_t key) const {
+  if (!view.valid()) {
+    return Status::InvalidArgument("snapshot view is not open");
+  }
+  Header hdr;
+  KAMINO_RETURN_IF_ERROR(view.Read(header_off_, sizeof(Header), &hdr));
+  Node node;
+  uint64_t off = hdr.root;
+  for (uint64_t depth = 1;; ++depth) {
+    if (depth > hdr.height) {
+      return Status::Corruption("snapshot descent exceeded tree height");
+    }
+    KAMINO_RETURN_IF_ERROR(view.Read(off, sizeof(Node), &node));
+    if (node.is_leaf != 0) {
+      break;
+    }
+    off = node.slots[ChildIndex(&node, key)];
+  }
+  const uint32_t idx = LowerBound(&node, key);
+  if (idx >= node.num_keys || node.keys[idx] != key) {
+    return Status::NotFound("key not in store");
+  }
+  return SnapshotReadBlob(view, node.slots[idx]);
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> BPlusTree::SnapshotScan(
+    txn::BackupStore::SnapshotView& view, uint64_t start, size_t limit) const {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  if (!view.valid()) {
+    return Status::InvalidArgument("snapshot view is not open");
+  }
+  if (limit == 0) {
+    return out;
+  }
+  Header hdr;
+  KAMINO_RETURN_IF_ERROR(view.Read(header_off_, sizeof(Header), &hdr));
+  Node node;
+  uint64_t off = hdr.root;
+  for (uint64_t depth = 1;; ++depth) {
+    if (depth > hdr.height) {
+      return Status::Corruption("snapshot descent exceeded tree height");
+    }
+    KAMINO_RETURN_IF_ERROR(view.Read(off, sizeof(Node), &node));
+    if (node.is_leaf != 0) {
+      break;
+    }
+    off = node.slots[ChildIndex(&node, start)];
+  }
+  // Leaf-chain walk: `next` offsets are stable for the lifetime of this view
+  // (frees are deferred to the gated apply), so following them is safe here —
+  // but never across views.
+  uint32_t idx = LowerBound(&node, start);
+  for (;;) {
+    for (; idx < node.num_keys && out.size() < limit; ++idx) {
+      Result<std::string> v = SnapshotReadBlob(view, node.slots[idx]);
+      if (!v.ok()) {
+        return v.status();
+      }
+      out.emplace_back(node.keys[idx], std::move(*v));
+    }
+    if (out.size() >= limit || node.next == 0) {
+      break;
+    }
+    KAMINO_RETURN_IF_ERROR(view.Read(node.next, sizeof(Node), &node));
+    idx = 0;
+  }
+  return out;
+}
+
 // --- Diagnostics ----------------------------------------------------------------
 
 uint64_t BPlusTree::CountSlow() const {

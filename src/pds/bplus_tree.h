@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/heap/heap.h"
+#include "src/txn/backup_store.h"
 #include "src/txn/tx_manager.h"
 
 namespace kamino::pds {
@@ -90,6 +91,20 @@ class BPlusTree {
   Status ReadModifyWrite(uint64_t key, const std::function<void(std::string&)>& mutate);
   // Ascending scan of up to `limit` pairs starting at the first key >= start.
   Result<std::vector<std::pair<uint64_t, std::string>>> Scan(uint64_t start, size_t limit);
+
+  // --- Backup-snapshot reads (DESIGN.md §12) -------------------------------
+  // Read-only descent served entirely from the engine's backup copy through
+  // an open SnapshotView: no transaction, no object locks, no tree lock —
+  // zero main-heap lock acquisition. Node and blob bytes are fetched with
+  // view.Read into local buffers. Results are the transaction-consistent
+  // state at view.epoch(). Valid only while `view` stays open; a chunked
+  // caller must re-descend by key under each new view (leaf `next` offsets
+  // may be freed and reused across view boundaries).
+  Result<std::string> SnapshotGet(txn::BackupStore::SnapshotView& view, uint64_t key) const;
+  // Up to `limit` pairs with key >= start, following the leaf chain inside
+  // the one consistent view.
+  Result<std::vector<std::pair<uint64_t, std::string>>> SnapshotScan(
+      txn::BackupStore::SnapshotView& view, uint64_t start, size_t limit) const;
 
   // --- Composable operations (caller-managed transaction + tree lock) ------
 
@@ -178,6 +193,12 @@ class BPlusTree {
 
   Result<uint64_t> WriteBlob(txn::Tx& tx, std::string_view value);
   Result<std::string> ReadBlobLocked(txn::Tx& tx, uint64_t blob_off);
+  // Snapshot-path blob read. Both view.Read calls start at the blob's object
+  // offset: the dynamic store's cut protocol keys pre-image copies by object
+  // start, so an interior-offset read would miss the index and observe a
+  // writer's torn in-place bytes on the main heap.
+  Result<std::string> SnapshotReadBlob(txn::BackupStore::SnapshotView& view,
+                                       uint64_t blob_off) const;
 
   // Splits full child `child_idx` of `parent` (both already open for write).
   // Returns the new right sibling's offset.

@@ -394,17 +394,81 @@ Status ShardedStore::ReadModifyWrite(uint64_t key,
 
 Result<std::vector<std::pair<uint64_t, std::string>>> ShardedStore::Scan(uint64_t start,
                                                                          size_t limit) {
-  // Each shard's smallest `limit` keys >= start form a superset of the global
-  // smallest `limit`: merge, sort, truncate. A scan is a global read, so any
-  // unavailable shard fails it (a silently partial scan would be wrong).
-  std::vector<std::pair<uint64_t, std::string>> merged;
+  // A scan is a global read, so any unavailable shard fails it (a silently
+  // partial scan would be wrong).
+  bool all_snapshot = true;
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (shards_[i].mgr == nullptr) {
       return Status::Unavailable("scan needs all shards; shard " + std::to_string(i) +
                                  " is unavailable");
     }
+    txn::BackupStore* bs = shards_[i].mgr->backup_store();
+    if (bs == nullptr || !bs->supports_snapshot_reads()) {
+      all_snapshot = false;
+    }
+  }
+  // Preferred path: the per-shard epoch-vector cut — each shard contributes
+  // a transaction-consistent state instead of the old merged read without a
+  // cut, which could observe one key of a multi-key transaction on shard A
+  // while missing its sibling write still applying on shard B.
+  if (all_snapshot) {
+    return SnapshotScan(start, limit, nullptr);
+  }
+  // Each shard's smallest `limit` keys >= start form a superset of the global
+  // smallest `limit`: merge, sort, truncate.
+  std::vector<std::pair<uint64_t, std::string>> merged;
+  for (size_t i = 0; i < shards_.size(); ++i) {
     Result<std::vector<std::pair<uint64_t, std::string>>> part =
         shards_[i].store->Scan(start, limit);
+    if (!part.ok()) {
+      return part.status();
+    }
+    merged.insert(merged.end(), std::make_move_iterator(part->begin()),
+                  std::make_move_iterator(part->end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (merged.size() > limit) {
+    merged.resize(limit);
+  }
+  return merged;
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> ShardedStore::SnapshotScan(
+    uint64_t start, size_t limit, std::vector<uint64_t>* epochs_out) {
+  // Open every shard's view BEFORE reading any shard: the cut vector is
+  // chosen in one tight pass, so the skew between shard epochs is bounded by
+  // the open loop rather than by the (much longer) scan itself. Holding
+  // several views at once cannot deadlock — the cut gate is per-store, and
+  // appliers never wait on another store's gate.
+  std::vector<txn::BackupStore::SnapshotView> views;
+  views.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].mgr == nullptr) {
+      return Status::Unavailable("scan needs all shards; shard " + std::to_string(i) +
+                                 " is unavailable");
+    }
+    txn::BackupStore* bs = shards_[i].mgr->backup_store();
+    if (bs == nullptr) {
+      return Status::NotSupported("shard engine has no backup store");
+    }
+    shards_[i].mgr->WaitForRecovery();
+    Result<txn::BackupStore::SnapshotView> view = bs->OpenSnapshot();
+    if (!view.ok()) {
+      return view.status();
+    }
+    views.push_back(std::move(*view));
+  }
+  if (epochs_out != nullptr) {
+    epochs_out->clear();
+    for (const auto& v : views) {
+      epochs_out->push_back(v.epoch());
+    }
+  }
+  std::vector<std::pair<uint64_t, std::string>> merged;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Result<std::vector<std::pair<uint64_t, std::string>>> part =
+        shards_[i].store->tree()->SnapshotScan(views[i], start, limit);
     if (!part.ok()) {
       return part.status();
     }

@@ -135,8 +135,19 @@ class ShardedStore {
   Status Upsert(uint64_t key, std::string_view value);
   Status Delete(uint64_t key);
   Status ReadModifyWrite(uint64_t key, const std::function<void(std::string&)>& mutate);
-  // Globally sorted merge of the per-shard scans.
+  // Globally sorted merge of the per-shard scans. When every shard's engine
+  // exposes a readable backup, the scan runs at a per-shard epoch vector:
+  // all shard views are opened before any shard is read (minimizing cut
+  // skew) and each shard contributes its transaction-consistent cut state —
+  // no main-heap locks, no writer contention. A cross-shard 2PC transaction
+  // mid-apply may still straddle the vector (per-shard consistency, not
+  // global serializability; DESIGN.md §12). Engines without a readable
+  // backup fall back to the merged locked read.
   Result<std::vector<std::pair<uint64_t, std::string>>> Scan(uint64_t start, size_t limit);
+  // The epoch-vector scan, explicitly; *epochs_out (optional) receives every
+  // shard's cut epoch. NotSupported if any shard lacks a readable backup.
+  Result<std::vector<std::pair<uint64_t, std::string>>> SnapshotScan(
+      uint64_t start, size_t limit, std::vector<uint64_t>* epochs_out = nullptr);
 
   // Atomically updates every (key, value) pair — all keys must exist. Pairs
   // on one shard run as a single shard-local transaction; pairs spanning

@@ -1,6 +1,7 @@
 #include "src/txn/backup_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "src/common/cacheline.h"
@@ -19,6 +20,99 @@ Status BackupStore::ApplyBatchFromMain(const std::vector<ApplyRange>& ranges,
     KAMINO_RETURN_IF_ERROR(ApplyFromMain(r.offset, r.size));
   }
   return Status::Ok();
+}
+
+// --- BackupStore cut gate (DESIGN.md §12) ------------------------------------
+
+namespace {
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+}  // namespace
+
+void BackupStore::EnterApplyCut() {
+  std::unique_lock<std::mutex> lk(cut_mu_);
+  ++waiting_appliers_;
+  if (active_readers_ > 0 || (waiting_readers_ > 0 && !applier_turn_)) {
+    apply_fence_waits_.fetch_add(1, std::memory_order_relaxed);
+    cut_cv_.wait(lk, [&] {
+      return active_readers_ == 0 && (waiting_readers_ == 0 || applier_turn_);
+    });
+  }
+  --waiting_appliers_;
+  ++active_appliers_;
+}
+
+void BackupStore::ExitApplyCut() {
+  {
+    std::lock_guard<std::mutex> lk(cut_mu_);
+    --active_appliers_;
+    cuts_.fetch_add(1, std::memory_order_relaxed);
+    if (active_appliers_ == 0) {
+      applier_turn_ = false;  // Hand the gate back to any waiting readers.
+    }
+  }
+  cut_cv_.notify_all();
+}
+
+Result<BackupStore::SnapshotView> BackupStore::OpenSnapshot() {
+  if (!supports_snapshot_reads()) {
+    return Status::NotSupported("backup store has no snapshot read path");
+  }
+  std::unique_lock<std::mutex> lk(cut_mu_);
+  ++waiting_readers_;
+  if (active_appliers_ > 0 || (applier_turn_ && waiting_appliers_ > 0)) {
+    cut_fence_waits_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t t0 = MonotonicNanos();
+    cut_cv_.wait(lk, [&] {
+      return active_appliers_ == 0 && (!applier_turn_ || waiting_appliers_ == 0);
+    });
+    cut_fence_wait_ns_.fetch_add(MonotonicNanos() - t0, std::memory_order_relaxed);
+  }
+  --waiting_readers_;
+  ++active_readers_;
+  snapshot_views_.fetch_add(1, std::memory_order_relaxed);
+  return SnapshotView(this, cut_epoch_.load(std::memory_order_acquire));
+}
+
+void BackupStore::ReleaseSnapshot() {
+  {
+    std::lock_guard<std::mutex> lk(cut_mu_);
+    if (--active_readers_ == 0 && waiting_appliers_ > 0) {
+      // Fairness: back-to-back analytics chunks must not starve the applier
+      // pipeline (stalled appliers pin log slots, which backpressures every
+      // writer) — waiting appliers get the next turn.
+      applier_turn_ = true;
+    }
+  }
+  cut_cv_.notify_all();
+}
+
+void BackupStore::SnapshotView::Release() {
+  if (store_ != nullptr) {
+    store_->ReleaseSnapshot();
+    store_ = nullptr;
+  }
+}
+
+void BackupStore::PublishCutEpoch(uint64_t epoch) {
+  uint64_t cur = cut_epoch_.load(std::memory_order_relaxed);
+  while (cur < epoch &&
+         !cut_epoch_.compare_exchange_weak(cur, epoch, std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void BackupStore::AddCutStats(BackupStats* s) const {
+  s->read_hits = read_hits_.load(std::memory_order_relaxed);
+  s->read_misses = read_misses_.load(std::memory_order_relaxed);
+  s->snapshot_views = snapshot_views_.load(std::memory_order_relaxed);
+  s->cut_fence_waits = cut_fence_waits_.load(std::memory_order_relaxed);
+  s->cut_fence_wait_ns = cut_fence_wait_ns_.load(std::memory_order_relaxed);
+  s->apply_fence_waits = apply_fence_waits_.load(std::memory_order_relaxed);
+  s->cuts = cuts_.load(std::memory_order_relaxed);
 }
 
 // --- FullBackupStore ---------------------------------------------------------
@@ -97,11 +191,24 @@ void FullBackupStore::Invalidate(uint64_t offset) { (void)offset; }
 
 uint64_t FullBackupStore::backup_bytes() const { return backup_->size(); }
 
+Status FullBackupStore::ReadAt(uint64_t offset, uint64_t size, void* out) {
+  // The mirror shares offsets with the main heap and holds exactly the applied
+  // prefix of the commit order; under the cut gate no apply batch is in flight,
+  // so every byte is the cut state. Every read is a hit.
+  if (offset > backup_->size() || size > backup_->size() - offset) {
+    return Status::InvalidArgument("backup read out of range");
+  }
+  std::memcpy(out, backup_->At(offset), size);
+  read_hits_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
 BackupStats FullBackupStore::stats() const {
   BackupStats s;
   s.applies = applies_.load(std::memory_order_relaxed);
   s.restores = restores_.load(std::memory_order_relaxed);
   s.batch_applies = batch_applies_.load(std::memory_order_relaxed);
+  AddCutStats(&s);
   return s;
 }
 
@@ -386,6 +493,7 @@ Status DynamicBackupStore::InsertCopyLocked(uint64_t key, uint64_t size) {
 Status DynamicBackupStore::EnsureBackupCopy(uint64_t offset, uint64_t size, bool pin) {
   Stripe& stripe = stripes_[StripeFor(offset)];
   std::lock_guard<std::mutex> guard(stripe.mu);
+  uint32_t carried_pins = 0;
   auto it = stripe.index.find(offset);
   if (it != stripe.index.end()) {
     Entry* e = EntryAt(it->second.bucket);
@@ -400,18 +508,23 @@ Status DynamicBackupStore::EnsureBackupCopy(uint64_t offset, uint64_t size, bool
       }
       return Status::Ok();
     }
-    // Existing copy is too small (range grew): replace it.
+    // Existing copy is too small (range grew): replace it. Carry the pin
+    // count across the replacement — dropping it would make the copy
+    // eviction-eligible while an owner still depends on it, and would
+    // unbalance that owner's eventual Unpin.
+    carried_pins = it->second.pins;
     RemoveEntryLocked(offset, it->second);
   }
   ensure_misses_.fetch_add(1, std::memory_order_relaxed);
   Status st = InsertCopyLocked(offset, size);
   if (!st.ok()) {
+    // Any carried pins died with the removed copy; Unpin is guarded by an
+    // index lookup, so the owners' releases degrade to no-ops rather than
+    // corrupting another entry's count.
     return st;
   }
-  if (pin) {
-    auto inserted = stripe.index.find(offset);
-    ++inserted->second.pins;
-  }
+  auto inserted = stripe.index.find(offset);
+  inserted->second.pins = carried_pins + (pin ? 1u : 0u);
   return Status::Ok();
 }
 
@@ -425,8 +538,15 @@ Status DynamicBackupStore::ApplyRangeLocked(uint64_t key, uint64_t size, bool* f
   }
   Entry* e = EntryAt(it->second.bucket);
   if (e->size < size) {
+    // Grown object: replace the copy, keeping the pin count — the applying
+    // transaction itself holds a pin here, and its Unpin later in the apply
+    // must find the count it left.
+    const uint32_t carried_pins = it->second.pins;
     RemoveEntryLocked(key, it->second);
-    return InsertCopyLocked(key, size);
+    KAMINO_RETURN_IF_ERROR(InsertCopyLocked(key, size));
+    auto inserted = stripe.index.find(key);
+    inserted->second.pins = carried_pins;
+    return Status::Ok();
   }
   std::memcpy(static_cast<uint8_t*>(backup_->At(e->backup_off)), main_->At(key), size);
   {
@@ -528,6 +648,39 @@ void DynamicBackupStore::Unpin(uint64_t offset) {
 
 uint64_t DynamicBackupStore::backup_bytes() const { return backup_->size(); }
 
+Status DynamicBackupStore::ReadAt(uint64_t offset, uint64_t size, void* out) {
+  if (offset > main_->size() || size > main_->size() - offset) {
+    return Status::InvalidArgument("backup read out of range");
+  }
+  Stripe& stripe = stripes_[StripeFor(offset)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.index.find(offset);
+  if (it == stripe.index.end()) {
+    // Miss ⇒ no writer has inserted a pre-image for this object, so no
+    // in-place store has begun (EnsureBackupCopy runs under this stripe lock
+    // strictly before the writer's first main-heap store) and applies are
+    // fenced out by the cut gate — the main heap holds exactly the cut
+    // bytes. Holding the stripe lock across the memcpy is what makes this
+    // "epoch-checked": a racing writer blocks until our copy completes.
+    std::memcpy(out, main_->At(offset), size);
+    read_misses_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  // Hit: the resident copy is either the last applied state (applies refresh
+  // it in place, under the gate) or an in-flight writer's pinned pre-image —
+  // in both cases the cut state. Bytes past the copied prefix lie outside
+  // every writer's declared range and are read from main under the same lock.
+  const Entry* e = EntryAt(it->second.bucket);
+  const uint64_t copied = std::min(size, e->size);
+  std::memcpy(out, backup_->At(e->backup_off), copied);
+  if (copied < size) {
+    std::memcpy(static_cast<uint8_t*>(out) + copied, main_->At(offset + copied),
+                size - copied);
+  }
+  read_hits_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
 BackupStats DynamicBackupStore::stats() const {
   BackupStats s;
   s.ensure_hits = ensure_hits_.load(std::memory_order_relaxed);
@@ -536,6 +689,7 @@ BackupStats DynamicBackupStore::stats() const {
   s.restores = restores_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.batch_applies = batch_applies_.load(std::memory_order_relaxed);
+  AddCutStats(&s);
   return s;
 }
 

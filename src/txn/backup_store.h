@@ -24,6 +24,8 @@
 #define SRC_TXN_BACKUP_STORE_H_
 
 #include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -44,6 +46,15 @@ struct BackupStats {
   uint64_t restores = 0;
   uint64_t evictions = 0;
   uint64_t batch_applies = 0;  // ApplyBatchFromMain calls.
+
+  // Backup-epoch read path (DESIGN.md §12).
+  uint64_t read_hits = 0;    // Snapshot object reads served from a backup copy.
+  uint64_t read_misses = 0;  // Dynamic only: epoch-checked main-heap fallbacks.
+  uint64_t snapshot_views = 0;
+  uint64_t cut_fence_waits = 0;     // Readers that waited out an apply batch.
+  uint64_t cut_fence_wait_ns = 0;   // Total reader wait at the cut gate.
+  uint64_t apply_fence_waits = 0;   // Apply batches that waited on readers.
+  uint64_t cuts = 0;                // Apply-cut sections completed.
 };
 
 // One main-heap range the applier wants rolled forward into the backup.
@@ -55,6 +66,91 @@ struct ApplyRange {
 class BackupStore {
  public:
   virtual ~BackupStore() = default;
+
+  // --- Backup-epoch read interface (DESIGN.md §12) ---------------------------
+  //
+  // The backup is a transaction-consistent image of the heap at a cut between
+  // apply batches: write sets of in-flight committed transactions are pairwise
+  // disjoint and dependent transactions block on write locks held until apply,
+  // so the applied set is causally closed — any state observed *between* (not
+  // during) apply batches is a consistent snapshot. The cut gate below is the
+  // only mechanism needed: appliers share entry among themselves (their
+  // applies commute), snapshot readers share among themselves (reads), and
+  // the two groups are mutually exclusive. Fairness alternates turns so a
+  // stream of analytics chunks cannot starve appliers (which would exhaust
+  // log slots and stall every writer), nor appliers starve readers.
+  //
+  // A SnapshotView is the reader side of the gate: while held, the backup is
+  // frozen at `epoch()` — the durably stamped cut (LogManager::backup_epoch),
+  // never a value that could be lost to a crash.
+  class SnapshotView {
+   public:
+    SnapshotView() = default;
+    SnapshotView(SnapshotView&& o) noexcept : store_(o.store_), epoch_(o.epoch_) {
+      o.store_ = nullptr;
+    }
+    SnapshotView& operator=(SnapshotView&& o) noexcept {
+      if (this != &o) {
+        Release();
+        store_ = o.store_;
+        epoch_ = o.epoch_;
+        o.store_ = nullptr;
+      }
+      return *this;
+    }
+    SnapshotView(const SnapshotView&) = delete;
+    SnapshotView& operator=(const SnapshotView&) = delete;
+    ~SnapshotView() { Release(); }
+
+    bool valid() const { return store_ != nullptr; }
+    uint64_t epoch() const { return epoch_; }
+
+    // Copies the cut-consistent bytes of [offset, offset+size) into `out`.
+    Status Read(uint64_t offset, uint64_t size, void* out) {
+      return store_->ReadAt(offset, size, out);
+    }
+
+    void Release();
+
+   private:
+    friend class BackupStore;
+    SnapshotView(BackupStore* store, uint64_t epoch) : store_(store), epoch_(epoch) {}
+    BackupStore* store_ = nullptr;
+    uint64_t epoch_ = 0;
+  };
+
+  virtual bool supports_snapshot_reads() const { return false; }
+
+  // Opens a snapshot view at the current advertised cut. Blocks while an
+  // apply batch is mid-flight (bounded by one applier batch). NotSupported
+  // for stores without a readable copy (chain replicas).
+  Result<SnapshotView> OpenSnapshot();
+
+  // Reads [offset, offset+size) as of the cut into `out`. Requires a
+  // SnapshotView held by the calling thread (appliers gated); prefer
+  // SnapshotView::Read. Full mirror: direct copy. Dynamic: resident copy
+  // (the pre-image of any in-flight writer — exactly the cut state), with an
+  // epoch-checked main-heap fallback for misses (see DynamicBackupStore).
+  virtual Status ReadAt(uint64_t offset, uint64_t size, void* out) {
+    (void)offset;
+    (void)size;
+    (void)out;
+    return Status::NotSupported("backup store has no snapshot read path");
+  }
+
+  // Applier side of the cut gate: EnterApplyCut before the first backup
+  // mutation of an apply batch (apply/unpin/invalidate), ExitApplyCut after
+  // the last. Multiple appliers may hold the apply side concurrently.
+  void EnterApplyCut();
+  void ExitApplyCut();
+
+  // Publishes a durably stamped epoch to readers (monotone max). The caller
+  // must have persisted `epoch` via LogManager::SetBackupEpoch first —
+  // readers are only ever told epochs that survive a crash.
+  void PublishCutEpoch(uint64_t epoch);
+  // Seeds the advertised epoch at create/open/recovery time.
+  void InitCutEpoch(uint64_t epoch) { cut_epoch_.store(epoch, std::memory_order_release); }
+  uint64_t cut_epoch() const { return cut_epoch_.load(std::memory_order_acquire); }
 
   // Guarantees a consistent pre-transaction copy of [offset, offset+size)
   // exists. Must be called (and completed) before the range is modified.
@@ -107,6 +203,38 @@ class BackupStore {
     (void)ranges;
     return uint64_t{0};
   }
+
+ protected:
+  // Merges the cut-gate / snapshot-read counters into `s` (called by derived
+  // stats() implementations).
+  void AddCutStats(BackupStats* s) const;
+
+  // Bumped by derived ReadAt implementations.
+  std::atomic<uint64_t> read_hits_{0};
+  std::atomic<uint64_t> read_misses_{0};
+
+ private:
+  void ReleaseSnapshot();
+
+  // Two-group cut gate (see the SnapshotView comment). All counts guarded by
+  // cut_mu_; applier_turn_ hands the gate to waiting appliers when the last
+  // reader leaves, and back when the last applier leaves.
+  mutable std::mutex cut_mu_;
+  std::condition_variable cut_cv_;
+  int active_appliers_ = 0;
+  int waiting_appliers_ = 0;
+  int active_readers_ = 0;
+  int waiting_readers_ = 0;
+  bool applier_turn_ = false;
+
+  // Advertised cut epoch: always a durably stamped value (floor semantics).
+  std::atomic<uint64_t> cut_epoch_{0};
+
+  std::atomic<uint64_t> snapshot_views_{0};
+  std::atomic<uint64_t> cut_fence_waits_{0};
+  std::atomic<uint64_t> cut_fence_wait_ns_{0};
+  std::atomic<uint64_t> apply_fence_waits_{0};
+  std::atomic<uint64_t> cuts_{0};
 };
 
 // --- Kamino-Tx-Simple: full mirror -----------------------------------------
@@ -131,6 +259,11 @@ class FullBackupStore : public BackupStore {
   // the next recovery, so every live range has to match main again before the
   // dirty map may call the mirror consistent.
   Result<uint64_t> ReconcileRanges(const std::vector<ApplyRange>& ranges) override;
+
+  // Snapshot reads: the mirror shares offsets with main and — under the cut
+  // gate — holds exactly the applied (cut) state, so every read hits.
+  bool supports_snapshot_reads() const override { return true; }
+  Status ReadAt(uint64_t offset, uint64_t size, void* out) override;
 
   // Bulk main -> backup copy, for non-transactional bulk loads and for
   // building a backup on a new chain head (paper §5.2).
@@ -203,6 +336,17 @@ class DynamicBackupStore : public BackupStore {
   void Unpin(uint64_t offset) override;
   uint64_t backup_bytes() const override;
   BackupStats stats() const override;
+
+  // Snapshot reads for the partial backup (DESIGN.md §12). A resident copy
+  // is the pre-image of any in-flight writer — exactly the cut state; the
+  // tail of a request past the copy's declared write range comes from main
+  // (untouched by that writer). A miss falls back to an epoch-checked main
+  // read: both the lookup and the main copy-out happen under the object's
+  // stripe lock, which any new writer must take to insert its pre-image
+  // *before* its first in-place store — so a miss proves no writer has
+  // touched the object since the cut, and main holds the cut bytes.
+  bool supports_snapshot_reads() const override { return true; }
+  Status ReadAt(uint64_t offset, uint64_t size, void* out) override;
 
   void CompactAfterRecovery() override;
 

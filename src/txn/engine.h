@@ -95,6 +95,15 @@ struct EngineStats {
   uint64_t apply_lag_p99_ns = 0;
   uint64_t apply_lag_max_ns = 0;
 
+  // Backup-epoch read model (Kamino engines only; zero elsewhere). See
+  // DESIGN.md §12.
+  uint64_t backup_epoch = 0;             // Durable backup-read cut stamp.
+  uint64_t backup_read_hits = 0;         // Snapshot reads served from backup.
+  uint64_t backup_read_misses = 0;       // Epoch-checked main-heap fallbacks.
+  uint64_t backup_snapshot_views = 0;    // SnapshotViews opened.
+  uint64_t backup_cut_fence_waits = 0;   // Views that blocked on an apply batch.
+  uint64_t backup_cut_fence_wait_ns = 0; // Total reader time at the cut gate.
+
   // Commit critical path (engines with an intent log; zero elsewhere).
   uint64_t log_blocked_acquires = 0;   // Slot acquisitions that had to block.
   uint64_t log_blocked_wait_ns = 0;    // Total time blocked on slot backpressure.

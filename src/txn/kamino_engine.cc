@@ -31,6 +31,13 @@ KaminoEngine::KaminoEngine(heap::Heap* heap, LogManager* log, LockManager* locks
     LogManager* log = log_;
     locks_->SetContentionHook([log] { log->DrainEpoch(); });
   }
+  // Seed the backup-read cut from the durable stamp (zero on Create). The
+  // appliers advance it from here; Recover() re-seeds it after replay.
+  if (store_ != nullptr && log_ != nullptr) {
+    const uint64_t seed = log_->backup_epoch();
+    store_->InitCutEpoch(seed);
+    cut_released_.store(seed, std::memory_order_relaxed);
+  }
 }
 
 KaminoEngine::~KaminoEngine() {
@@ -440,14 +447,28 @@ void KaminoEngine::ApplierLoop(size_t shard_index) {
         shard.queue.pop_front();
       }
     }
+    // Apply batches run strictly between snapshot views (the BackupStore cut
+    // gate), so any state a backup reader observes lies on a transaction
+    // boundary — the epoch-cut invariant (DESIGN.md §12).
+    store_->EnterApplyCut();
     for (auto& ctx : batch) {
       ApplyCommitted(ctx.get());
       slots.push_back(ctx->slot);
       ctx->slot = SlotHandle{};
     }
+    store_->ExitApplyCut();
     // Every backup apply in the batch is durable; one shared fence frees all
     // the slots (see LogManager::ReleaseSlots for the ordering argument).
     log_->ReleaseSlots(slots.data(), slots.size());
+    // Stamp the cut only after the slots are durably released: a crash from
+    // here on may undercount the stamp (a safe floor — recovery re-rolls
+    // exactly the unreleased slots, never anything the stamp counts) but can
+    // never overcount it. SetBackupEpoch is a monotone ratchet, so racing
+    // applier shards publish in any order without regressing the frontier.
+    const uint64_t epoch =
+        cut_released_.fetch_add(batch.size(), std::memory_order_acq_rel) + batch.size();
+    log_->SetBackupEpoch(epoch);
+    store_->PublishCutEpoch(epoch);
     for (auto& ctx : batch) {
       FinishApplied(ctx.get());
     }
@@ -526,6 +547,17 @@ EngineStats KaminoEngine::stats() const {
     s.recovery_ondemand_reconciles = d.ondemand_reconciles;
   }
   s.recovery_reconciled_bytes = reconciled_bytes_.load(std::memory_order_relaxed);
+  if (log_ != nullptr) {
+    s.backup_epoch = log_->backup_epoch();
+  }
+  if (store_ != nullptr) {
+    const BackupStats b = store_->stats();
+    s.backup_read_hits = b.read_hits;
+    s.backup_read_misses = b.read_misses;
+    s.backup_snapshot_views = b.snapshot_views;
+    s.backup_cut_fence_waits = b.cut_fence_waits;
+    s.backup_cut_fence_wait_ns = b.cut_fence_wait_ns;
+  }
   return s;
 }
 
@@ -815,6 +847,7 @@ void KaminoEngine::ReconcileLoop() {
 
 Status KaminoEngine::Recover() {
   nvm::PersistSiteScope site("engine/recover");
+  const uint64_t fwd_before = recovered_forward_.load(std::memory_order_relaxed);
   std::vector<RecoveredTx> txs = log_->ScanForRecovery();
 
   // Phase 1: replay. The disjoint-write-set invariant (any two non-free
@@ -898,6 +931,18 @@ Status KaminoEngine::Recover() {
       }
     }
   }
+
+  // Re-seed the backup-read cut: transactions rolled forward inline during
+  // replay released their slots without stamping, so count them on top of
+  // the durable pre-crash floor. Handed-off contexts are stamped by the
+  // appliers as usual, which is why the seed must land before they enqueue.
+  const uint64_t inline_fwd =
+      (recovered_forward_.load(std::memory_order_relaxed) - fwd_before) -
+      static_cast<uint64_t>(handoff.size());
+  const uint64_t cut_seed = log_->backup_epoch() + inline_fwd;
+  log_->SetBackupEpoch(cut_seed);
+  store_->InitCutEpoch(cut_seed);
+  cut_released_.store(cut_seed, std::memory_order_relaxed);
 
   // Hand the committed-but-unapplied transactions to the applier pool only
   // *after* the dirty map is armed: their applies must fence, or a

@@ -166,6 +166,11 @@ class KaminoEngine : public EngineBase {
   std::atomic<uint64_t> next_shard_{0};
   // Committed-but-not-yet-applied transactions (queued + being applied).
   std::atomic<uint64_t> in_flight_{0};
+  // Backup-read cut accounting (DESIGN.md §12): transactions whose backup
+  // applies are complete AND whose log slots are durably released. Each
+  // applier adds its batch after its own ReleaseSlots fence, then publishes
+  // the sum as the epoch stamp; seeded from the durable stamp at open.
+  std::atomic<uint64_t> cut_released_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
 

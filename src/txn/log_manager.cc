@@ -134,6 +134,7 @@ Status LogManager::Format(uint64_t region_size, const LogOptions& options) {
   hdr->max_records = max_records_;
   hdr->checksum = Crc64(hdr, offsetof(LogHeader, checksum));
   hdr->reconcile_cursor = kReconcileDone;
+  hdr->backup_epoch = 0;
   pool_->Persist(hdr, sizeof(LogHeader));
   return Status::Ok();
 }
@@ -744,6 +745,23 @@ void LogManager::SetReconcileCursor(uint64_t chunk) {
   auto* hdr = static_cast<LogHeader*>(pool_->At(region_offset_));
   hdr->reconcile_cursor = chunk;
   pool_->PersistU64(&hdr->reconcile_cursor);
+}
+
+uint64_t LogManager::backup_epoch() const {
+  std::lock_guard<std::mutex> lk(epoch_stamp_mu_);
+  const auto* hdr = static_cast<const LogHeader*>(pool_->At(region_offset_));
+  return hdr->backup_epoch;
+}
+
+void LogManager::SetBackupEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lk(epoch_stamp_mu_);
+  auto* hdr = static_cast<LogHeader*>(pool_->At(region_offset_));
+  if (epoch <= hdr->backup_epoch) {
+    return;  // A faster batch already published a larger frontier.
+  }
+  nvm::PersistSiteScope site("backup/cut");
+  hdr->backup_epoch = epoch;
+  pool_->PersistU64(&hdr->backup_epoch);
 }
 
 LogStats LogManager::stats() const {

@@ -311,6 +311,19 @@ class LogManager {
   uint64_t reconcile_cursor() const;
   void SetReconcileCursor(uint64_t chunk);
 
+  // --- Backup-epoch stamp (backup-read cut, DESIGN.md §12) ------------------
+  // Durable count of transactions whose backup applies are complete AND whose
+  // log slots are durably released — the epoch a snapshot reader may be told
+  // it is reading at. Monotone ratchet (applier batches retire out of order,
+  // like the epoch sequencer's durable frontier); advancing it is a single
+  // 8-byte persist at the "backup/cut" site. The stamp is a *floor*: it may
+  // lag the true applied count across a crash (a release whose stamp was
+  // lost is never re-counted), but it can never lead it — recovery re-rolls
+  // exactly the unreleased transactions forward, so counting only released
+  // ones keeps stamped epochs durably backed by backup state.
+  uint64_t backup_epoch() const;
+  void SetBackupEpoch(uint64_t epoch);
+
   // Largest txid present in the log at Open() time (0 for a fresh log).
   uint64_t max_recovered_txid() const { return max_recovered_txid_; }
 
@@ -341,6 +354,8 @@ class LogManager {
     // Not checksum-covered (mutated after format, like Heap's root): the
     // backup-reconcile resume cursor, persisted as a single 8-byte store.
     uint64_t reconcile_cursor;
+    // Not checksum-covered: the backup-epoch stamp (see SetBackupEpoch).
+    uint64_t backup_epoch;
   };
   static_assert(sizeof(LogHeader) <= kSlotHeaderSize,
                 "log header must fit its 64-byte block");
@@ -477,6 +492,10 @@ class LogManager {
   // is guaranteed every covered caller's lines were staged. epoch_callbacks_
   // is ticket-ordered by construction (tickets issue under the same lock);
   // the leader extracts the prefix its drain covered and runs it unlocked.
+  // Serializes backup-epoch stamp ratchets (appliers race to publish their
+  // batch counts); the persisted value is monotone under this lock.
+  mutable std::mutex epoch_stamp_mu_;
+
   std::mutex gc_mu_;
   std::condition_variable gc_cv_;
   uint64_t gc_ticket_ = 0;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace kamino::txn {
 namespace {
@@ -221,6 +224,155 @@ TEST_F(DynamicBackupStoreTest, ReopenDropsTornEntries) {
     auto reopened = DynamicBackupStore::Open(main.get(), backup.get());
     ASSERT_TRUE(reopened.ok()) << reopened.status();
   }
+}
+
+// --- Pin balance across copy replacement (DESIGN.md §12 audit) --------------
+// EnsureBackupCopy's grow-replace path and the applier's grow path both
+// remove + reinsert the copy; the owner's pin must ride along or a later
+// Unpin underflows / an eviction frees a pre-image a live transaction still
+// needs for rollback.
+
+TEST_F(DynamicBackupStoreTest, EnsureGrowReplaceCarriesPins) {
+  StampMain(main_.get(), 4096, 0xAA, 8);
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 8, /*pin=*/true).ok());
+  ASSERT_EQ(store_->PinCount(4096), 1u);
+
+  // Another (unpinned) ensure for a grown range replaces the copy; the
+  // original owner's pin must survive the replacement.
+  StampMain(main_.get(), 4096, 0xBB, 64);
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 64, /*pin=*/false).ok());
+  EXPECT_EQ(store_->PinCount(4096), 1u);
+
+  // And a pinned re-ensure stacks on top of the carried pin.
+  ASSERT_TRUE(store_->EnsureBackupCopy(4096, 64, /*pin=*/true).ok());
+  EXPECT_EQ(store_->PinCount(4096), 2u);
+  store_->Unpin(4096);
+  store_->Unpin(4096);
+  EXPECT_EQ(store_->PinCount(4096), 0u);
+}
+
+TEST_F(DynamicBackupStoreTest, ApplyGrowCarriesPins) {
+  StampMain(main_.get(), 8192, 0x11, 8);
+  ASSERT_TRUE(store_->EnsureBackupCopy(8192, 8, /*pin=*/true).ok());
+  ASSERT_EQ(store_->PinCount(8192), 1u);
+
+  // The applier sees a grown committed range for the same object (e.g. a
+  // blob rewritten larger in place): replace must keep the pin.
+  StampMain(main_.get(), 8192, 0x22, 128);
+  ASSERT_TRUE(store_->ApplyFromMain(8192, 128).ok());
+  EXPECT_EQ(store_->PinCount(8192), 1u);
+  store_->Unpin(8192);
+  EXPECT_EQ(store_->PinCount(8192), 0u);
+}
+
+TEST_F(DynamicBackupStoreTest, FailedGrowReplaceLeavesNoPhantomPins) {
+  Build(2ull << 20);
+  const uint64_t kObj = 64 * 1024;
+  // Fill the budget with pinned copies so any new insert must fail.
+  uint64_t filled = 0;
+  for (;; ++filled) {
+    const uint64_t off = (4ull << 20) + filled * kObj;
+    StampMain(main_.get(), off, 1, kObj);
+    if (!store_->EnsureBackupCopy(off, kObj, /*pin=*/true).ok()) {
+      break;
+    }
+  }
+  ASSERT_GT(filled, 0u);
+
+  // Growing the first pinned copy needs a bigger slab; the insert fails with
+  // everything pinned, and the old copy (with its pins) is already gone.
+  // The owner's later Unpin must degrade to a no-op, not corrupt another
+  // entry's pin count.
+  const uint64_t victim = 4ull << 20;
+  StampMain(main_.get(), victim, 2, 2 * kObj);
+  Status st = store_->EnsureBackupCopy(victim, 2 * kObj, /*pin=*/false);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfMemory);
+  EXPECT_FALSE(store_->HasCopy(victim));
+  EXPECT_EQ(store_->PinCount(victim), 0u);
+  store_->Unpin(victim);  // Owner releases; must be a safe no-op.
+  EXPECT_EQ(store_->PinCount(victim), 0u);
+
+  for (uint64_t j = 1; j < filled; ++j) {
+    store_->Unpin((4ull << 20) + j * kObj);
+  }
+}
+
+// --- Snapshot reads at the store level ---------------------------------------
+
+TEST(FullBackupStoreTest, ReadAtServesAppliedBytesAndChecksBounds) {
+  auto main = MakePool(1 << 20);
+  auto backup = MakePool(1 << 20);
+  FullBackupStore store(main.get(), backup.get());
+  StampMain(main.get(), 2048, 0xCD, 64);
+  ASSERT_TRUE(store.ApplyFromMain(2048, 64).ok());
+  StampMain(main.get(), 2048, 0xEF, 64);  // In-flight write dirties main.
+
+  uint8_t buf[64];
+  ASSERT_TRUE(store.ReadAt(2048, 64, buf).ok());
+  EXPECT_EQ(buf[0], 0xCD);  // Backup still holds the applied (cut) bytes.
+  EXPECT_EQ(buf[63], 0xCD);
+  EXPECT_EQ(store.ReadAt(main->size() - 8, 64, buf).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_GT(store.stats().read_hits, 0u);
+}
+
+TEST_F(DynamicBackupStoreTest, ReadAtHitMissAndTailSemantics) {
+  StampMain(main_.get(), 4096, 0xAA, 128);
+  ASSERT_TRUE(store_->ApplyFromMain(4096, 128).ok());
+  StampMain(main_.get(), 4096, 0xBB, 128);  // Dirty main after the cut.
+
+  uint8_t buf[256];
+  // Hit: resident copy serves the applied bytes, not the dirty main bytes.
+  ASSERT_TRUE(store_->ReadAt(4096, 128, buf).ok());
+  EXPECT_EQ(buf[0], 0xAA);
+  EXPECT_EQ(buf[127], 0xAA);
+  // Reading past the copied range falls through to main for the tail (bytes
+  // outside any declared write range are never dirty under the gate).
+  StampMain(main_.get(), 4096 + 128, 0x55, 128);
+  ASSERT_TRUE(store_->ReadAt(4096, 256, buf).ok());
+  EXPECT_EQ(buf[127], 0xAA);
+  EXPECT_EQ(buf[128], 0x55);
+  // Miss: no copy resident, epoch-checked fallback reads main directly.
+  StampMain(main_.get(), 32768, 0x77, 64);
+  ASSERT_TRUE(store_->ReadAt(32768, 64, buf).ok());
+  EXPECT_EQ(buf[0], 0x77);
+  const BackupStats s = store_->stats();
+  EXPECT_GE(s.read_hits, 2u);
+  EXPECT_GE(s.read_misses, 1u);
+  EXPECT_EQ(store_->ReadAt(main_->size(), 8, buf).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The cut gate: readers and appliers exclude each other, and a snapshot view
+// pins the published epoch for its lifetime.
+TEST(FullBackupStoreTest, SnapshotViewPinsEpochAndGatesAppliers) {
+  auto main = MakePool(1 << 20);
+  auto backup = MakePool(1 << 20);
+  FullBackupStore store(main.get(), backup.get());
+  ASSERT_TRUE(store.supports_snapshot_reads());
+  store.PublishCutEpoch(41);
+  store.PublishCutEpoch(7);  // Stale publish must not move the cut backward.
+
+  auto view = store.OpenSnapshot();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->epoch(), 41u);
+
+  // An applier entering the cut must block until the reader releases.
+  std::atomic<bool> applied{false};
+  std::thread applier([&] {
+    store.EnterApplyCut();
+    applied.store(true);
+    store.ExitApplyCut();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(applied.load());
+  view->Release();
+  applier.join();
+  EXPECT_TRUE(applied.load());
+  const BackupStats s = store.stats();
+  EXPECT_EQ(s.snapshot_views, 1u);
+  EXPECT_EQ(s.apply_fence_waits, 1u);
+  EXPECT_EQ(s.cuts, 1u);
 }
 
 TEST_F(DynamicBackupStoreTest, GrowingRangeReplacesCopy) {

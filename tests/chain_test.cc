@@ -294,6 +294,46 @@ INSTANTIATE_TEST_SUITE_P(Schemes, ChainTest, ::testing::Values(true, false),
                            return info.param ? "KaminoChain" : "TraditionalChain";
                          });
 
+// Stale reads are answered by any live replica at its applied watermark:
+// after Quiesce every replica holds the committed state, so round-robined
+// stale reads return correct values from every chain position.
+TEST_P(ChainTest, StaleReadsServedFromEveryReplica) {
+  auto chain = Chain::Create(Opts(kamino())).value();
+  for (uint64_t k = 0; k < 32; ++k) {
+    ASSERT_TRUE(chain->Upsert(k, "sv" + std::to_string(k)).ok());
+  }
+  ASSERT_TRUE(chain->Quiesce().ok());
+  // One round per replica so the round-robin cursor visits every position.
+  const size_t n = chain->current_view().nodes.size();
+  for (size_t round = 0; round < n; ++round) {
+    for (uint64_t k = 0; k < 32; ++k) {
+      uint64_t applied = 0;
+      Result<std::string> got = chain->ReadStale(k, &applied);
+      ASSERT_TRUE(got.ok()) << got.status().message();
+      EXPECT_EQ(*got, "sv" + std::to_string(k));
+      EXPECT_GT(applied, 0u);  // Every replica has applied the writes.
+    }
+  }
+  uint64_t applied = 0;
+  EXPECT_EQ(chain->ReadStale(999, &applied).status().code(),
+            StatusCode::kNotFound);
+}
+
+// A killed replica is skipped by the stale-read round-robin instead of
+// failing the call.
+TEST_P(ChainTest, StaleReadsSkipDeadReplicas) {
+  auto chain = Chain::Create(Opts(kamino())).value();
+  ASSERT_TRUE(chain->Upsert(7, "alive").ok());
+  ASSERT_TRUE(chain->Quiesce().ok());
+  const View before = chain->current_view();
+  ASSERT_TRUE(chain->KillReplica(before.nodes[before.nodes.size() / 2]).ok());
+  for (int i = 0; i < 8; ++i) {
+    Result<std::string> got = chain->ReadStale(7);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_EQ(*got, "alive");
+  }
+}
+
 TEST(ChainDynamicHeadTest, DynamicBackupAtHeadWorks) {
   ChainOptions o = Opts(/*kamino=*/true);
   o.head_alpha = 0.3;

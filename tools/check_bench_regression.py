@@ -284,8 +284,86 @@ def check_sharding(baseline, candidate, threshold):
     return failures
 
 
+MAX_BACKUP_SCAN_P50_INFLATION = 1.3
+MIN_STALE_VS_HEAD = 1.8
+
+
+def check_backup_reads(baseline, candidate, threshold):
+    """Backup-epoch read-path acceptance gates (DESIGN.md §12). Absolute
+    gates, enforced on both files so a stale committed baseline cannot mask
+    a regression: a concurrent full-keyspace scan through the backup path
+    (SnapshotScanChunked) inflates the writers' update p50 by at most 1.3x
+    of the no-scan baseline AND by no more than the main-path (lock-taking)
+    scan does; at 3 replicas, round-robined stale reads deliver >= 1.8x the
+    throughput of the linearizable head-path reads. Per-phase p50 drift
+    between the files still fails past --threshold."""
+
+    failures = []
+    for doc, path in (baseline, candidate):
+        phases = doc.get("interference", {})
+        backup = phases.get("backup_scan", {})
+        main = phases.get("main_scan", {})
+        backup_infl = float(backup.get("p50_inflation", 0.0))
+        main_infl = float(main.get("p50_inflation", 0.0))
+        stale = float(doc.get("chain", {}).get("replicas_3", {})
+                      .get("stale_vs_head", 0.0))
+        views = int(backup.get("snapshot_views", 0))
+        errors = int(backup.get("scan_errors", 0)) + int(main.get("scan_errors", 0))
+        print(f"{path}: backup-scan p50 inflation {backup_infl:.2f}x "
+              f"(main-path {main_infl:.2f}x), stale-vs-head at 3 replicas "
+              f"{stale:.2f}x, {views} snapshot views")
+        if not backup_infl or not main_infl or not stale:
+            failures.append(f"{path}: missing backup_reads metrics "
+                            "(interference p50_inflation / chain stale_vs_head)")
+            continue
+        if backup_infl > MAX_BACKUP_SCAN_P50_INFLATION:
+            failures.append(f"{path}: backup-scan update p50 inflation "
+                            f"{backup_infl:.2f}x > "
+                            f"{MAX_BACKUP_SCAN_P50_INFLATION:.1f}x baseline")
+        if backup_infl > main_infl:
+            failures.append(f"{path}: backup-scan p50 inflation {backup_infl:.2f}x "
+                            f"exceeds the main-path scan's {main_infl:.2f}x — "
+                            "the contention-free path contends more than 2PL")
+        if stale < MIN_STALE_VS_HEAD:
+            failures.append(f"{path}: stale reads at 3 replicas {stale:.2f}x "
+                            f"head-path < {MIN_STALE_VS_HEAD:.1f}x")
+        if views == 0:
+            failures.append(f"{path}: backup_scan phase opened no snapshot "
+                            "views — the scan never took the backup path")
+        if errors:
+            failures.append(f"{path}: {errors} scan errors during interference "
+                            "phases")
+
+    # Phase-level p50 drift between the two files. The main_scan row is
+    # informational only: it measures 2PL lock-wait latency under a scanner,
+    # which is wildly run-to-run noisy on small hosts, and its only gating
+    # role — an upper bound the backup path must beat — is already enforced
+    # absolutely above (backup_infl <= main_infl).
+    base_doc, base_path = baseline
+    cand_doc, cand_path = candidate
+    print(f"{'phase':>14} {'baseline':>10} {'candidate':>10} {'ratio':>7}")
+    for phase in ("baseline", "main_scan", "backup_scan"):
+        b = float(base_doc.get("interference", {}).get(phase, {})
+                  .get("update_p50_us", 0.0))
+        c = float(cand_doc.get("interference", {}).get(phase, {})
+                  .get("update_p50_us", 0.0))
+        if b <= 0 or c <= 0:
+            print(f"{phase:>14} {b:>10.1f} {'missing' if c <= 0 else c:>10} {'-':>7}")
+            continue
+        ratio = c / b
+        flag = ""
+        if ratio > 1.0 + threshold and phase != "main_scan":
+            failures.append(f"{phase} update p50 at {ratio:.2f}x baseline")
+            flag = "  << REGRESSION"
+        elif ratio > 1.0 + threshold:
+            flag = "  (informational)"
+        print(f"{phase:>14} {b:>10.1f} {c:>10.1f} {ratio:>7.2f}{flag}")
+    return failures
+
+
 CHECKERS = {
     "applier_scaling": check_applier_scaling,
+    "backup_reads": check_backup_reads,
     "commit_path": check_commit_path,
     "epoch": check_epoch,
     "recovery": check_recovery,

@@ -93,6 +93,12 @@ int Run(const char* path, bool verify) {
   }
   std::printf("intent log: %" PRIu64 " slots x %" PRIu64 " KiB, max txid %" PRIu64 "\n",
               (*log)->num_slots(), (*log)->slot_size() >> 10, (*log)->max_recovered_txid());
+  // The durable backup-read cut stamp (DESIGN.md §12): a safe floor on the
+  // transactions whose effects the backup copy provably covers. Zero on
+  // pre-snapshot-read pools and non-Kamino engines.
+  std::printf("backup epoch: %" PRIu64
+              " applied transaction(s) durably stamped at the cut\n",
+              (*log)->backup_epoch());
   const auto txs = (*log)->ScanForRecovery();
   if (txs.empty()) {
     std::printf("  all slots free — clean shutdown, nothing for recovery to do\n");
