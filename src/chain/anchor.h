@@ -1,0 +1,65 @@
+// The chain replica's persistent root object, shared between the replica
+// itself and offline tooling (kamino_inspect decodes crashed replica pools).
+//
+// Layout invariants:
+//   - `magic` identifies the root as a chain anchor (vs a KV tree root or a
+//     shard anchor) so tools can decode it without out-of-band knowledge.
+//   - `view_cursor` is the durable promotion cursor (DESIGN.md §13): an
+//     8-byte, non-transactional field persisted at the dedicated site
+//     `chain/promote-cursor`, mirroring the log header's `reconcile_cursor`.
+//     Trust rule: a Kamino head's engine-local recovery may roll back from
+//     the local backup iff the durable cursor reads kViewCursorHeadComplete —
+//     any other value means the backup was never fully built (promotion
+//     crashed mid-flight) and recovery must go back through the chain
+//     (neighbour resolution + backup re-sync) instead.
+//   - `ring` holds applied-op markers: each operation's transaction writes
+//     its op id into ring[op_id % kMarkerRing]; recovery takes the ring
+//     maximum as the applied watermark. A ring (rather than one counter)
+//     keeps successive operations from becoming dependent transactions on
+//     the marker object — slot reuse is kMarkerRing operations apart.
+
+#ifndef SRC_CHAIN_ANCHOR_H_
+#define SRC_CHAIN_ANCHOR_H_
+
+#include <cstdint>
+
+namespace kamino::chain {
+
+inline constexpr uint64_t kChainAnchorMagic = 0x4B414D494E4F4341ull;  // "KAMINOCA"
+
+// Durable promotion-cursor states. Monotone within one promotion:
+// (anything) -> kViewCursorPromoting -> kViewCursorHeadComplete.
+//   kViewCursorNone         — never completed a head takeover on this heap
+//                             (middles/tails carry this); backup untrusted.
+//   kViewCursorPromoting    — a promotion started and has not durably
+//                             finished; the local backup may be garbage.
+//   kViewCursorHeadComplete — the head's backup was fully built and synced;
+//                             engine-local backup recovery is sound.
+inline constexpr uint64_t kViewCursorNone = 0;
+inline constexpr uint64_t kViewCursorPromoting = 1;
+inline constexpr uint64_t kViewCursorHeadComplete = 2;
+
+inline constexpr uint64_t kMarkerRing = 1024;
+
+struct ChainAnchor {
+  uint64_t magic;        // kChainAnchorMagic.
+  uint64_t view_cursor;  // kViewCursor* — see trust rule above.
+  uint64_t tree_anchor;  // The KV B+Tree anchor.
+  uint64_t ring[kMarkerRing];
+};
+
+inline const char* ViewCursorName(uint64_t cursor) {
+  switch (cursor) {
+    case kViewCursorNone:
+      return "none (never head; backup untrusted)";
+    case kViewCursorPromoting:
+      return "promoting (takeover in flight; backup untrusted)";
+    case kViewCursorHeadComplete:
+      return "head-complete (backup fully built; trusted)";
+  }
+  return "? (corrupt)";
+}
+
+}  // namespace kamino::chain
+
+#endif  // SRC_CHAIN_ANCHOR_H_

@@ -134,6 +134,7 @@ ChainNetworkStats Chain::NetworkStats() {
     for (const auto& r : replicas_) {
       const ReplicaProtocolStats s = r->protocol_stats();
       out.retransmits += s.retransmits;
+      out.state_req_retransmits += s.state_req_retransmits;
       out.dedup_dropped += s.dedup_dropped;
       out.regen_acks += s.regen_acks;
       out.reorder_buffered += s.reorder_buffered;
@@ -363,15 +364,45 @@ Status Chain::RebootReplica(uint64_t node_id) {
   return victim->QuickReboot();
 }
 
-Status Chain::AddReplica() {
+Result<uint64_t> Chain::PrepareJoiningReplica() {
   std::unique_lock<std::shared_mutex> gate(gate_);
   auto replica = std::make_unique<Replica>(MakeReplicaOptions(next_node_id_));
   const uint64_t id = next_node_id_++;
-  membership_->AddTail(id);
-  BroadcastView();
-  Replica* raw = replica.get();
+  // Materialize the pool now so crash-point observers can watch the whole
+  // state transfer, including its very first persist.
+  KAMINO_RETURN_IF_ERROR(replica->EnsureMainPool());
   replicas_.push_back(std::move(replica));
-  return raw->JoinAsTail();
+  return id;
+}
+
+Status Chain::CompleteJoin(uint64_t node_id) {
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  Replica* r = replica_by_id(node_id);
+  if (r == nullptr) {
+    return Status::NotFound("no such replica");
+  }
+  if (!membership_->current().Contains(node_id)) {
+    membership_->AddTail(node_id);
+    BroadcastView();
+  }
+  return r->JoinAsTail();
+}
+
+Status Chain::RetryJoin(uint64_t node_id) {
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  Replica* r = replica_by_id(node_id);
+  if (r == nullptr) {
+    return Status::NotFound("no such replica");
+  }
+  return r->RejoinAsTail();
+}
+
+Status Chain::AddReplica() {
+  Result<uint64_t> id = PrepareJoiningReplica();
+  if (!id.ok()) {
+    return id.status();
+  }
+  return CompleteJoin(*id);
 }
 
 Status Chain::Quiesce(uint64_t timeout_ms) {

@@ -62,6 +62,7 @@ struct ChainOptions {
 struct ChainNetworkStats {
   net::EndpointStats net;
   uint64_t retransmits = 0;
+  uint64_t state_req_retransmits = 0;
   uint64_t dedup_dropped = 0;
   uint64_t regen_acks = 0;
   uint64_t reorder_buffered = 0;
@@ -103,8 +104,18 @@ class Chain {
   // replica_by_id(id)->ArmCrashDuringNextApply() and drive one more write
   // before calling this.
   Status RebootReplica(uint64_t node_id);
-  // Repairs the chain back to full strength with a fresh tail.
+  // Repairs the chain back to full strength with a fresh tail
+  // (= PrepareJoiningReplica + CompleteJoin).
   Status AddReplica();
+  // Split-phase join, for crash-point enumeration: Prepare creates the
+  // joining replica and its pool (so persistence observers can be installed
+  // before any transfer byte moves) without touching membership; CompleteJoin
+  // adds it to the view (first call only) and runs the state transfer;
+  // RetryJoin power-cycles a join that lost power mid-transfer and re-runs
+  // it from scratch.
+  Result<uint64_t> PrepareJoiningReplica();
+  Status CompleteJoin(uint64_t node_id);
+  Status RetryJoin(uint64_t node_id);
 
   // Blocks until every admitted operation is committed and cleaned up, or
   // the deadline passes (kUnavailable). A partitioned/stuck replica makes

@@ -9,6 +9,9 @@ namespace {
 constexpr uint64_t kReceivePollMs = 5;  // Also the timer-pass granularity.
 constexpr uint64_t kRecoveryTimeoutMs = 5'000;
 constexpr size_t kMaxRetxPerPass = 32;
+// One page comfortably covers heap::Heap's superblock; installing this range
+// last makes the state-transfer image attachable only once it is complete.
+constexpr uint64_t kSuperblockPage = 4096;
 }  // namespace
 
 Replica::Replica(const ReplicaOptions& options) : options_(options) {
@@ -43,6 +46,7 @@ size_t Replica::in_flight_size() const {
 ReplicaProtocolStats Replica::protocol_stats() const {
   ReplicaProtocolStats s;
   s.retransmits = retransmits_.load(std::memory_order_relaxed);
+  s.state_req_retransmits = state_req_retransmits_.load(std::memory_order_relaxed);
   s.dedup_dropped = dedup_dropped_.load(std::memory_order_relaxed);
   s.regen_acks = regen_acks_.load(std::memory_order_relaxed);
   s.reorder_buffered = reorder_buffered_.load(std::memory_order_relaxed);
@@ -72,36 +76,73 @@ txn::TxManagerOptions Replica::MgrOptions(bool head_role) const {
   return opts;
 }
 
+Status Replica::EnsureMainPool() {
+  if (pool_ != nullptr) {
+    return Status::Ok();
+  }
+  nvm::PoolOptions popts;
+  popts.size = options_.pool_size;
+  popts.crash_sim = true;
+  popts.flush_latency_ns = options_.flush_latency_ns;
+  Result<std::unique_ptr<nvm::Pool>> p = nvm::Pool::Create(popts);
+  if (!p.ok()) {
+    return p.status();
+  }
+  pool_ = std::move(*p);
+  return Status::Ok();
+}
+
+Status Replica::EnsureBackupPool(bool force_full) {
+  if (backup_pool_ != nullptr) {
+    if (!force_full || backup_pool_->size() >= options_.pool_size) {
+      return Status::Ok();
+    }
+    // Promotion rebuilds a full backup (kKaminoSimple); a dynamic-alpha pool
+    // from a previous life is too small. Callers reset mgr_ first.
+    backup_pool_.reset();
+  }
+  nvm::PoolOptions bopts;
+  bopts.crash_sim = true;
+  bopts.flush_latency_ns = options_.flush_latency_ns;
+  if (force_full || options_.head_alpha >= 1.0) {
+    // Promotion always builds a full backup (kKaminoSimple), whatever the
+    // configured alpha — the dynamic store cannot be rebuilt from a cold
+    // start without replaying history.
+    bopts.size = options_.pool_size;
+  } else {
+    const uint64_t budget =
+        static_cast<uint64_t>(options_.head_alpha * static_cast<double>(options_.pool_size));
+    bopts.size = txn::DynamicBackupStore::RequiredPoolSize(budget, 1 << 14);
+  }
+  Result<std::unique_ptr<nvm::Pool>> p = nvm::Pool::Create(bopts);
+  if (!p.ok()) {
+    return p.status();
+  }
+  backup_pool_ = std::move(*p);
+  return Status::Ok();
+}
+
+uint64_t Replica::view_cursor() const {
+  if (heap_ == nullptr || pool_ == nullptr) {
+    return kViewCursorNone;
+  }
+  const auto* anchor = static_cast<const ChainAnchor*>(pool_->At(heap_->root()));
+  return anchor->view_cursor;
+}
+
+void Replica::StampViewCursor(uint64_t value) {
+  nvm::PersistSiteScope site("chain/promote-cursor");
+  auto* anchor = static_cast<ChainAnchor*>(pool_->At(heap_->root()));
+  anchor->view_cursor = value;
+  pool_->PersistU64(&anchor->view_cursor);
+}
+
 Status Replica::BuildStore(bool attach, bool run_recovery) {
   const bool head_role = is_head();
 
-  if (pool_ == nullptr) {
-    nvm::PoolOptions popts;
-    popts.size = options_.pool_size;
-    popts.crash_sim = true;
-    popts.flush_latency_ns = options_.flush_latency_ns;
-    Result<std::unique_ptr<nvm::Pool>> p = nvm::Pool::Create(popts);
-    if (!p.ok()) {
-      return p.status();
-    }
-    pool_ = std::move(*p);
-  }
-  if (head_role && options_.kamino && backup_pool_ == nullptr) {
-    nvm::PoolOptions bopts;
-    bopts.crash_sim = true;
-    bopts.flush_latency_ns = options_.flush_latency_ns;
-    if (options_.head_alpha >= 1.0) {
-      bopts.size = options_.pool_size;
-    } else {
-      const uint64_t budget =
-          static_cast<uint64_t>(options_.head_alpha * static_cast<double>(options_.pool_size));
-      bopts.size = txn::DynamicBackupStore::RequiredPoolSize(budget, 1 << 14);
-    }
-    Result<std::unique_ptr<nvm::Pool>> p = nvm::Pool::Create(bopts);
-    if (!p.ok()) {
-      return p.status();
-    }
-    backup_pool_ = std::move(*p);
+  KAMINO_RETURN_IF_ERROR(EnsureMainPool());
+  if (head_role && options_.kamino) {
+    KAMINO_RETURN_IF_ERROR(EnsureBackupPool());
   }
 
   if (!attach) {
@@ -133,11 +174,17 @@ Status Replica::BuildStore(bool attach, bool run_recovery) {
       if (!off.ok()) {
         return off.status();
       }
-      Result<void*> w = tx.OpenWrite(*off, sizeof(uint64_t));
+      Result<void*> w = tx.OpenWrite(*off, 3 * sizeof(uint64_t));
       if (!w.ok()) {
         return w.status();
       }
-      *static_cast<uint64_t*>(*w) = tree_->anchor();
+      auto* hdr = static_cast<ChainAnchor*>(*w);
+      hdr->magic = kChainAnchorMagic;
+      // An initial head's backup is maintained from the first transaction,
+      // so it is born trusted; everyone else is born untrusted and only a
+      // completed promotion (HeadComplete stamp) upgrades them.
+      hdr->view_cursor = head_role ? kViewCursorHeadComplete : kViewCursorNone;
+      hdr->tree_anchor = tree_->anchor();
       anchor = *off;
       return Status::Ok();
     });
@@ -157,7 +204,15 @@ Status Replica::BuildStore(bool attach, bool run_recovery) {
   }
   heap_ = std::move(*h);
   txn::TxManagerOptions mopts = MgrOptions(head_role);
-  mopts.skip_recovery = !run_recovery;
+  // Promotion-cursor trust rule (DESIGN.md §13): a Kamino head may only let
+  // engine recovery roll back from the local backup if the durable cursor
+  // attests the backup was fully built. Any other value means a promotion
+  // crashed mid-flight — the caller (QuickReboot) must resume the promotion
+  // through the chain instead, so recovery is skipped here.
+  const auto* hdr = static_cast<const ChainAnchor*>(pool_->At(heap_->root()));
+  const bool trust_backup =
+      !options_.kamino || hdr->view_cursor == kViewCursorHeadComplete;
+  mopts.skip_recovery = !run_recovery || (head_role && !trust_backup);
   if (mopts.engine == txn::EngineType::kKaminoDynamic) {
     mopts.dynamic_lookup_buckets = 1 << 14;
   }
@@ -1077,6 +1132,26 @@ Result<std::vector<std::pair<uint64_t, std::string>>> Replica::FetchRanges(
   return Status::Unavailable("fetch-objects timeout");
 }
 
+Status Replica::ResolveCommittedLocally(const std::vector<txn::RecoveredTx>& txs) {
+  nvm::PersistSiteScope site("chain/local-resolve");
+  for (const txn::RecoveredTx& tx : txs) {
+    if (tx.state != txn::TxState::kCommitted) {
+      continue;
+    }
+    txn::SlotHandle handle = mgr_->log()->HandleForRecovered(tx);
+    // The in-place data is final; only deferred frees need re-execution.
+    // Re-running this after a crash is idempotent: FreeRaw of an
+    // already-free offset is a no-op and the slot release is last.
+    for (const txn::Intent& in : tx.intents) {
+      if (in.kind == txn::IntentKind::kFree) {
+        KAMINO_RETURN_IF_ERROR(heap_->allocator()->FreeRaw(in.offset));
+      }
+    }
+    mgr_->log()->ReleaseSlot(handle);
+  }
+  return Status::Ok();
+}
+
 Status Replica::ResolveIncompleteFromNeighbour(uint64_t neighbour, bool roll_forward) {
   nvm::PersistSiteScope site("chain/neighbour-repair");
   std::vector<txn::RecoveredTx> txs = mgr_->log()->ScanForRecovery();
@@ -1179,6 +1254,14 @@ Status Replica::QuickReboot() {
     req_to_op_.clear();
     req_fifo_.clear();
   }
+  {
+    // Chain-level key locks and orphan bookkeeping are volatile head state;
+    // a rebooted node re-learns in-flight ops from the replay, and stale
+    // locks would deadlock the first post-reboot admission.
+    std::lock_guard<std::mutex> lk(keylock_mu_);
+    locked_keys_.clear();
+  }
+  orphan_ops_.clear();
   // Loop-thread state (the loop is stopped here).
   pending_ops_.clear();
   peer_windows_.clear();
@@ -1196,13 +1279,23 @@ Status Replica::QuickReboot() {
   }
   const bool head_role = view->head() == options_.node_id;
 
-  // 3. Reattach. The head recovers from its local backup (engine recovery);
-  //    everyone else defers incomplete transactions to the neighbour fetch.
+  // 3. Reattach. A head whose durable promotion cursor attests a fully built
+  //    backup recovers from it (engine recovery); a head that lost power
+  //    mid-promotion resumes the promotion through the chain instead
+  //    (BuildStore skipped recovery — the backup is untrusted); everyone
+  //    else defers incomplete transactions to the neighbour fetch.
   KAMINO_RETURN_IF_ERROR(BuildStore(/*attach=*/true, /*run_recovery=*/head_role));
 
   options_.network->SetNodeDown(options_.node_id, false);
 
-  if (!head_role) {
+  if (head_role && view_cursor() != kViewCursorHeadComplete) {
+    // Power failure mid-promotion: the cursor never reached HeadComplete, so
+    // re-run the takeover wholesale (every step is idempotent — DESIGN.md
+    // §13). Re-stamp Promoting first in case the crash landed before the
+    // original stamp persisted.
+    StampViewCursor(kViewCursorPromoting);
+    KAMINO_RETURN_IF_ERROR(CompletePromotion(*view));
+  } else if (!head_role) {
     const uint64_t pred = view->PredecessorOf(options_.node_id);
     if (pred != 0) {
       KAMINO_RETURN_IF_ERROR(ResolveIncompleteFromNeighbour(pred, /*roll_forward=*/true));
@@ -1220,27 +1313,14 @@ Status Replica::QuickReboot() {
   return Status::Ok();
 }
 
-Status Replica::PromoteToHead() {
-  // Called after the membership change already made this node the head.
-  // Promotion can now happen mid-traffic (detector-driven): stop the loop
-  // first, then let the engine's appliers drain before touching the log.
-  Stop();
-  mgr_->WaitIdle();
-  pending_ops_.clear();  // Buffered future ops died with the old head.
-  View v;
-  {
-    std::lock_guard<std::mutex> lk(view_mu_);
-    v = options_.membership->current();
-    view_ = v;
-  }
-  if (v.head() != options_.node_id) {
-    return Status::InvalidArgument("not the head in the current view");
-  }
-
-  // Resolve any incomplete transaction against the successor (roll back —
-  // paper Figure 9's "new head" case). In the common promotion path there is
-  // none; it exists only if this node also just rebooted.
+Status Replica::CompletePromotion(const View& v) {
   const uint64_t succ = v.SuccessorOf(options_.node_id);
+
+  // Resolve leftover log slots. Committed slots resolve locally (deferred
+  // frees; no neighbour traffic). An incomplete transaction is rolled back
+  // using the successor's older object state (paper Figure 9's "new head"
+  // case) — in the common promotion path there is none; it exists only if
+  // this node also just rebooted.
   {
     std::vector<txn::RecoveredTx> txs = mgr_->log()->ScanForRecovery();
     bool has_incomplete = false;
@@ -1252,31 +1332,27 @@ Status Replica::PromoteToHead() {
     if (has_incomplete && succ == 0) {
       return Status::Unavailable("cannot roll back: no successor remains");
     }
-    if (!txs.empty()) {
+    if (has_incomplete) {
       KAMINO_RETURN_IF_ERROR(
           ResolveIncompleteFromNeighbour(succ, /*roll_forward=*/false));
+    } else if (!txs.empty()) {
+      KAMINO_RETURN_IF_ERROR(ResolveCommittedLocally(txs));
     }
   }
 
   // Rebuild the manager in the head role (Kamino: backup store appears).
+  // The durable tree anchor is read from the persistent ChainAnchor so this
+  // works identically for a live promotion and a post-crash resumption.
   mgr_->WaitIdle();
-  const uint64_t tree_anchor = tree_->anchor();
+  const uint64_t tree_anchor =
+      static_cast<const ChainAnchor*>(pool_->At(heap_->root()))->tree_anchor;
   tree_.reset();
   mgr_.reset();
   txn::TxManagerOptions mopts;
   if (!options_.kamino) {
     mopts.engine = txn::EngineType::kUndoLog;
   } else {
-    if (backup_pool_ == nullptr) {
-      nvm::PoolOptions bopts;
-      bopts.crash_sim = true;
-      bopts.size = options_.pool_size;
-      Result<std::unique_ptr<nvm::Pool>> p = nvm::Pool::Create(bopts);
-      if (!p.ok()) {
-        return p.status();
-      }
-      backup_pool_ = std::move(*p);
-    }
+    KAMINO_RETURN_IF_ERROR(EnsureBackupPool(/*force_full=*/true));
     mopts.engine = txn::EngineType::kKaminoSimple;
     mopts.external_backup_pool = backup_pool_.get();
   }
@@ -1289,8 +1365,14 @@ Status Replica::PromoteToHead() {
   if (options_.kamino) {
     // The new head must have a consistent copy of everything before it can
     // admit in-place transactions (paper §5.2: "creates a local backup").
+    // SyncAll is a full-pool overwrite, so re-running it after a crash is
+    // idempotent regardless of how much of a previous sync persisted.
     static_cast<txn::FullBackupStore*>(mgr_->backup_store())->SyncAll();
   }
+  // Commit point of the promotion: after this single 8-byte persist the
+  // local backup is durably trusted and reboots recover engine-locally.
+  StampViewCursor(kViewCursorHeadComplete);
+
   Result<std::unique_ptr<pds::BPlusTree>> t = pds::BPlusTree::Attach(mgr_.get(), tree_anchor);
   if (!t.ok()) {
     return t.status();
@@ -1321,8 +1403,36 @@ Status Replica::PromoteToHead() {
       orphan_ops_.emplace(op_id, std::move(keys));
     }
   }
+  return Status::Ok();
+}
+
+Status Replica::PromoteToHead() {
+  // Called after the membership change already made this node the head.
+  // Promotion can now happen mid-traffic (detector-driven): stop the loop
+  // first, then let the engine's appliers drain before touching the log.
+  Stop();
+  mgr_->WaitIdle();
+  pending_ops_.clear();  // Buffered future ops died with the old head.
+  View v;
+  {
+    std::lock_guard<std::mutex> lk(view_mu_);
+    v = options_.membership->current();
+    view_ = v;
+  }
+  if (v.head() != options_.node_id) {
+    return Status::InvalidArgument("not the head in the current view");
+  }
+
+  // Durable intent to take over — the first persist of the promotion. From
+  // here until the HeadComplete stamp, a power failure reboots into a
+  // resumed promotion (QuickReboot re-runs CompletePromotion) instead of
+  // trusting a half-built backup (DESIGN.md §13).
+  StampViewCursor(kViewCursorPromoting);
+
+  KAMINO_RETURN_IF_ERROR(CompletePromotion(v));
 
   Start();
+  const uint64_t succ = v.SuccessorOf(options_.node_id);
   if (succ != 0) {
     // Learn the tail's progress to release inherited locks for ops it has
     // already committed.
@@ -1336,6 +1446,18 @@ Status Replica::PromoteToHead() {
   return Status::Ok();
 }
 
+void Replica::InvalidateHeapImage() {
+  // Join commit protocol (DESIGN.md §13): before any transferred byte lands,
+  // durably zero the heap superblock magic so a crash mid-transfer can never
+  // leave a stale-but-attachable image (the node may have carried a valid
+  // heap from a previous life). The superblock page is rewritten last, as
+  // the join's single commit point.
+  nvm::PersistSiteScope site("chain/join-invalidate");
+  auto* magic = reinterpret_cast<uint64_t*>(pool_->base());
+  *magic = 0;
+  pool_->PersistU64(magic);
+}
+
 Status Replica::JoinAsTail() {
   View v;
   {
@@ -1347,30 +1469,38 @@ Status Replica::JoinAsTail() {
   if (pred == 0) {
     return Status::InvalidArgument("joining tail needs a predecessor");
   }
-  if (pool_ == nullptr) {
-    nvm::PoolOptions popts;
-    popts.size = options_.pool_size;
-    popts.crash_sim = true;
-    popts.flush_latency_ns = options_.flush_latency_ns;
-    Result<std::unique_ptr<nvm::Pool>> p = nvm::Pool::Create(popts);
-    if (!p.ok()) {
-      return p.status();
-    }
-    pool_ = std::move(*p);
-  }
+  // A retried join starts from scratch: any half-transferred image is dead.
+  tree_.reset();
+  mgr_.reset();
+  heap_.reset();
+  KAMINO_RETURN_IF_ERROR(EnsureMainPool());
+  InvalidateHeapImage();
 
   // State transfer: snapshot the predecessor's pool (chain quiesced by the
-  // orchestrator during joins).
+  // orchestrator during joins). The request is retransmitted with the
+  // standard backoff policy — a single lost kStateReq must not burn the
+  // whole recovery deadline.
   options_.network->SetNodeDown(options_.node_id, false);
   net::Message req;
   req.type = kStateReq;
   KAMINO_RETURN_IF_ERROR(endpoint_->Send(pred, std::move(req)));
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(kRecoveryTimeoutMs);
+  uint32_t backoff_ms = options_.retx_base_ms;
+  auto next_retx = std::chrono::steady_clock::now() + std::chrono::milliseconds(backoff_ms);
   bool got = false;
   while (std::chrono::steady_clock::now() < deadline) {
     std::optional<net::Message> reply = endpoint_->Receive(kReceivePollMs);
     if (!reply.has_value()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= next_retx) {
+        net::Message again;
+        again.type = kStateReq;
+        KAMINO_RETURN_IF_ERROR(endpoint_->Send(pred, std::move(again)));
+        state_req_retransmits_.fetch_add(1, std::memory_order_relaxed);
+        backoff_ms = std::min(backoff_ms * 2, options_.retx_cap_ms);
+        next_retx = now + std::chrono::milliseconds(backoff_ms);
+      }
       continue;
     }
     if (reply->type != kStateChunk) {
@@ -1379,9 +1509,22 @@ Status Replica::JoinAsTail() {
     if (reply->payload.size() != pool_->size()) {
       return Status::Corruption("state transfer size mismatch");
     }
-    nvm::PersistSiteScope site("chain/state-transfer");
-    std::memcpy(pool_->base(), reply->payload.data(), reply->payload.size());
-    pool_->Persist(pool_->base(), pool_->size());
+    // Two-phase install: body first, superblock page last. Until the
+    // superblock persists, the pool is unattachable and a crash reboots
+    // into a full re-transfer (RejoinAsTail); once it persists, the image
+    // is complete. The superblock page is the join's atomic commit point.
+    {
+      nvm::PersistSiteScope site("chain/state-transfer");
+      uint8_t* body = pool_->base() + kSuperblockPage;
+      std::memcpy(body, reply->payload.data() + kSuperblockPage,
+                  reply->payload.size() - kSuperblockPage);
+      pool_->Persist(body, pool_->size() - kSuperblockPage);
+    }
+    {
+      nvm::PersistSiteScope site("chain/join-commit");
+      std::memcpy(pool_->base(), reply->payload.data(), kSuperblockPage);
+      pool_->Persist(pool_->base(), kSuperblockPage);
+    }
     got = true;
     break;
   }
@@ -1390,9 +1533,56 @@ Status Replica::JoinAsTail() {
   }
 
   KAMINO_RETURN_IF_ERROR(BuildStore(/*attach=*/true, /*run_recovery=*/false));
+  // The transferred image carries the predecessor's promotion cursor; this
+  // node joined as a tail and has no built backup, so its cursor must say
+  // untrusted before it can ever be consulted (it would only be read if
+  // this node is later promoted, which re-stamps it anyway — but a crash
+  // before that stamp persists must not inherit the predecessor's trust).
+  if (view_cursor() != kViewCursorNone) {
+    StampViewCursor(kViewCursorNone);
+  }
   next_op_id_ = applied_watermark_.load(std::memory_order_relaxed) + 1;
   Start();
   return RequestReplay(pred);
+}
+
+Status Replica::RejoinAsTail() {
+  // Power-cycle: volatile state dropped, unflushed NVM lines lost, then the
+  // join protocol restarts from the beginning (full re-transfer).
+  options_.network->SetNodeDown(options_.node_id, true);
+  Stop();
+  crashed_mid_apply_.store(false, std::memory_order_relaxed);
+  tree_.reset();
+  mgr_.reset();
+  heap_.reset();
+  if (pool_ != nullptr) {
+    KAMINO_RETURN_IF_ERROR(pool_->Crash());
+  }
+  if (backup_pool_ != nullptr) {
+    KAMINO_RETURN_IF_ERROR(backup_pool_->Crash());
+  }
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    in_flight_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(comp_mu_);
+    last_acked_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lk(req_mu_);
+    req_to_op_.clear();
+    req_fifo_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(keylock_mu_);
+    locked_keys_.clear();
+  }
+  orphan_ops_.clear();
+  pending_ops_.clear();
+  peer_windows_.clear();
+  cleaned_below_.store(0, std::memory_order_relaxed);
+  return JoinAsTail();
 }
 
 }  // namespace kamino::chain

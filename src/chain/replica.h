@@ -42,6 +42,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "src/chain/anchor.h"
 #include "src/chain/membership.h"
 #include "src/chain/wire.h"
 #include "src/net/network.h"
@@ -77,6 +78,7 @@ struct ReplicaOptions {
 // Chain-protocol counters (all volatile, monotonic since construction).
 struct ReplicaProtocolStats {
   uint64_t retransmits = 0;       // In-flight ops re-forwarded downstream.
+  uint64_t state_req_retransmits = 0;  // kStateReq retries during JoinAsTail.
   uint64_t dedup_dropped = 0;     // Messages discarded by the seq window.
   uint64_t regen_acks = 0;        // Acks/cleanups regenerated for duplicates.
   uint64_t reorder_buffered = 0;  // Op forwards buffered for in-order apply.
@@ -147,7 +149,14 @@ class Replica {
   // transaction from the successor, build a local backup, take over.
   Status PromoteToHead();
   // Fresh node joining as tail: full state transfer from the predecessor.
+  // Crash-atomic: the transferred image only becomes attachable when the
+  // heap superblock page is installed last (`chain/join-commit`); a power
+  // failure at any earlier point leaves an unattachable pool that
+  // RejoinAsTail simply re-transfers (DESIGN.md §13).
   Status JoinAsTail();
+  // Power-cycle + retry of a join that crashed mid state transfer: drops
+  // volatile state, crash-sims the pool, and re-runs JoinAsTail from scratch.
+  Status RejoinAsTail();
 
   void UpdateView(const View& view);
 
@@ -168,22 +177,23 @@ class Replica {
   // observers (crash-point enumeration). Null before Init().
   nvm::Pool* pool() { return pool_.get(); }
   nvm::Pool* backup_pool() { return backup_pool_.get(); }
+  heap::Heap* heap() { return heap_.get(); }
+  // Materialize the pools ahead of Init()/JoinAsTail()/PromoteToHead() so a
+  // crash-point observer can watch every persist of a view change, including
+  // the ones that would otherwise create the pool mid-change. Idempotent.
+  Status EnsureMainPool();
+  Status EnsureBackupPool(bool force_full = false);
+  // The durable promotion cursor (anchor.h). Reads the persistent field, so
+  // after Pool::Crash() it reports exactly what a power failure preserved.
+  uint64_t view_cursor() const;
   // Ops forwarded but not yet cleaned up.
   size_t in_flight_size() const;
   ReplicaProtocolStats protocol_stats() const;
 
  private:
-  // Persistent anchor at the heap root: the tree anchor plus a ring of
-  // applied-op markers. Each operation's transaction writes its op id into
-  // ring[op_id % kMarkerRing]; recovery takes the ring maximum as the last
-  // applied id. A ring (rather than one counter) keeps successive operations
-  // from becoming dependent transactions on the marker object — slot reuse
-  // is kMarkerRing operations apart.
-  static constexpr uint64_t kMarkerRing = 1024;
-  struct ChainAnchor {
-    uint64_t tree_anchor;
-    uint64_t ring[kMarkerRing];
-  };
+  // The persistent anchor at the heap root is ChainAnchor (anchor.h): magic,
+  // the durable promotion cursor, the tree anchor, and the applied-op marker
+  // ring.
 
   // Dedup window per sender: seqs within kSeqWindow of the max seen are
   // tracked exactly; anything older than the window is assumed duplicate.
@@ -205,6 +215,18 @@ class Replica {
 
   Status BuildStore(bool attach, bool run_recovery);
   txn::TxManagerOptions MgrOptions(bool head_role) const;
+
+  // Persists the promotion cursor (one 8-byte persist at the dedicated site
+  // `chain/promote-cursor` — the reconcile_cursor pattern).
+  void StampViewCursor(uint64_t value);
+  // The resumable tail of a head takeover: resolve leftover log slots,
+  // rebuild the manager in the head role, (Kamino) build + sync the local
+  // backup, stamp the cursor complete, reattach the tree. Idempotent — a
+  // crash at any persist inside re-runs it wholesale on reboot.
+  Status CompletePromotion(const View& v);
+  // Kills any attached heap image so a crash mid state transfer can never
+  // leave a stale-but-attachable superblock (join commit protocol).
+  void InvalidateHeapImage();
 
   uint64_t anchor_off() const { return heap_->root(); }
   uint64_t MarkerOffset(uint64_t op_id) const {
@@ -243,6 +265,11 @@ class Replica {
 
   // Reboot helpers: resolve incomplete transactions against a neighbour.
   Status ResolveIncompleteFromNeighbour(uint64_t neighbour, bool roll_forward);
+  // Releases committed-but-unreleased slots locally (deferred frees + slot
+  // release). Committed transactions never need neighbour traffic — the
+  // in-place data is final — so a committed-only log must not gate a
+  // promotion on a live successor.
+  Status ResolveCommittedLocally(const std::vector<txn::RecoveredTx>& txs);
   Result<std::vector<std::pair<uint64_t, std::string>>> FetchRanges(
       uint64_t neighbour, const std::vector<txn::Intent>& intents);
 
@@ -334,6 +361,7 @@ class Replica {
 
   // Protocol counters (see ReplicaProtocolStats).
   std::atomic<uint64_t> retransmits_{0};
+  std::atomic<uint64_t> state_req_retransmits_{0};
   std::atomic<uint64_t> dedup_dropped_{0};
   std::atomic<uint64_t> regen_acks_{0};
   std::atomic<uint64_t> reorder_buffered_{0};

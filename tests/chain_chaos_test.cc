@@ -235,6 +235,39 @@ TEST(ChainChaosTest, DetectorPromotesNewHeadAfterSilentHeadDeath) {
   EXPECT_TRUE(chain->head()->is_head());
 }
 
+// --- Join retransmission (lost kStateReq is retried, not fatal) -------------
+
+TEST(ChainChaosTest, JoinRetransmitsStateReqThroughTransientPartition) {
+  ChainOptions o = BaseOpts();
+  auto chain = Chain::Create(o).value();
+  std::map<uint64_t, std::string> model;
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(chain->Upsert(k, "pre-join").ok());
+    model[k] = "pre-join";
+  }
+  ASSERT_TRUE(chain->Quiesce().ok());
+
+  const size_t full_strength = chain->current_view().nodes.size();
+  ASSERT_TRUE(chain->KillReplica(chain->current_view().tail()).ok());
+  ASSERT_TRUE(chain->Quiesce().ok());
+  const uint64_t pred = chain->current_view().tail();
+
+  // The joiner's first kStateReq (and the first few retries) vanish into a
+  // transient partition of the joiner<->predecessor link; the bounded
+  // exponential backoff must ride it out instead of burning the whole
+  // recovery deadline on one lost datagram.
+  const uint64_t jid = chain->PrepareJoiningReplica().value();
+  chain->network()->CutLinkFor(jid, pred, 300);
+  ASSERT_TRUE(chain->CompleteJoin(jid).ok());
+  EXPECT_GE(chain->NetworkStats().state_req_retransmits, 1u)
+      << "join survived the cut without retransmitting? (cut too short)";
+
+  ASSERT_TRUE(chain->Quiesce().ok());
+  EXPECT_EQ(chain->current_view().nodes.size(), full_strength);
+  ASSERT_TRUE(chain->Upsert(100, "post-join").ok());
+  EXPECT_EQ(chain->Read(100).value(), "post-join");
+}
+
 // --- The soak: everything at once ------------------------------------------
 
 TEST(ChainChaosTest, LossyNetworkSoak) {

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/chain/anchor.h"
 #include "src/kv/kv_store.h"
 #include "src/nvm/pool.h"
 #include "src/shard/sharded_store.h"
@@ -127,7 +128,9 @@ int Run(const char* path, bool verify) {
   }
 
   // The root either anchors a KV store's B+Tree directly, or — for a pool
-  // that is one shard of a ShardedStore — a shard anchor pointing at it.
+  // that is one shard of a ShardedStore — a shard anchor pointing at it, or
+  // — for a chain replica's pool — a chain anchor (promotion cursor + marker
+  // ring + tree anchor).
   uint64_t tree_root = (*heap)->root();
   if (tree_root != 0 &&
       tree_root + sizeof(shard::ShardAnchor) <= (*pool)->size()) {
@@ -138,6 +141,25 @@ int Run(const char* path, bool verify) {
                   "), tree @%" PRIu64 "\n",
                   anchor->shard_index, anchor->num_shards, anchor->version,
                   anchor->tree_anchor);
+      tree_root = anchor->tree_anchor;
+    }
+  }
+  if (tree_root != 0 && tree_root == (*heap)->root() &&
+      tree_root + sizeof(chain::ChainAnchor) <= (*pool)->size()) {
+    const auto* anchor =
+        static_cast<const chain::ChainAnchor*>((*pool)->At(tree_root));
+    if (anchor->magic == chain::kChainAnchorMagic) {
+      // The marker-ring maximum is the replica's durable applied watermark —
+      // what a reboot would resume from.
+      uint64_t high_water = 0;
+      for (uint64_t slot : anchor->ring) {
+        high_water = std::max(high_water, slot);
+      }
+      std::printf("chain anchor: promotion cursor %" PRIu64 " = %s\n",
+                  anchor->view_cursor, chain::ViewCursorName(anchor->view_cursor));
+      std::printf("  applied watermark (marker-ring max): op %" PRIu64
+                  ", tree @%" PRIu64 "\n",
+                  high_water, anchor->tree_anchor);
       tree_root = anchor->tree_anchor;
     }
   }
